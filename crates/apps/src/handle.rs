@@ -1,0 +1,65 @@
+//! Completion handles for launched applications.
+
+use nodesel_simnet::SimTime;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Observer for a running application instance.
+///
+/// The simulator drives the application through events; the handle lets the
+/// experiment driver poll for completion and read the turnaround time.
+#[derive(Debug, Clone)]
+pub struct AppHandle {
+    started: SimTime,
+    finished: Rc<Cell<Option<SimTime>>>,
+}
+
+impl AppHandle {
+    pub(crate) fn new(started: SimTime) -> (AppHandle, Rc<Cell<Option<SimTime>>>) {
+        let finished = Rc::new(Cell::new(None));
+        (
+            AppHandle {
+                started,
+                finished: finished.clone(),
+            },
+            finished,
+        )
+    }
+
+    /// Simulation time at which the application was launched.
+    pub fn started_at(&self) -> SimTime {
+        self.started
+    }
+
+    /// Completion time, if the application has finished.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished.get()
+    }
+
+    /// True when the application has finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished.get().is_some()
+    }
+
+    /// Turnaround time in seconds, if finished.
+    pub fn elapsed(&self) -> Option<f64> {
+        self.finished.get().map(|f| f.seconds_since(self.started))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_lifecycle() {
+        let (h, fin) = AppHandle::new(SimTime::from_secs(3));
+        assert!(!h.is_finished());
+        assert_eq!(h.elapsed(), None);
+        fin.set(Some(SimTime::from_secs(10)));
+        assert!(h.is_finished());
+        assert_eq!(h.elapsed(), Some(7.0));
+        assert_eq!(h.started_at(), SimTime::from_secs(3));
+        assert_eq!(h.finished_at(), Some(SimTime::from_secs(10)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Master–slave (self-scheduling) programs.
+//!
+//! MRI "uses a master-slave protocol for compute intensive regions that
+//! automatically adapts if a compute or communication step slows down"
+//! (paper §4.3). Work units are handed to slaves on demand: a slow slave
+//! simply processes fewer units, so background load degrades throughput
+//! gracefully instead of stalling a barrier. This is why Table 1 shows MRI
+//! hurt far less by load and traffic than the loosely-synchronous codes.
+
+use crate::handle::AppHandle;
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A master–slave program description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterSlaveProgram {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Number of independent work units (e.g. images to reconstruct).
+    pub units: usize,
+    /// Reference-CPU-seconds a slave spends per unit.
+    pub unit_work: f64,
+    /// Bits shipped master → slave per unit (the input slice).
+    pub input_bits: f64,
+    /// Bits shipped slave → master per unit (the result).
+    pub output_bits: f64,
+    /// Reference-CPU-seconds the master spends folding in each result.
+    pub master_work: f64,
+}
+
+impl MasterSlaveProgram {
+    /// Total slave-side compute demand, reference-CPU-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.units as f64 * self.unit_work
+    }
+
+    /// Total bits moved over the network.
+    pub fn total_bits(&self) -> f64 {
+        self.units as f64 * (self.input_bits + self.output_bits)
+    }
+}
+
+struct Queue {
+    program: MasterSlaveProgram,
+    master: NodeId,
+    unassigned: usize,
+    completed: usize,
+    finished: Rc<Cell<Option<SimTime>>>,
+}
+
+/// Launches a master–slave program: `nodes[0]` is the master, the rest are
+/// slaves. Panics with fewer than two nodes.
+pub fn launch_master_slave(
+    sim: &mut Sim,
+    program: MasterSlaveProgram,
+    nodes: &[NodeId],
+) -> AppHandle {
+    assert!(
+        nodes.len() >= 2,
+        "master-slave needs a master and at least one slave"
+    );
+    for &n in nodes {
+        assert!(
+            sim.topology().node(n).is_compute(),
+            "programs run on compute nodes"
+        );
+    }
+    let (handle, finished) = AppHandle::new(sim.now());
+    if program.units == 0 {
+        finished.set(Some(sim.now()));
+        return handle;
+    }
+    let queue = Rc::new(RefCell::new(Queue {
+        program,
+        master: nodes[0],
+        unassigned: program.units,
+        completed: 0,
+        finished,
+    }));
+    for &slave in &nodes[1..] {
+        assign_next(sim, queue.clone(), slave);
+    }
+    handle
+}
+
+/// Tries to hand the next unit to `slave`; drives the per-unit pipeline
+/// input-transfer → slave-compute → output-transfer → master-compute.
+fn assign_next(sim: &mut Sim, queue: Rc<RefCell<Queue>>, slave: NodeId) {
+    let job = {
+        let mut q = queue.borrow_mut();
+        if q.unassigned == 0 {
+            None
+        } else {
+            q.unassigned -= 1;
+            Some((q.program, q.master))
+        }
+    };
+    let Some((program, master)) = job else {
+        return;
+    };
+    let q2 = queue.clone();
+    sim.start_transfer(master, slave, program.input_bits, move |sim| {
+        let q3 = q2.clone();
+        sim.start_compute(slave, program.unit_work, move |sim| {
+            let q4 = q3.clone();
+            sim.start_transfer(slave, master, program.output_bits, move |sim| {
+                let q5 = q4.clone();
+                sim.start_compute(master, program.master_work, move |sim| {
+                    let all_done = {
+                        let mut q = q5.borrow_mut();
+                        q.completed += 1;
+                        q.completed == q.program.units
+                    };
+                    if all_done {
+                        q5.borrow().finished.set(Some(sim.now()));
+                    } else {
+                        assign_next(sim, q5, slave);
+                    }
+                });
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+
+    fn prog(units: usize, unit_work: f64) -> MasterSlaveProgram {
+        MasterSlaveProgram {
+            name: "test",
+            units,
+            unit_work,
+            input_bits: 1.0 * MBPS, // 10 ms on a clean 100 Mbps path
+            output_bits: 1.0 * MBPS,
+            master_work: 0.0,
+        }
+    }
+
+    #[test]
+    fn work_divides_across_slaves() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // 30 units × 1 s over 3 slaves ≈ 10 s + small transfer overhead.
+        let h = launch_master_slave(&mut sim, prog(30, 1.0), &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        assert!((10.0..11.0).contains(&t), "elapsed {t}");
+    }
+
+    #[test]
+    fn adapts_to_a_slow_slave() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // Slave ids[1] is heavily loaded (9 competitors => 10% speed).
+        for _ in 0..9 {
+            sim.start_compute(ids[1], 1e9, |_| {});
+        }
+        let h = launch_master_slave(&mut sim, prog(30, 1.0), &ids);
+        sim.run_for(60.0);
+        let t = h.elapsed().unwrap();
+        // Perfect adaptation would be 30 units / (1 + 1 + 0.1) ≈ 14.3 s;
+        // a barrier-style split (10 units each, slow node at 10%) would
+        // take ~100 s. Self-scheduling must land near the former.
+        assert!(t < 25.0, "elapsed {t}");
+        assert!(t > 10.0, "elapsed {t}");
+    }
+
+    #[test]
+    fn single_slave_serializes() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_master_slave(&mut sim, prog(5, 2.0), &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        // 5 × (0.01 + 2.0 + 0.01) = 10.1, plus scheduling epsilon.
+        assert!((t - 10.1).abs() < 0.01, "elapsed {t}");
+    }
+
+    #[test]
+    fn master_work_serializes_at_master() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let p = MasterSlaveProgram {
+            master_work: 0.5,
+            ..prog(10, 0.1)
+        };
+        let h = launch_master_slave(&mut sim, p, &ids);
+        sim.run();
+        // Master folds 10 × 0.5 = 5 s of work; it is the bottleneck.
+        let t = h.elapsed().unwrap();
+        assert!(t >= 5.0, "elapsed {t}");
+    }
+
+    #[test]
+    fn zero_units_finish_instantly() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_master_slave(&mut sim, prog(0, 1.0), &ids);
+        sim.run();
+        assert_eq!(h.elapsed(), Some(0.0));
+    }
+
+    #[test]
+    fn totals() {
+        let p = prog(10, 2.0);
+        assert_eq!(p.total_work(), 20.0);
+        assert_eq!(p.total_bits(), 20.0 * MBPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn rejects_single_node() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        launch_master_slave(&mut sim, prog(1, 1.0), &ids[..1]);
+    }
+}

@@ -1,0 +1,403 @@
+//! Migratable loosely-synchronous programs.
+//!
+//! The paper's abstract: "The node selection algorithms developed in this
+//! research are also applicable to dynamic migration of long running
+//! jobs." This module supplies the executable half of that claim: a
+//! phase program whose node set can be **swapped between iterations**. At
+//! every iteration boundary the runner consults a placement policy; if it
+//! returns a new node set, the program pays a checkpoint cost — each
+//! replaced node ships its `state_bits / m` share to its successor — and
+//! resumes on the new nodes.
+//!
+//! The interesting dynamics this enables: the sensitivity study shows
+//! measurement-based selection losing its edge as applications outlive
+//! their measurements; periodic reconsideration (this module + the
+//! `nodesel-core::migration` advisor) restores it, at the price of the
+//! checkpoint traffic.
+
+use crate::handle::AppHandle;
+use crate::phased::{Phase, PhaseProgram};
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Decides, at an iteration boundary, whether to move the application.
+///
+/// Receives the simulator (for measurement queries via captured handles),
+/// the current placement and the upcoming iteration index; returns the new
+/// node set, or `None` to stay. Returning the current set is equivalent to
+/// `None`.
+pub type PlacementPolicy = Box<dyn FnMut(&mut Sim, &[NodeId], usize) -> Option<Vec<NodeId>>>;
+
+/// Counters describing what a migratable run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Policy consultations.
+    pub reconsiderations: u64,
+}
+
+/// Handle extension carrying migration counters.
+#[derive(Clone)]
+pub struct MigratableHandle {
+    /// Completion handle.
+    pub app: AppHandle,
+    stats: Rc<RefCell<MigrationStats>>,
+    placement: Rc<RefCell<Vec<NodeId>>>,
+}
+
+impl MigratableHandle {
+    /// Migration counters so far.
+    pub fn stats(&self) -> MigrationStats {
+        *self.stats.borrow()
+    }
+
+    /// The node set currently executing the program.
+    pub fn placement(&self) -> Vec<NodeId> {
+        self.placement.borrow().clone()
+    }
+}
+
+struct Runner {
+    program: PhaseProgram,
+    nodes: Rc<RefCell<Vec<NodeId>>>,
+    state_bits: f64,
+    policy: PlacementPolicy,
+    iteration: usize,
+    phase: usize,
+    pending: usize,
+    finished: Rc<Cell<Option<SimTime>>>,
+    stats: Rc<RefCell<MigrationStats>>,
+}
+
+/// Launches a migratable phase program. `state_bits` is the total
+/// checkpoint size moved on migration (split evenly across nodes).
+pub fn launch_phased_migratable(
+    sim: &mut Sim,
+    program: PhaseProgram,
+    nodes: &[NodeId],
+    state_bits: f64,
+    policy: impl FnMut(&mut Sim, &[NodeId], usize) -> Option<Vec<NodeId>> + 'static,
+) -> MigratableHandle {
+    assert!(!nodes.is_empty(), "a program needs at least one node");
+    assert!(state_bits >= 0.0);
+    let (app, finished) = AppHandle::new(sim.now());
+    let placement = Rc::new(RefCell::new(nodes.to_vec()));
+    let stats = Rc::new(RefCell::new(MigrationStats::default()));
+    let runner = Rc::new(RefCell::new(Runner {
+        program,
+        nodes: placement.clone(),
+        state_bits,
+        policy: Box::new(policy),
+        iteration: 0,
+        phase: 0,
+        pending: 0,
+        finished,
+        stats: stats.clone(),
+    }));
+    advance(sim, runner);
+    MigratableHandle {
+        app,
+        stats,
+        placement,
+    }
+}
+
+/// Drives the program forward: migration checks at iteration boundaries,
+/// then the phases of the current iteration.
+fn advance(sim: &mut Sim, runner: Rc<RefCell<Runner>>) {
+    // Iteration boundary?
+    let boundary = {
+        let r = runner.borrow();
+        r.phase == 0
+    };
+    if boundary {
+        let (finished, iteration) = {
+            let r = runner.borrow_mut();
+            if r.iteration == r.program.iterations {
+                r.finished.set(Some(sim.now()));
+                (true, 0)
+            } else {
+                (false, r.iteration)
+            }
+        };
+        if finished {
+            return;
+        }
+        // Consult the policy (not on the very first iteration: launch-time
+        // placement was just chosen by the caller).
+        if iteration > 0 {
+            let decision = {
+                let mut r = runner.borrow_mut();
+                r.stats.borrow_mut().reconsiderations += 1;
+                let current = r.nodes.borrow().clone();
+                // Split the borrow: the policy needs &mut Sim only.
+                (r.policy)(sim, &current, iteration)
+            };
+            let current = runner.borrow().nodes.borrow().clone();
+            if let Some(new_nodes) = decision {
+                assert_eq!(
+                    new_nodes.len(),
+                    current.len(),
+                    "migration must preserve the node count"
+                );
+                if new_nodes != current {
+                    migrate(sim, runner, current, new_nodes);
+                    return; // phases resume after the checkpoint lands
+                }
+            }
+        }
+    }
+    run_phase(sim, runner);
+}
+
+/// Ships each replaced node's state share to its successor, then resumes.
+fn migrate(sim: &mut Sim, runner: Rc<RefCell<Runner>>, from: Vec<NodeId>, to: Vec<NodeId>) {
+    let (state_bits, m) = {
+        let r = runner.borrow();
+        (r.state_bits, from.len())
+    };
+    let share = state_bits / m as f64;
+    let moves: Vec<(NodeId, NodeId)> = from
+        .iter()
+        .zip(&to)
+        .filter(|(a, b)| a != b)
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    {
+        let r = runner.borrow_mut();
+        *r.nodes.borrow_mut() = to;
+        r.stats.borrow_mut().migrations += 1;
+    }
+    if moves.is_empty() || share == 0.0 {
+        run_phase(sim, runner);
+        return;
+    }
+    runner.borrow_mut().pending = moves.len();
+    for (src, dst) in moves {
+        let runner = runner.clone();
+        sim.start_transfer(src, dst, share, move |sim| {
+            let done = {
+                let mut r = runner.borrow_mut();
+                r.pending -= 1;
+                r.pending == 0
+            };
+            if done {
+                run_phase(sim, runner);
+            }
+        });
+    }
+}
+
+/// Launches the ops of the current phase (mirrors the static phased
+/// runner, but reads the node set through the shared cell).
+fn run_phase(sim: &mut Sim, runner: Rc<RefCell<Runner>>) {
+    enum Op {
+        Compute(NodeId, f64),
+        Transfer(NodeId, NodeId, f64),
+    }
+    let ops: Vec<Op> = {
+        let mut r = runner.borrow_mut();
+        loop {
+            if r.phase == r.program.phases.len() {
+                r.phase = 0;
+                r.iteration += 1;
+                drop(r);
+                return advance_outer(sim, runner);
+            }
+            let nodes = r.nodes.borrow().clone();
+            let m = nodes.len();
+            let mf = m as f64;
+            let ops: Vec<Op> = match r.program.phases[r.phase] {
+                Phase::Compute { work } => {
+                    nodes.iter().map(|&n| Op::Compute(n, work / mf)).collect()
+                }
+                Phase::AllToAll { bits } => {
+                    let per_pair = bits / (mf * mf);
+                    let mut ops = Vec::with_capacity(m * (m - 1));
+                    for &a in &nodes {
+                        for &b in &nodes {
+                            if a != b {
+                                ops.push(Op::Transfer(a, b, per_pair));
+                            }
+                        }
+                    }
+                    ops
+                }
+                Phase::Gather { root, bits } => {
+                    let root = nodes[root];
+                    nodes
+                        .iter()
+                        .filter(|&&n| n != root)
+                        .map(|&n| Op::Transfer(n, root, bits / mf))
+                        .collect()
+                }
+                Phase::Broadcast { root, bits } => {
+                    let root = nodes[root];
+                    nodes
+                        .iter()
+                        .filter(|&&n| n != root)
+                        .map(|&n| Op::Transfer(root, n, bits / mf))
+                        .collect()
+                }
+            };
+            if ops.is_empty() {
+                r.phase += 1;
+                continue;
+            }
+            r.pending = ops.len();
+            break ops;
+        }
+    };
+    for op in ops {
+        let runner = runner.clone();
+        let on_done = move |sim: &mut Sim| {
+            let next = {
+                let mut r = runner.borrow_mut();
+                r.pending -= 1;
+                if r.pending == 0 {
+                    r.phase += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if next {
+                run_phase(sim, runner);
+            }
+        };
+        match op {
+            Op::Compute(n, work) => {
+                sim.start_compute(n, work, on_done);
+            }
+            Op::Transfer(a, b, bits) => {
+                sim.start_transfer(a, b, bits, on_done);
+            }
+        }
+    }
+}
+
+/// Indirection so `run_phase` can tail-call back into `advance` without
+/// recursion-in-borrow issues.
+fn advance_outer(sim: &mut Sim, runner: Rc<RefCell<Runner>>) {
+    advance(sim, runner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phased::launch_phased;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+
+    fn prog(iterations: usize) -> PhaseProgram {
+        PhaseProgram {
+            name: "mig-test",
+            iterations,
+            phases: vec![Phase::Compute { work: 4.0 }],
+        }
+    }
+
+    #[test]
+    fn never_migrating_matches_static_runner() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo.clone());
+        let h_static = launch_phased(&mut sim, prog(5), &ids);
+        sim.run();
+        let t_static = h_static.elapsed();
+        let mut sim = Sim::new(topo);
+        let h = launch_phased_migratable(&mut sim, prog(5), &ids, 1e9, |_, _, _| None);
+        sim.run();
+        assert_eq!(h.app.elapsed(), t_static);
+        assert_eq!(h.stats().migrations, 0);
+        assert_eq!(h.stats().reconsiderations, 4); // once per boundary
+    }
+
+    #[test]
+    fn migration_moves_to_faster_nodes() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // ids[0], ids[1] get heavy background load; policy switches to
+        // ids[2], ids[3] at the first boundary.
+        for _ in 0..9 {
+            sim.start_compute(ids[0], 1e9, |_| {});
+            sim.start_compute(ids[1], 1e9, |_| {});
+        }
+        let target = vec![ids[2], ids[3]];
+        let t2 = target.clone();
+        let migrate_once = move |_: &mut Sim, current: &[NodeId], _: usize| {
+            if current != t2.as_slice() {
+                Some(t2.clone())
+            } else {
+                None
+            }
+        };
+        let h = launch_phased_migratable(
+            &mut sim,
+            prog(10),
+            &[ids[0], ids[1]],
+            10.0 * MBPS,
+            migrate_once,
+        );
+        sim.run_for(1e5);
+        assert!(h.app.is_finished());
+        assert_eq!(h.stats().migrations, 1);
+        assert_eq!(h.placement(), vec![ids[2], ids[3]]);
+        // 1 slow iteration (2 work / 0.1 rate = 20 s) + checkpoint (~0.05s)
+        // + 9 fast iterations (2 s each): far below the stay-put 200 s.
+        let t = h.app.elapsed().unwrap();
+        assert!(t < 60.0, "elapsed {t}");
+        assert!(t > 20.0, "elapsed {t}");
+    }
+
+    #[test]
+    fn checkpoint_cost_is_paid() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        // Move every iteration between two disjoint pairs with a large
+        // 100 Mbit state: each migration costs ~0.5 s per node pair.
+        let mut sim = Sim::new(topo.clone());
+        let pair_a = vec![ids[0], ids[1]];
+        let pair_b = vec![ids[2], ids[3]];
+        let (a2, b2) = (pair_a.clone(), pair_b.clone());
+        let pingpong = move |_: &mut Sim, current: &[NodeId], _: usize| {
+            if current == a2.as_slice() {
+                Some(b2.clone())
+            } else {
+                Some(a2.clone())
+            }
+        };
+        let h = launch_phased_migratable(&mut sim, prog(6), &pair_a, 100.0 * MBPS, pingpong);
+        sim.run();
+        let with_moves = h.app.elapsed().unwrap();
+        assert_eq!(h.stats().migrations, 5);
+
+        let mut sim = Sim::new(topo);
+        let h_stay =
+            launch_phased_migratable(&mut sim, prog(6), &pair_a, 100.0 * MBPS, |_, _, _| None);
+        sim.run();
+        let stay = h_stay.app.elapsed().unwrap();
+        // Each of 5 migrations moves 2 x 50 Mbit over 100 Mbps links: the
+        // two transfers run in parallel => +0.5 s each.
+        assert!(
+            (with_moves - stay - 5.0 * 0.5).abs() < 0.1,
+            "moves {with_moves}, stay {stay}"
+        );
+    }
+
+    #[test]
+    fn migration_count_must_match() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let bad = {
+            let ids = ids.clone();
+            move |_: &mut Sim, _: &[NodeId], _: usize| Some(vec![ids[0]])
+        };
+        launch_phased_migratable(&mut sim, prog(3), &ids[..2], 0.0, bad);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run();
+        }));
+        assert!(result.is_err(), "mismatched migration size must panic");
+    }
+}

@@ -1,0 +1,80 @@
+//! The magnetic-resonance-imaging workload (paper §4.3, the *Fiasco* fMRI
+//! analysis on the `epi` dataset).
+//!
+//! The MRI pipeline reconstructs and analyzes a long sequence of functional
+//! images. Its compute-intensive region runs a **master–slave protocol**:
+//! the master ships each image to an idle slave, the slave reconstructs it
+//! and returns the result. Self-scheduling means a slowed node simply
+//! handles fewer images, which is why Table 1 shows MRI degrading far more
+//! gracefully under load and traffic than the loosely-synchronous codes —
+//! and why node selection helps it less (8–14% vs 16–35%).
+//!
+//! # Calibration
+//!
+//! The paper reports 540 s on 4 unloaded nodes (1 master + 3 slaves). We
+//! model the `epi` dataset as 1080 images of ~1.32 reference-CPU-seconds
+//! each with a 500 KB input slice and 250 KB result, which reproduces the
+//! 540 s reference on the Figure 4 testbed.
+
+use crate::master_slave::MasterSlaveProgram;
+use nodesel_topology::units::MBPS;
+
+/// Number of work units (images) in the modeled `epi` dataset.
+pub const PAPER_UNITS: usize = 1080;
+
+/// Reference-CPU-seconds per image on a slave.
+///
+/// Calibrated so that the full pipeline — including the transfer
+/// contention of three lockstep slaves sharing the master's access link —
+/// reproduces the paper's 540 s unloaded reference.
+pub const UNIT_WORK: f64 = 1.3196;
+
+/// Bits shipped master → slave per image (500 KB).
+pub const INPUT_BITS: f64 = 4.0 * MBPS;
+
+/// Bits shipped slave → master per image (250 KB).
+pub const OUTPUT_BITS: f64 = 2.0 * MBPS;
+
+/// The MRI program with a custom unit count.
+pub fn mri_program(units: usize) -> MasterSlaveProgram {
+    MasterSlaveProgram {
+        name: "MRI",
+        units,
+        unit_work: UNIT_WORK,
+        input_bits: INPUT_BITS,
+        output_bits: OUTPUT_BITS,
+        master_work: 0.0,
+    }
+}
+
+/// The paper's configuration: the full `epi` dataset.
+pub fn mri_epi() -> MasterSlaveProgram {
+    mri_program(PAPER_UNITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master_slave::launch_master_slave;
+    use nodesel_simnet::Sim;
+    use nodesel_topology::testbeds::cmu_testbed;
+
+    #[test]
+    fn unloaded_reference_time_matches_paper() {
+        let tb = cmu_testbed();
+        let nodes = [tb.m(1), tb.m(2), tb.m(3), tb.m(4)];
+        let mut sim = Sim::new(tb.topo);
+        let h = launch_master_slave(&mut sim, mri_epi(), &nodes);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        // Paper reference: 540 s on the unloaded testbed.
+        assert!((t - 540.0).abs() < 15.0, "unloaded MRI took {t}");
+    }
+
+    #[test]
+    fn program_shape() {
+        let p = mri_epi();
+        assert_eq!(p.units, PAPER_UNITS);
+        assert!((p.total_work() - 1080.0 * UNIT_WORK).abs() < 1e-9);
+    }
+}

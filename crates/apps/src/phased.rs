@@ -1,0 +1,407 @@
+//! Loosely-synchronous phase programs.
+//!
+//! FFT and Airshed are "loosely synchronous parallel computations where any
+//! computation or communication step can become a bottleneck" (paper §4.3):
+//! the program is a sequence of collective phases separated by barriers, so
+//! one slow node or one congested path delays everyone. This module
+//! implements that execution model generically; the concrete applications
+//! are parameterizations of it.
+
+use crate::handle::AppHandle;
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// One collective phase. Volumes are expressed as problem totals and scaled
+/// by the node count at launch, so the same program runs on any `m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Embarrassingly parallel computation of `work` total reference-CPU
+    /// seconds, divided evenly across the nodes; barrier at the end.
+    Compute {
+        /// Total reference-CPU-seconds across all nodes.
+        work: f64,
+    },
+    /// All-to-all exchange redistributing a data structure of `bits` total
+    /// size (e.g. a matrix transpose): every ordered pair carries
+    /// `bits / m²`; barrier at the end.
+    AllToAll {
+        /// Total bits of the redistributed structure.
+        bits: f64,
+    },
+    /// Every non-root node sends its `bits / m` share to the root; barrier.
+    Gather {
+        /// Index (into the launch node list) of the root.
+        root: usize,
+        /// Total bits of the gathered structure.
+        bits: f64,
+    },
+    /// The root sends `bits / m` to every non-root node; barrier.
+    Broadcast {
+        /// Index (into the launch node list) of the root.
+        root: usize,
+        /// Total bits of the broadcast structure.
+        bits: f64,
+    },
+}
+
+/// A loosely-synchronous program: `iterations` repetitions of a phase list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProgram {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Number of outer iterations.
+    pub iterations: usize,
+    /// The phases of one iteration, executed in order with barriers.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseProgram {
+    /// Total compute demand of the whole program, reference-CPU-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.iterations as f64
+            * self
+                .phases
+                .iter()
+                .map(|p| match p {
+                    Phase::Compute { work } => *work,
+                    _ => 0.0,
+                })
+                .sum::<f64>()
+    }
+
+    /// Total communication volume of the whole program, bits.
+    pub fn total_bits(&self) -> f64 {
+        self.iterations as f64
+            * self
+                .phases
+                .iter()
+                .map(|p| match p {
+                    Phase::Compute { .. } => 0.0,
+                    Phase::AllToAll { bits } => *bits,
+                    Phase::Gather { bits, .. } | Phase::Broadcast { bits, .. } => *bits,
+                })
+                .sum::<f64>()
+    }
+
+    /// Predicted runtime on `m` nodes offering `min_cpu` effective CPU and
+    /// `min_bw` bits/s of pairwise bandwidth — the performance-estimation
+    /// hook for variable-node-count selection (§3.4): compute phases wait
+    /// for the slowest member (`work / (m · min_cpu)`), communication
+    /// phases for the most congested path.
+    pub fn estimated_runtime(&self, m: usize, min_cpu: f64, min_bw: f64) -> f64 {
+        assert!(m >= 1 && min_cpu > 0.0);
+        let per_iteration: f64 = self
+            .phases
+            .iter()
+            .map(|p| match *p {
+                Phase::Compute { work } => work / (m as f64 * min_cpu),
+                Phase::AllToAll { bits } => {
+                    if m < 2 {
+                        0.0
+                    } else {
+                        bits * (m as f64 - 1.0) / (m as f64 * m as f64) / min_bw.max(1.0)
+                    }
+                }
+                Phase::Gather { bits, .. } | Phase::Broadcast { bits, .. } => {
+                    if m < 2 {
+                        0.0
+                    } else {
+                        bits * (m as f64 - 1.0) / m as f64 / min_bw.max(1.0)
+                    }
+                }
+            })
+            .sum();
+        self.iterations as f64 * per_iteration
+    }
+
+    /// Lower bound on the unloaded single-iteration span on `m` reference
+    /// nodes with `bw` bits/s between each pair (ignores latency): used by
+    /// tests as a sanity floor.
+    pub fn ideal_iteration_seconds(&self, m: usize, bw: f64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { work } => work / m as f64,
+                Phase::AllToAll { bits } => {
+                    if m < 2 {
+                        0.0
+                    } else {
+                        // Each node sends and receives (m-1) · bits/m²; its
+                        // access direction carries (m-1)/m² of the total.
+                        bits * (m as f64 - 1.0) / (m as f64 * m as f64) / bw
+                    }
+                }
+                Phase::Gather { bits, .. } | Phase::Broadcast { bits, .. } => {
+                    if m < 2 {
+                        0.0
+                    } else {
+                        // The root's access link carries (m-1)/m of the total.
+                        bits * (m as f64 - 1.0) / m as f64 / bw
+                    }
+                }
+            })
+            .sum()
+    }
+}
+
+struct Runner {
+    program: PhaseProgram,
+    nodes: Vec<NodeId>,
+    iteration: usize,
+    phase: usize,
+    pending: usize,
+    finished: Rc<Cell<Option<SimTime>>>,
+}
+
+/// Launches a phase program on the given nodes; returns a completion
+/// handle. Panics when `nodes` is empty.
+pub fn launch_phased(sim: &mut Sim, program: PhaseProgram, nodes: &[NodeId]) -> AppHandle {
+    assert!(!nodes.is_empty(), "a program needs at least one node");
+    for &n in nodes {
+        assert!(
+            sim.topology().node(n).is_compute(),
+            "programs run on compute nodes"
+        );
+    }
+    let (handle, finished) = AppHandle::new(sim.now());
+    let runner = Rc::new(RefCell::new(Runner {
+        program,
+        nodes: nodes.to_vec(),
+        iteration: 0,
+        phase: 0,
+        pending: 0,
+        finished,
+    }));
+    start_phase(sim, runner);
+    handle
+}
+
+fn start_phase(sim: &mut Sim, runner: Rc<RefCell<Runner>>) {
+    // Resolve the ops of the current phase (or finish).
+    enum Op {
+        Compute(NodeId, f64),
+        Transfer(NodeId, NodeId, f64),
+    }
+    let ops: Vec<Op> = {
+        let mut r = runner.borrow_mut();
+        loop {
+            if r.iteration == r.program.iterations {
+                r.finished.set(Some(sim.now()));
+                return;
+            }
+            if r.phase == r.program.phases.len() {
+                r.phase = 0;
+                r.iteration += 1;
+                continue;
+            }
+            let m = r.nodes.len();
+            let mf = m as f64;
+            let ops: Vec<Op> = match r.program.phases[r.phase] {
+                Phase::Compute { work } => {
+                    r.nodes.iter().map(|&n| Op::Compute(n, work / mf)).collect()
+                }
+                Phase::AllToAll { bits } => {
+                    let per_pair = bits / (mf * mf);
+                    let mut ops = Vec::with_capacity(m * (m - 1));
+                    for &a in &r.nodes {
+                        for &b in &r.nodes {
+                            if a != b {
+                                ops.push(Op::Transfer(a, b, per_pair));
+                            }
+                        }
+                    }
+                    ops
+                }
+                Phase::Gather { root, bits } => {
+                    let root = r.nodes[root];
+                    r.nodes
+                        .iter()
+                        .filter(|&&n| n != root)
+                        .map(|&n| Op::Transfer(n, root, bits / mf))
+                        .collect()
+                }
+                Phase::Broadcast { root, bits } => {
+                    let root = r.nodes[root];
+                    r.nodes
+                        .iter()
+                        .filter(|&&n| n != root)
+                        .map(|&n| Op::Transfer(root, n, bits / mf))
+                        .collect()
+                }
+            };
+            if ops.is_empty() {
+                // Single-node communication phases are no-ops.
+                r.phase += 1;
+                continue;
+            }
+            r.pending = ops.len();
+            break ops;
+        }
+    };
+    for op in ops {
+        let runner = runner.clone();
+        let on_done = move |sim: &mut Sim| {
+            let advance = {
+                let mut r = runner.borrow_mut();
+                r.pending -= 1;
+                if r.pending == 0 {
+                    r.phase += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if advance {
+                start_phase(sim, runner);
+            }
+        };
+        match op {
+            Op::Compute(n, work) => {
+                sim.start_compute(n, work, on_done);
+            }
+            Op::Transfer(a, b, bits) => {
+                sim.start_transfer(a, b, bits, on_done);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+
+    fn prog(iterations: usize, phases: Vec<Phase>) -> PhaseProgram {
+        PhaseProgram {
+            name: "test",
+            iterations,
+            phases,
+        }
+    }
+
+    #[test]
+    fn pure_compute_program_times_exactly() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // 2 iterations × 40 total work / 4 nodes = 20 seconds.
+        let h = launch_phased(&mut sim, prog(2, vec![Phase::Compute { work: 40.0 }]), &ids);
+        sim.run();
+        assert!((h.elapsed().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_to_all_time_scales_with_volume() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // 1600 Mbit matrix over 4 nodes: per pair 100 Mbit; each node's
+        // access link carries 3 × 100 Mbit in each direction at up to
+        // 100 Mbps, perfectly overlapped => 3 seconds.
+        let h = launch_phased(
+            &mut sim,
+            prog(
+                1,
+                vec![Phase::AllToAll {
+                    bits: 1_600.0 * MBPS,
+                }],
+            ),
+            &ids,
+        );
+        sim.run();
+        assert!(
+            (h.elapsed().unwrap() - 3.0).abs() < 1e-6,
+            "{:?}",
+            h.elapsed()
+        );
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest_node() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // A background job on one node halves its speed: phase takes 2x.
+        sim.start_compute(ids[0], 1e9, |_| {});
+        let h = launch_phased(&mut sim, prog(1, vec![Phase::Compute { work: 30.0 }]), &ids);
+        sim.run_for(100.0);
+        // 10 work per node; loaded node runs at 0.5 => 20 s.
+        assert!((h.elapsed().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_and_broadcast_hit_root_link() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // Gather 400 Mbit to root: three senders × 100 Mbit each converge
+        // on the root's access link => 3 seconds.
+        let h = launch_phased(
+            &mut sim,
+            prog(
+                1,
+                vec![
+                    Phase::Gather {
+                        root: 0,
+                        bits: 400.0 * MBPS,
+                    },
+                    Phase::Broadcast {
+                        root: 0,
+                        bits: 400.0 * MBPS,
+                    },
+                ],
+            ),
+            &ids,
+        );
+        sim.run();
+        assert!(
+            (h.elapsed().unwrap() - 6.0).abs() < 1e-6,
+            "{:?}",
+            h.elapsed()
+        );
+    }
+
+    #[test]
+    fn single_node_skips_communication() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_phased(
+            &mut sim,
+            prog(
+                3,
+                vec![Phase::Compute { work: 5.0 }, Phase::AllToAll { bits: 1e12 }],
+            ),
+            &ids[..1],
+        );
+        sim.run();
+        assert!((h.elapsed().unwrap() - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn totals_and_ideal_time() {
+        let p = prog(
+            4,
+            vec![
+                Phase::Compute { work: 10.0 },
+                Phase::AllToAll { bits: 100.0 },
+                Phase::Gather {
+                    root: 0,
+                    bits: 50.0,
+                },
+            ],
+        );
+        assert_eq!(p.total_work(), 40.0);
+        assert_eq!(p.total_bits(), 600.0);
+        let ideal = p.ideal_iteration_seconds(2, 100.0);
+        // compute 5 + a2a 100·(1/4)/100 + gather 50·(1/2)/100.
+        assert!((ideal - (5.0 + 0.25 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_finish_immediately() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_phased(&mut sim, prog(0, vec![Phase::Compute { work: 5.0 }]), &ids);
+        sim.run();
+        assert_eq!(h.elapsed(), Some(0.0));
+    }
+}

@@ -1,0 +1,301 @@
+//! Data-parallel pipeline programs.
+//!
+//! The paper's related work (Subhlok & Vondran, SPAA '96, cited as [23])
+//! studies latency–throughput tradeoffs for data-parallel pipelines; the
+//! application-specification interface of §2.1 is designed to describe
+//! such stage-structured programs too. This module models them: a chain
+//! of stages, one per node, with items streamed through in order. Each
+//! stage processes one item at a time; output transfer to the next stage
+//! overlaps the stage's next computation, so steady-state throughput is
+//! set by the slowest stage (compute or transfer), while end-to-end
+//! latency is the sum of the per-stage times — exactly the tension node
+//! selection must arbitrate when stages land on loaded nodes or congested
+//! links.
+
+use crate::handle::AppHandle;
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::NodeId;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// One pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStage {
+    /// Reference-CPU-seconds of processing per item.
+    pub work: f64,
+    /// Bits forwarded to the next stage per item (ignored for the last
+    /// stage).
+    pub output_bits: f64,
+}
+
+/// A pipeline program: `items` data items streamed through `stages`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineProgram {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Number of items streamed through the pipeline.
+    pub items: usize,
+    /// The stages, in order. Stage `i` runs on `nodes[i]` at launch.
+    pub stages: Vec<PipelineStage>,
+}
+
+impl PipelineProgram {
+    /// Total compute demand across all stages, reference-CPU-seconds.
+    pub fn total_work(&self) -> f64 {
+        self.items as f64 * self.stages.iter().map(|s| s.work).sum::<f64>()
+    }
+
+    /// Ideal steady-state seconds per item on unloaded reference nodes
+    /// with `bw` bits/s between adjacent stages: the slowest stage.
+    pub fn ideal_period(&self, bw: f64) -> f64 {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let transfer = if i + 1 < self.stages.len() {
+                    s.output_bits / bw
+                } else {
+                    0.0
+                };
+                s.work.max(transfer)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Ideal end-to-end latency of one item (empty pipeline): the sum of
+    /// stage and transfer times.
+    pub fn ideal_latency(&self, bw: f64) -> f64 {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.work
+                    + if i + 1 < self.stages.len() {
+                        s.output_bits / bw
+                    } else {
+                        0.0
+                    }
+            })
+            .sum()
+    }
+}
+
+struct StageState {
+    /// Items whose input has arrived and not yet been started.
+    ready: usize,
+    /// Whether the stage is currently processing an item.
+    busy: bool,
+    /// Items fully processed by this stage.
+    done: usize,
+}
+
+struct PipelineRun {
+    program: PipelineProgram,
+    nodes: Vec<NodeId>,
+    stages: Vec<StageState>,
+    finished: Rc<Cell<Option<SimTime>>>,
+}
+
+/// Launches a pipeline with stage `i` on `nodes[i]`. Panics unless
+/// `nodes.len() == program.stages.len()` and all nodes are compute nodes.
+pub fn launch_pipeline(sim: &mut Sim, program: PipelineProgram, nodes: &[NodeId]) -> AppHandle {
+    assert_eq!(
+        nodes.len(),
+        program.stages.len(),
+        "one node per pipeline stage"
+    );
+    assert!(!program.stages.is_empty(), "a pipeline needs stages");
+    for &n in nodes {
+        assert!(
+            sim.topology().node(n).is_compute(),
+            "programs run on compute nodes"
+        );
+    }
+    let (handle, finished) = AppHandle::new(sim.now());
+    if program.items == 0 {
+        finished.set(Some(sim.now()));
+        return handle;
+    }
+    let items = program.items;
+    let n_stages = program.stages.len();
+    let mut stages: Vec<StageState> = (0..n_stages)
+        .map(|i| StageState {
+            ready: if i == 0 { items } else { 0 },
+            busy: false,
+            done: 0,
+        })
+        .collect();
+    stages[0].ready = items;
+    let run = Rc::new(RefCell::new(PipelineRun {
+        program,
+        nodes: nodes.to_vec(),
+        stages,
+        finished,
+    }));
+    try_start(sim, run, 0);
+    handle
+}
+
+/// Starts the next item on stage `i` if it is idle and input is ready.
+fn try_start(sim: &mut Sim, run: Rc<RefCell<PipelineRun>>, stage: usize) {
+    let job = {
+        let mut r = run.borrow_mut();
+        let st = &mut r.stages[stage];
+        if st.busy || st.ready == 0 {
+            None
+        } else {
+            st.ready -= 1;
+            st.busy = true;
+            Some((r.nodes[stage], r.program.stages[stage].work))
+        }
+    };
+    let Some((node, work)) = job else {
+        return;
+    };
+    let run2 = run.clone();
+    sim.start_compute(node, work, move |sim| {
+        on_stage_complete(sim, run2, stage);
+    });
+}
+
+fn on_stage_complete(sim: &mut Sim, run: Rc<RefCell<PipelineRun>>, stage: usize) {
+    let (forward, all_done) = {
+        let mut r = run.borrow_mut();
+        r.stages[stage].busy = false;
+        r.stages[stage].done += 1;
+        let last = stage + 1 == r.stages.len();
+        let all_done = last && r.stages[stage].done == r.program.items;
+        let forward = if last {
+            None
+        } else {
+            Some((
+                r.nodes[stage],
+                r.nodes[stage + 1],
+                r.program.stages[stage].output_bits,
+            ))
+        };
+        (forward, all_done)
+    };
+    if all_done {
+        let r = run.borrow();
+        r.finished.set(Some(sim.now()));
+        return;
+    }
+    if let Some((src, dst, bits)) = forward {
+        let run2 = run.clone();
+        sim.start_transfer(src, dst, bits, move |sim| {
+            {
+                run2.borrow_mut().stages[stage + 1].ready += 1;
+            }
+            try_start(sim, run2.clone(), stage + 1);
+        });
+    }
+    // The stage itself can immediately take its next item (transfer
+    // overlaps computation).
+    try_start(sim, run, stage);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::{chain, star};
+    use nodesel_topology::units::MBPS;
+
+    fn prog(items: usize, works: &[f64], bits: f64) -> PipelineProgram {
+        PipelineProgram {
+            name: "test-pipe",
+            items,
+            stages: works
+                .iter()
+                .map(|&work| PipelineStage {
+                    work,
+                    output_bits: bits,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn throughput_set_by_slowest_stage() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // Stages 1s / 2s / 1s, negligible transfers: period 2s.
+        let h = launch_pipeline(&mut sim, prog(20, &[1.0, 2.0, 1.0], 0.0), &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        // fill (1 + 2 + 1) for the first item, then 19 more at period 2.
+        assert!((t - (4.0 + 19.0 * 2.0)).abs() < 1e-6, "elapsed {t}");
+    }
+
+    #[test]
+    fn transfer_can_be_the_bottleneck() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        // 0.1 s compute but 1-second transfers (100 Mbit on 100 Mbps).
+        let h = launch_pipeline(&mut sim, prog(10, &[0.1, 0.1], 100.0 * MBPS), &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        // Period = 1 s (transfer-bound); total ≈ fill + 9 periods ≈ 10.2.
+        assert!(t > 9.0 && t < 11.0, "elapsed {t}");
+    }
+
+    #[test]
+    fn loaded_stage_node_slows_the_whole_stream() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.start_compute(ids[1], 1e9, |_| {}); // stage 1 at half speed
+        let h = launch_pipeline(&mut sim, prog(20, &[1.0, 1.0, 1.0], 0.0), &ids);
+        sim.run_for(100.0);
+        let t = h.elapsed().unwrap();
+        // Stage 1 takes 2 s/item: period 2.
+        assert!(t > 38.0, "elapsed {t}");
+    }
+
+    #[test]
+    fn single_stage_pipeline_serializes() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_pipeline(&mut sim, prog(5, &[2.0], 0.0), &ids[..1]);
+        sim.run();
+        assert!((h.elapsed().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_items_finish_instantly() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_pipeline(&mut sim, prog(0, &[1.0, 1.0], 0.0), &ids);
+        sim.run();
+        assert_eq!(h.elapsed(), Some(0.0));
+    }
+
+    #[test]
+    fn ideal_metrics() {
+        let p = prog(10, &[1.0, 3.0, 2.0], 100.0 * MBPS);
+        assert_eq!(p.total_work(), 60.0);
+        // Transfers take 1 s; slowest stage is 3 s.
+        assert_eq!(p.ideal_period(100.0 * MBPS), 3.0);
+        // Latency: (1+1) + (3+1) + 2 = 8.
+        assert_eq!(p.ideal_latency(100.0 * MBPS), 8.0);
+    }
+
+    #[test]
+    fn runs_on_multi_hop_topology() {
+        let (topo, ids) = chain(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_pipeline(&mut sim, prog(8, &[0.5, 0.5, 0.5, 0.5], 10.0 * MBPS), &ids);
+        sim.run();
+        assert!(h.is_finished());
+        // Period 0.5 (compute-bound; transfers 0.1 s overlap).
+        let t = h.elapsed().unwrap();
+        assert!(t < 8.0, "elapsed {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per pipeline stage")]
+    fn stage_node_mismatch_panics() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        launch_pipeline(&mut sim, prog(1, &[1.0, 1.0], 0.0), &ids[..1]);
+    }
+}

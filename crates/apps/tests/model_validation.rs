@@ -1,0 +1,87 @@
+//! Model validation: the analytic performance estimates used by
+//! variable-node-count selection (§3.4) must track what the simulator
+//! actually measures, or sizing decisions would be meaningless.
+
+use nodesel_apps::{airshed::airshed_program, fft::fft_program, AppModel};
+use nodesel_simnet::Sim;
+use nodesel_topology::builders::star;
+use nodesel_topology::units::MBPS;
+
+/// Runs a phased program on `m` idle star nodes and returns the simulated
+/// runtime.
+fn simulate(app: &AppModel, m: usize) -> f64 {
+    let (topo, ids) = star(m, 100.0 * MBPS);
+    let mut sim = Sim::new(topo);
+    let handle = app.launch(&mut sim, &ids[..m]);
+    sim.run();
+    handle.elapsed().expect("finished")
+}
+
+#[test]
+fn fft_estimate_tracks_simulation_across_node_counts() {
+    let program = fft_program(8);
+    for m in [2usize, 4, 8] {
+        let simulated = simulate(&AppModel::Phased(program.clone()), m);
+        let estimated = program.estimated_runtime(m, 1.0, 100.0 * MBPS);
+        let rel = (estimated - simulated).abs() / simulated;
+        assert!(
+            rel < 0.15,
+            "m={m}: estimated {estimated:.2}, simulated {simulated:.2} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn airshed_estimate_tracks_simulation() {
+    let program = airshed_program(2);
+    for m in [3usize, 5] {
+        let simulated = simulate(&AppModel::Phased(program.clone()), m);
+        let estimated = program.estimated_runtime(m, 1.0, 100.0 * MBPS);
+        let rel = (estimated - simulated).abs() / simulated;
+        assert!(
+            rel < 0.15,
+            "m={m}: estimated {estimated:.2}, simulated {simulated:.2} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn estimate_responds_to_degraded_cpu_like_the_simulator() {
+    // One background job on every node halves min_cpu; both the estimate
+    // and the simulation should roughly double the compute-bound runtime.
+    let program = fft_program(8);
+    let m = 4;
+    let (topo, ids) = star(m, 100.0 * MBPS);
+    let mut sim = Sim::new(topo);
+    for &n in &ids {
+        sim.start_compute(n, 1e9, |_| {});
+    }
+    let handle = AppModel::Phased(program.clone()).launch(&mut sim, &ids);
+    sim.run_for(1e6);
+    let simulated = handle.elapsed().expect("finished");
+    let estimated = program.estimated_runtime(m, 0.5, 100.0 * MBPS);
+    let rel = (estimated - simulated).abs() / simulated;
+    assert!(
+        rel < 0.15,
+        "estimated {estimated:.2}, simulated {simulated:.2} (rel {rel:.2})"
+    );
+}
+
+#[test]
+fn estimate_responds_to_degraded_bandwidth() {
+    // Throttle the network: transposes dominate, and the estimate must
+    // follow. Use a 10 Mbps star so communication is 10x slower.
+    let program = fft_program(8);
+    let m = 4;
+    let (topo, ids) = star(m, 10.0 * MBPS);
+    let mut sim = Sim::new(topo);
+    let handle = AppModel::Phased(program.clone()).launch(&mut sim, &ids);
+    sim.run();
+    let simulated = handle.elapsed().expect("finished");
+    let estimated = program.estimated_runtime(m, 1.0, 10.0 * MBPS);
+    let rel = (estimated - simulated).abs() / simulated;
+    assert!(
+        rel < 0.15,
+        "estimated {estimated:.2}, simulated {simulated:.2} (rel {rel:.2})"
+    );
+}

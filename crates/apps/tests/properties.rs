@@ -1,0 +1,125 @@
+//! Property tests of the workload models: scaling laws and monotonicity
+//! that must hold for the Table 1 comparisons to be meaningful.
+
+use nodesel_apps::{launch_master_slave, launch_phased, MasterSlaveProgram, Phase, PhaseProgram};
+use nodesel_simnet::Sim;
+use nodesel_topology::builders::star;
+use nodesel_topology::units::MBPS;
+use proptest::prelude::*;
+
+fn compute_prog(iterations: usize, work: f64) -> PhaseProgram {
+    PhaseProgram {
+        name: "prop",
+        iterations,
+        phases: vec![Phase::Compute { work }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure compute programs scale perfectly on idle homogeneous nodes:
+    /// runtime = iterations × work / m, exactly.
+    #[test]
+    fn compute_programs_scale_exactly(iterations in 1usize..6, work in 1.0f64..50.0, m in 1usize..8) {
+        let (topo, ids) = star(m, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = launch_phased(&mut sim, compute_prog(iterations, work), &ids);
+        sim.run();
+        let expected = iterations as f64 * work / m as f64;
+        let t = h.elapsed().unwrap();
+        prop_assert!((t - expected).abs() < 1e-6, "t {t}, expected {expected}");
+    }
+
+    /// Adding background load never speeds a phased program up, and a
+    /// loaded run is slower than an idle one by at least the slowest
+    /// node's sharing factor on the compute part.
+    #[test]
+    fn load_slows_phased_programs(jobs in 1usize..5, work in 5.0f64..40.0) {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let idle = {
+            let mut sim = Sim::new(topo.clone());
+            let h = launch_phased(&mut sim, compute_prog(2, work), &ids);
+            sim.run();
+            h.elapsed().unwrap()
+        };
+        let loaded = {
+            let mut sim = Sim::new(topo);
+            for _ in 0..jobs {
+                sim.start_compute(ids[0], 1e9, |_| {});
+            }
+            let h = launch_phased(&mut sim, compute_prog(2, work), &ids);
+            sim.run_for(1e6);
+            h.elapsed().unwrap()
+        };
+        // Barrier waits for ids[0], running at 1/(jobs+1) speed.
+        let expected = idle * (jobs as f64 + 1.0);
+        prop_assert!(loaded >= idle, "loaded {loaded} < idle {idle}");
+        prop_assert!((loaded - expected).abs() < 1e-6,
+            "loaded {loaded}, expected {expected}");
+    }
+
+    /// Master–slave throughput scales with the number of idle slaves
+    /// (within transfer overhead), and never beats perfect scaling.
+    #[test]
+    fn master_slave_scales_with_slaves(slaves in 1usize..6, units in 6usize..30) {
+        let (topo, ids) = star(slaves + 1, 100.0 * MBPS);
+        let prog = MasterSlaveProgram {
+            name: "prop-ms",
+            units,
+            unit_work: 1.0,
+            input_bits: 0.1 * MBPS,
+            output_bits: 0.1 * MBPS,
+            master_work: 0.0,
+        };
+        let mut sim = Sim::new(topo);
+        let h = launch_master_slave(&mut sim, prog, &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        // Lower bound: perfect split of compute across slaves.
+        let ideal = (units as f64 / slaves as f64).ceil();
+        prop_assert!(t >= ideal - 1e-9, "t {t} beats ideal {ideal}");
+        // Upper bound: ideal plus generous transfer/pipeline overhead.
+        prop_assert!(t <= ideal + units as f64 * 0.2 + 1.0, "t {t} vs ideal {ideal}");
+    }
+
+    /// Identical launches produce identical runtimes (model determinism).
+    #[test]
+    fn app_models_are_deterministic(iterations in 1usize..5, bits in 1.0f64..100.0) {
+        let run = || {
+            let (topo, ids) = star(4, 100.0 * MBPS);
+            let mut sim = Sim::new(topo);
+            let prog = PhaseProgram {
+                name: "det",
+                iterations,
+                phases: vec![
+                    Phase::Compute { work: 3.0 },
+                    Phase::AllToAll { bits: bits * MBPS },
+                    Phase::Gather { root: 0, bits: bits * MBPS },
+                ],
+            };
+            let h = launch_phased(&mut sim, prog, &ids);
+            sim.run();
+            h.elapsed().unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Communication-heavy phases respect the physics floor: an all-to-all
+    /// of B total bits on an m-node star cannot beat the access-link bound.
+    #[test]
+    fn all_to_all_respects_bandwidth_floor(m in 2usize..7, bits in 10.0f64..500.0) {
+        let (topo, ids) = star(m, 100.0 * MBPS);
+        let prog = PhaseProgram {
+            name: "a2a",
+            iterations: 1,
+            phases: vec![Phase::AllToAll { bits: bits * MBPS }],
+        };
+        let mut sim = Sim::new(topo);
+        let h = launch_phased(&mut sim, prog.clone(), &ids);
+        sim.run();
+        let t = h.elapsed().unwrap();
+        let floor = prog.ideal_iteration_seconds(m, 100.0 * MBPS);
+        prop_assert!(t >= floor - 1e-9, "t {t} beats physics floor {floor}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 1** (a Remos logical-topology graph of a simple
+//! network) and benchmarks the Remos query path: topology snapshots and
+//! flow queries against live measurement state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::dot::to_dot;
+use nodesel_topology::testbeds::figure1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Regenerate the figure once: an annotated topology under live traffic.
+    let f = figure1();
+    let hosts = f.hosts.clone();
+    let mut sim = Sim::new(f.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    sim.start_transfer(hosts[0], hosts[2], 1e15, |_| {});
+    sim.start_compute(hosts[3], 1e9, |_| {});
+    sim.run_for(120.0);
+    let snapshot = remos.logical_topology(Estimator::Latest);
+    eprintln!("\n=== Figure 1: Remos logical topology ===");
+    eprintln!("{}", to_dot(&snapshot, &[]));
+
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("logical_topology", |b| {
+        b.iter(|| black_box(remos.logical_topology(Estimator::Latest)))
+    });
+    group.bench_function("flow_query_all_pairs", |b| {
+        let pairs: Vec<_> = hosts
+            .iter()
+            .flat_map(|&a| hosts.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        b.iter(|| black_box(remos.flow_query(&pairs, Estimator::Latest).unwrap()))
+    });
+    group.bench_function("host_query", |b| {
+        b.iter(|| black_box(remos.host_query(&hosts, Estimator::WindowMean).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

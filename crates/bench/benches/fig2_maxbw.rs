@@ -1,0 +1,35 @@
+//! Regenerates **Figure 2** (the max-bandwidth selection algorithm): runs
+//! it on a conditioned testbed, shows the selected set, and benchmarks the
+//! algorithm across topology sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nodesel_bench::conditioned_tree;
+use nodesel_core::{max_bandwidth, Constraints};
+use nodesel_topology::units::MBPS;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Demonstrate the algorithm once on a conditioned tree.
+    let (topo, _) = conditioned_tree(7, 40);
+    let sel = max_bandwidth(&topo, 6, &Constraints::none()).unwrap();
+    eprintln!("\n=== Figure 2: max-bandwidth selection (40-node tree, m=6) ===");
+    eprintln!(
+        "selected {:?}; min pairwise available bandwidth {:.1} Mbps after {} edge-deletion rounds",
+        sel.nodes.iter().map(|n| n.index()).collect::<Vec<_>>(),
+        sel.quality.min_bw / MBPS,
+        sel.iterations
+    );
+
+    let mut group = c.benchmark_group("fig2_maxbw");
+    for nodes in [20usize, 40, 80, 160, 320] {
+        let (topo, ids) = conditioned_tree(7, nodes);
+        let m = 6.min(ids.len());
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(max_bandwidth(&topo, m, &Constraints::none()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

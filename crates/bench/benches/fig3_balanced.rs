@@ -1,0 +1,54 @@
+//! Regenerates **Figure 3** (the balanced computation/communication
+//! selection algorithm): demonstrates it on a conditioned testbed and
+//! benchmarks it across topology sizes and both greedy policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nodesel_bench::conditioned_tree;
+use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let (topo, _) = conditioned_tree(9, 40);
+    let sel = balanced(
+        &topo,
+        6,
+        Weights::EQUAL,
+        &Constraints::none(),
+        None,
+        GreedyPolicy::Sweep,
+    )
+    .unwrap();
+    eprintln!("\n=== Figure 3: balanced selection (40-node tree, m=6) ===");
+    eprintln!(
+        "selected {:?}; min cpu {:.2}, min bw fraction {:.2}, balanced score {:.2} ({} rounds)",
+        sel.nodes.iter().map(|n| n.index()).collect::<Vec<_>>(),
+        sel.quality.min_cpu,
+        sel.quality.min_bwfraction,
+        sel.score,
+        sel.iterations
+    );
+
+    let mut group = c.benchmark_group("fig3_balanced");
+    for nodes in [20usize, 40, 80, 160, 320] {
+        let (topo, ids) = conditioned_tree(9, nodes);
+        let m = 6.min(ids.len());
+        for policy in [GreedyPolicy::Faithful, GreedyPolicy::Sweep] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            balanced(&topo, m, Weights::EQUAL, &Constraints::none(), None, policy)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

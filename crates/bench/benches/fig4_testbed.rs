@@ -1,0 +1,52 @@
+//! Regenerates **Figure 4** (the CMU testbed with automatically selected
+//! nodes avoiding an m-16 → m-18 traffic stream) and benchmarks the
+//! end-to-end scenario: measurement, selection and verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
+use nodesel_experiments::run_fig4_scenario;
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let outcome = run_fig4_scenario();
+    eprintln!("\n=== Figure 4: selection avoiding the m-16 -> m-18 stream ===");
+    eprintln!("selected (bold in the figure): {:?}", outcome.selected);
+    eprintln!("routes avoid the stream: {}", outcome.avoids_stream);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+    group.bench_function("full_scenario", |b| {
+        b.iter(|| black_box(run_fig4_scenario()))
+    });
+
+    // Selection alone, on the measured snapshot (the part that would run
+    // inside a scheduler).
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
+    sim.run_for(60.0);
+    let snapshot = remos.logical_topology(Estimator::Latest);
+    group.bench_function("selection_on_testbed", |b| {
+        b.iter(|| {
+            black_box(
+                balanced(
+                    &snapshot,
+                    4,
+                    Weights::EQUAL,
+                    &Constraints::none(),
+                    None,
+                    GreedyPolicy::Sweep,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Checks the §3.2 complexity claim: selection runs in O(n²) in the
+//! topology size (compute + network nodes). Prints a sweep with the fitted
+//! growth exponent and benchmarks each size for the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nodesel_bench::conditioned_tree;
+use nodesel_core::{balanced, max_compute, Constraints, GreedyPolicy, Weights};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench_scaling(c: &mut Criterion) {
+    // One-shot sweep with a log-log fit, as the experiment artifact.
+    let sizes = [50usize, 100, 200, 400, 800];
+    let mut pts = Vec::new();
+    eprintln!("\n=== Complexity check (balanced selection, m = 8) ===");
+    for &n in &sizes {
+        let (topo, ids) = conditioned_tree(11, n);
+        let m = 8.min(ids.len());
+        let reps = 5;
+        let t = Instant::now();
+        for _ in 0..reps {
+            balanced(
+                &topo,
+                m,
+                Weights::EQUAL,
+                &Constraints::none(),
+                None,
+                GreedyPolicy::Sweep,
+            )
+            .unwrap();
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        eprintln!("  n = {n:>4}: {ms:>9.3} ms");
+        pts.push((n as f64, ms));
+    }
+    let slope = (pts[pts.len() - 1].1 / pts[0].1).ln() / (pts[pts.len() - 1].0 / pts[0].0).ln();
+    eprintln!("  growth exponent ≈ {slope:.2} (paper claims O(n²))");
+
+    let mut group = c.benchmark_group("scaling");
+    for &n in &[50usize, 100, 200, 400] {
+        let (topo, ids) = conditioned_tree(11, n);
+        let m = 8.min(ids.len());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("balanced", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    balanced(
+                        &topo,
+                        m,
+                        Weights::EQUAL,
+                        &Constraints::none(),
+                        None,
+                        GreedyPolicy::Sweep,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("max_compute", n), &n, |b, _| {
+            b.iter(|| black_box(max_compute(&topo, m, &Constraints::none()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Substrate bench: raw event throughput of the discrete-event simulator
+//! under Table-1-like activity (generators + application traffic on the
+//! CMU testbed). Not a paper artifact; it bounds how much experimentation
+//! per CPU-second the harness can deliver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    // Measure how many simulated seconds of a busy testbed run per call.
+    let mut group = c.benchmark_group("simnet");
+    let sim_seconds = 600.0;
+    // Count events once for the throughput label.
+    let events = {
+        let tb = cmu_testbed();
+        let mut sim = Sim::new(tb.topo.clone());
+        install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
+        install_traffic(&mut sim, &tb.machines, TrafficConfig::paper_defaults(), 2);
+        sim.run_for(sim_seconds);
+        sim.stats().events
+    };
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("busy_testbed_600s", |b| {
+        b.iter(|| {
+            let tb = cmu_testbed();
+            let mut sim = Sim::new(tb.topo.clone());
+            install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
+            install_traffic(&mut sim, &tb.machines, TrafficConfig::paper_defaults(), 2);
+            sim.run_for(sim_seconds);
+            black_box(sim.stats())
+        })
+    });
+    group.finish();
+    eprintln!("\nbusy testbed, {sim_seconds} simulated seconds: {events} events");
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates **Table 1** (the paper's only table): application
+//! performance under computation load and network traffic with random vs
+//! automatically selected nodes, then benchmarks the per-trial cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nodesel_apps::AppModel;
+use nodesel_experiments::table1::{paper_table1, run_table1, Table1Config};
+use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the artifact once, with a healthy repetition count.
+    let config = Table1Config {
+        repetitions: 24,
+        ..Table1Config::default()
+    };
+    let table = run_table1(&config);
+    eprintln!(
+        "\n=== Table 1 (measured, {} reps/cell) ===",
+        config.repetitions
+    );
+    eprintln!("{table}");
+    eprintln!("=== Table 1 (paper) ===");
+    for row in &table.rows {
+        if let Some(p) = paper_table1(&row.app) {
+            eprintln!(
+                "{:<10} random {:?} auto {:?} ref {}",
+                row.app, p.random, p.auto, p.reference
+            );
+        }
+    }
+
+    // Benchmark the unit of work: one full trial (warmup + generators +
+    // selection + application run).
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let suite = AppModel::paper_suite();
+    for (app, m) in &suite {
+        group.bench_function(format!("trial/{}", app.name()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_trial(
+                    app,
+                    *m,
+                    Strategy::Automatic,
+                    Condition::Both,
+                    &TrialConfig::default(),
+                    seed,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared helpers for the table/figure benches.
+//!
+//! Each bench in `benches/` regenerates one artifact of the paper's
+//! evaluation (printed once, before measurement) and then measures the
+//! computation that produces it, so `cargo bench` doubles as the
+//! reproduction harness. The helpers here build the standard randomized
+//! inputs the benches sweep over.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use nodesel_topology::builders::{random_tree, randomize_conditions};
+use nodesel_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded random tree (half compute, half network nodes) with random
+/// load and traffic conditions — the standard input for the algorithm
+/// benches.
+pub fn conditioned_tree(seed: u64, nodes: usize) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let computes = nodes / 2;
+    let (mut topo, ids) = random_tree(&mut rng, computes, nodes - computes, 1e8);
+    randomize_conditions(&mut topo, &mut rng, 3.0, 0.9);
+    (topo, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditioned_tree_is_connected_and_seeded() {
+        let (a, ids) = conditioned_tree(5, 40);
+        assert_eq!(a.node_count(), 40);
+        assert_eq!(ids.len(), 20);
+        assert!(a.is_connected());
+        let (b, _) = conditioned_tree(5, 40);
+        // Same seed, same conditions.
+        for n in a.compute_nodes() {
+            assert_eq!(a.node(n).load_avg(), b.node(n).load_avg());
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Library behind the `nodesel` command-line tool.
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string (plus optional file side effects handled in `main`), so the
+//! full command surface is unit-testable without spawning processes.
+//!
+//! Commands:
+//!
+//! * `generate <kind> [params] [--seed S]` — emit a topology as JSON
+//!   (kinds: `testbed`, `figure1`, `star N`, `dumbbell N`,
+//!   `tree DEPTH FANOUT`, `ring N`, `grid R C`, `random COMPUTE NETWORK`);
+//! * `perturb <topo.json> --seed S [--max-load L] [--max-util U]` —
+//!   randomize conditions on an existing topology;
+//! * `inspect <topo.json>` — print structural metrics;
+//! * `select <topo.json> -m N [options]` — run the selection algorithms.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use nodesel_core::{
+    balanced, max_bandwidth, max_compute, pairwise_latency, select_within_latency, Constraints,
+    GreedyPolicy, Selection, Weights,
+};
+use nodesel_topology::builders;
+use nodesel_topology::io::{from_json, nodes_by_name, to_json};
+use nodesel_topology::metrics::metrics;
+use nodesel_topology::testbeds;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// CLI errors: user-facing messages.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nodesel — automatic node selection for applications on shared networks
+
+USAGE:
+  nodesel generate <kind> [params] [--seed S]      emit topology JSON to stdout
+      kinds: testbed | figure1 | star N | dumbbell N | tree DEPTH FANOUT
+             | ring N | grid ROWS COLS | random COMPUTE NETWORK
+  nodesel perturb <topo.json> --seed S [--max-load L] [--max-util U]
+                                                   randomize conditions, emit JSON
+  nodesel inspect <topo.json>                      print structural metrics
+  nodesel select <topo.json> -m N [options]        run node selection
+      --objective compute|comm|balanced   (default balanced)
+      --compute-priority F | --comm-priority F
+      --min-bw MBPS        pairwise bandwidth floor
+      --min-cpu F          per-node available-CPU floor
+      --max-latency MS     pairwise latency bound (tree-exact)
+      --require a,b        names that must be selected
+      --allow a,b,c        restrict the candidate pool
+      --faithful           use the verbatim Figure 3 termination rule
+      --dot                also print a Graphviz rendering
+      --json               machine-readable output
+";
+
+/// Simple positional/flag argument cursor.
+struct Args<'a> {
+    items: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Args { items, pos: 0 }
+    }
+
+    fn next_positional(&mut self) -> Option<&'a str> {
+        while self.pos < self.items.len() {
+            let item = &self.items[self.pos];
+            self.pos += 1;
+            if !item.starts_with("--") && item != "-m" {
+                return Some(item);
+            }
+            // Skip a flag's value if it takes one.
+            if flag_takes_value(item) {
+                self.pos += 1;
+            }
+        }
+        None
+    }
+}
+
+fn flag_takes_value(flag: &str) -> bool {
+    matches!(
+        flag,
+        "-m" | "--seed"
+            | "--max-load"
+            | "--max-util"
+            | "--objective"
+            | "--compute-priority"
+            | "--comm-priority"
+            | "--min-bw"
+            | "--min-cpu"
+            | "--max-latency"
+            | "--require"
+            | "--allow"
+    )
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_f64(args: &[String], flag: &str) -> Result<Option<f64>, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| err(format!("{flag} expects a number, got {v:?}"))),
+    }
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Result<Option<usize>, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| err(format!("{flag} expects an integer, got {v:?}"))),
+    }
+}
+
+/// `generate` command.
+pub fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let mut pos = Args::new(args);
+    let kind = pos.next_positional().ok_or_else(|| err(USAGE))?;
+    let seed = parse_usize(args, "--seed")?.unwrap_or(0) as u64;
+    let need = |n: Option<&str>, what: &str| -> Result<usize, CliError> {
+        n.ok_or_else(|| err(format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|_| err(format!("{what} must be an integer")))
+    };
+    let topo: Topology = match kind {
+        "testbed" => testbeds::cmu_testbed().topo,
+        "figure1" => testbeds::figure1().topo,
+        "star" => {
+            let n = need(pos.next_positional(), "leaf count")?;
+            builders::star(n, builders::DEFAULT_CAPACITY).0
+        }
+        "dumbbell" => {
+            let n = need(pos.next_positional(), "per-side count")?;
+            builders::dumbbell(n, builders::DEFAULT_CAPACITY, builders::DEFAULT_CAPACITY).0
+        }
+        "tree" => {
+            let d = need(pos.next_positional(), "depth")?;
+            let f = need(pos.next_positional(), "fanout")?;
+            builders::switch_tree(d, f, builders::DEFAULT_CAPACITY).0
+        }
+        "ring" => {
+            let n = need(pos.next_positional(), "node count")?;
+            builders::ring(n, builders::DEFAULT_CAPACITY).0
+        }
+        "grid" => {
+            let r = need(pos.next_positional(), "rows")?;
+            let c = need(pos.next_positional(), "cols")?;
+            builders::grid(r, c, builders::DEFAULT_CAPACITY).0
+        }
+        "random" => {
+            let compute = need(pos.next_positional(), "compute count")?;
+            let network = need(pos.next_positional(), "network count")?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            builders::random_tree(&mut rng, compute, network, builders::DEFAULT_CAPACITY).0
+        }
+        other => return Err(err(format!("unknown topology kind {other:?}\n{USAGE}"))),
+    };
+    Ok(to_json(&topo))
+}
+
+/// `perturb` command: randomize conditions on a topology JSON.
+pub fn cmd_perturb(json: &str, args: &[String]) -> Result<String, CliError> {
+    let mut topo = from_json(json).map_err(|e| err(e.to_string()))?;
+    let seed = parse_usize(args, "--seed")?.unwrap_or(0) as u64;
+    let max_load = parse_f64(args, "--max-load")?.unwrap_or(3.0);
+    let max_util = parse_f64(args, "--max-util")?.unwrap_or(0.9);
+    if !(0.0..=1.0).contains(&max_util) {
+        return Err(err("--max-util must be in [0, 1]"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    builders::randomize_conditions(&mut topo, &mut rng, max_load, max_util);
+    Ok(to_json(&topo))
+}
+
+/// `inspect` command.
+pub fn cmd_inspect(json: &str) -> Result<String, CliError> {
+    let topo = from_json(json).map_err(|e| err(e.to_string()))?;
+    Ok(metrics(&topo).to_string())
+}
+
+/// `select` command.
+pub fn cmd_select(json: &str, args: &[String]) -> Result<String, CliError> {
+    let topo = from_json(json).map_err(|e| err(e.to_string()))?;
+    let m = parse_usize(args, "-m")?.ok_or_else(|| err("missing -m <count>"))?;
+    let objective = flag_value(args, "--objective").unwrap_or("balanced");
+    let policy = if flag_present(args, "--faithful") {
+        GreedyPolicy::Faithful
+    } else {
+        GreedyPolicy::Sweep
+    };
+
+    let mut weights = Weights::EQUAL;
+    if let Some(f) = parse_f64(args, "--compute-priority")? {
+        weights = Weights::compute_priority(f);
+    }
+    if let Some(f) = parse_f64(args, "--comm-priority")? {
+        weights = Weights::comm_priority(f);
+    }
+
+    let mut constraints = Constraints::none();
+    if let Some(bw) = parse_f64(args, "--min-bw")? {
+        constraints.min_bandwidth = Some(bw * MBPS);
+    }
+    constraints.min_cpu = parse_f64(args, "--min-cpu")?;
+    if let Some(names) = flag_value(args, "--require") {
+        let names: Vec<&str> = names.split(',').collect();
+        constraints.required = nodes_by_name(&topo, &names).map_err(|e| err(e.to_string()))?;
+    }
+    if let Some(names) = flag_value(args, "--allow") {
+        let names: Vec<&str> = names.split(',').collect();
+        let ids = nodes_by_name(&topo, &names).map_err(|e| err(e.to_string()))?;
+        constraints.allowed = Some(ids.into_iter().collect::<HashSet<_>>());
+    }
+
+    let selection: Selection = if let Some(ms) = parse_f64(args, "--max-latency")? {
+        select_within_latency(&topo, m, ms / 1e3, weights, &constraints, policy)
+            .map_err(|e| err(e.to_string()))?
+    } else {
+        match objective {
+            "compute" => max_compute(&topo, m, &constraints).map_err(|e| err(e.to_string()))?,
+            "comm" | "communication" => {
+                max_bandwidth(&topo, m, &constraints).map_err(|e| err(e.to_string()))?
+            }
+            "balanced" => balanced(&topo, m, weights, &constraints, None, policy)
+                .map_err(|e| err(e.to_string()))?,
+            other => return Err(err(format!("unknown objective {other:?}"))),
+        }
+    };
+
+    let names: Vec<String> = selection
+        .nodes
+        .iter()
+        .map(|&n| topo.node(n).name().to_string())
+        .collect();
+    let routes = topo.routes();
+    let latency_ms = pairwise_latency(&routes, &selection.nodes) * 1e3;
+
+    if flag_present(args, "--json") {
+        let out = serde_json::json!({
+            "nodes": names,
+            "min_cpu": selection.quality.min_cpu,
+            "min_bw_mbps": selection.quality.min_bw / MBPS,
+            "min_bw_fraction": selection.quality.min_bwfraction,
+            "score": selection.score,
+            "max_pairwise_latency_ms": latency_ms,
+            "iterations": selection.iterations,
+        });
+        return Ok(serde_json::to_string_pretty(&out).expect("json"));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("selected {} nodes: {}\n", m, names.join(", ")));
+    out.push_str(&format!(
+        "min cpu: {:.3}   min bandwidth: {:.1} Mbps (fraction {:.3})\n",
+        selection.quality.min_cpu,
+        selection.quality.min_bw / MBPS,
+        selection.quality.min_bwfraction
+    ));
+    out.push_str(&format!(
+        "balanced score: {:.3}   max pairwise latency: {:.3} ms   rounds: {}\n",
+        selection.score, latency_ms, selection.iterations
+    ));
+    if flag_present(args, "--dot") {
+        out.push('\n');
+        out.push_str(&nodesel_topology::dot::to_dot(&topo, &selection.nodes));
+    }
+    Ok(out)
+}
+
+/// Dispatches a full command line (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "perturb" | "inspect" | "select" => {
+            let mut pos = Args::new(rest);
+            let path = pos
+                .next_positional()
+                .ok_or_else(|| err("missing topology file"))?;
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read {path:?}: {e}")))?;
+            match cmd.as_str() {
+                "perturb" => cmd_perturb(&json, rest),
+                "inspect" => cmd_inspect(&json),
+                "select" => cmd_select(&json, rest),
+                _ => unreachable!(),
+            }
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_kinds() {
+        for args in [
+            vec!["testbed"],
+            vec!["figure1"],
+            vec!["star", "5"],
+            vec!["dumbbell", "3"],
+            vec!["tree", "1", "3"],
+            vec!["ring", "5"],
+            vec!["grid", "2", "3"],
+            vec!["random", "5", "3", "--seed", "7"],
+        ] {
+            let json = cmd_generate(&s(&args)).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+            let topo = from_json(&json).expect("valid JSON out");
+            assert!(topo.node_count() > 0, "{args:?}");
+        }
+    }
+
+    #[test]
+    fn generate_rejects_bad_input() {
+        assert!(cmd_generate(&s(&["nope"])).is_err());
+        assert!(cmd_generate(&s(&["star"])).is_err());
+        assert!(cmd_generate(&s(&["star", "x"])).is_err());
+        assert!(cmd_generate(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn perturb_is_seeded_and_bounded() {
+        let json = cmd_generate(&s(&["star", "6"])).unwrap();
+        let a = cmd_perturb(&json, &s(&["--seed", "3"])).unwrap();
+        let b = cmd_perturb(&json, &s(&["--seed", "3"])).unwrap();
+        assert_eq!(a, b);
+        let c = cmd_perturb(&json, &s(&["--seed", "4"])).unwrap();
+        assert_ne!(a, c);
+        let topo = from_json(&a).unwrap();
+        for n in topo.compute_nodes() {
+            assert!(topo.node(n).load_avg() <= 3.0);
+        }
+        assert!(cmd_perturb(&json, &s(&["--max-util", "2.0"])).is_err());
+    }
+
+    #[test]
+    fn inspect_summarizes() {
+        let json = cmd_generate(&s(&["testbed"])).unwrap();
+        let out = cmd_inspect(&json).unwrap();
+        assert!(out.contains("18 compute"));
+        assert!(out.contains("diameter 4"));
+    }
+
+    #[test]
+    fn select_balanced_text_and_json() {
+        let json = cmd_generate(&s(&["testbed"])).unwrap();
+        let json = cmd_perturb(&json, &s(&["--seed", "5"])).unwrap();
+        let out = cmd_select(&json, &s(&["-m", "4"])).unwrap();
+        assert!(out.contains("selected 4 nodes"));
+        let out = cmd_select(&json, &s(&["-m", "4", "--json"])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["nodes"].as_array().unwrap().len(), 4);
+        assert!(v["score"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn select_objectives_and_flags() {
+        let json = cmd_generate(&s(&["testbed"])).unwrap();
+        for obj in ["compute", "comm", "balanced"] {
+            let out = cmd_select(&json, &s(&["-m", "3", "--objective", obj])).unwrap();
+            assert!(out.contains("selected 3 nodes"), "{obj}");
+        }
+        assert!(cmd_select(&json, &s(&["-m", "3", "--objective", "nope"])).is_err());
+        assert!(cmd_select(&json, &s(&["--objective", "balanced"])).is_err()); // no -m
+                                                                               // Constraints.
+        let out = cmd_select(
+            &json,
+            &s(&["-m", "4", "--require", "m-7", "--min-bw", "50"]),
+        )
+        .unwrap();
+        assert!(out.contains("m-7"));
+        // Latency bound keeps the set within one router's subtree
+        // (two access hops = 0.2 ms; crossing a trunk adds more).
+        let out = cmd_select(&json, &s(&["-m", "4", "--max-latency", "0.25", "--json"])).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["max_pairwise_latency_ms"].as_f64().unwrap() <= 0.25);
+        // Dot output.
+        let out = cmd_select(&json, &s(&["-m", "2", "--dot"])).unwrap();
+        assert!(out.contains("graph topology {"));
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_unknown() {
+        assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["select", "/nonexistent.json", "-m", "2"])).is_err());
+    }
+    #[test]
+    fn run_handles_files_end_to_end() {
+        // Full file-based flow through the dispatcher.
+        let dir = std::env::temp_dir().join(format!("nodesel-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("topo.json");
+        let json = cmd_generate(&s(&["dumbbell", "3"])).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(&[
+            "select".to_string(),
+            path_str.clone(),
+            "-m".to_string(),
+            "4".to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("selected 4 nodes"));
+        let out = run(&["inspect".to_string(), path_str]).unwrap();
+        assert!(out.contains("6 compute"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! The `nodesel` command-line tool. All logic lives in `nodesel_cli`;
+//! this binary only handles process I/O.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nodesel_cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Baseline selection strategies the paper compares against.
+//!
+//! The Table 1 experiments alternate the automatic procedure with **random
+//! node selection**, noting that "random node selection and node selection
+//! based on static network properties give virtually identical performance
+//! on a small testbed with all high speed links", so random also stands in
+//! for static strategies. Both baselines are provided.
+
+use crate::quality::evaluate;
+use crate::request::Constraints;
+use crate::weights::Weights;
+use crate::SelectError;
+use crate::{balanced, GreedyPolicy, Selection};
+use nodesel_topology::{NodeId, Topology};
+use rand::Rng;
+
+/// Selects `m` compute nodes uniformly at random (without regard to load or
+/// traffic), as the paper's experimental baseline.
+pub fn random_selection<R: Rng + ?Sized>(
+    topo: &Topology,
+    m: usize,
+    rng: &mut R,
+) -> Result<Selection, SelectError> {
+    if m == 0 {
+        return Err(SelectError::ZeroCount);
+    }
+    let mut pool: Vec<NodeId> = topo.compute_nodes().collect();
+    if pool.len() < m {
+        return Err(SelectError::NotEnoughNodes {
+            eligible: pool.len(),
+            requested: m,
+        });
+    }
+    // Partial Fisher-Yates: the first m slots become the sample.
+    for i in 0..m {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut nodes: Vec<NodeId> = pool[..m].to_vec();
+    nodes.sort_unstable();
+    let routes = topo.routes();
+    let quality = evaluate(topo, &routes, &nodes, None);
+    Ok(Selection {
+        score: quality.score(Weights::EQUAL),
+        nodes,
+        quality,
+        iterations: 0,
+    })
+}
+
+/// Static selection: the balanced algorithm applied to the *unloaded*
+/// topology (capacities and structure only). This is what a scheduler that
+/// knows the network map but not its dynamic state would pick.
+pub fn static_selection(topo: &Topology, m: usize) -> Result<Selection, SelectError> {
+    let mut clean = topo.clone();
+    for n in clean.compute_nodes().collect::<Vec<_>>() {
+        clean.set_load_avg(n, 0.0);
+    }
+    for e in clean.edge_ids().collect::<Vec<_>>() {
+        for dir in [
+            nodesel_topology::Direction::AtoB,
+            nodesel_topology::Direction::BtoA,
+        ] {
+            clean.set_link_used(e, dir, 0.0);
+        }
+    }
+    let sel = balanced(
+        &clean,
+        m,
+        Weights::EQUAL,
+        &Constraints::none(),
+        None,
+        GreedyPolicy::Sweep,
+    )?;
+    // Re-evaluate the statically chosen set under the *actual* conditions.
+    let routes = topo.routes();
+    let quality = evaluate(topo, &routes, &sel.nodes, None);
+    Ok(Selection {
+        score: quality.score(Weights::EQUAL),
+        nodes: sel.nodes,
+        quality,
+        iterations: sel.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_selection_is_valid_and_seeded() {
+        let (topo, _) = star(8, 100.0 * MBPS);
+        let pick = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_selection(&topo, 4, &mut rng).unwrap().nodes
+        };
+        let a = pick(1);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert_eq!(a, pick(1));
+        // Different seeds eventually differ.
+        assert!((2..10).any(|s| pick(s) != a));
+    }
+
+    #[test]
+    fn random_selection_rejects_oversized_requests() {
+        let (topo, _) = star(3, 100.0 * MBPS);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            random_selection(&topo, 4, &mut rng),
+            Err(SelectError::NotEnoughNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn static_selection_ignores_load() {
+        let (mut topo, ids) = star(4, 100.0 * MBPS);
+        // Heavy load on n0/n1: a dynamic selector would avoid them, static
+        // cannot see it.
+        topo.set_load_avg(ids[0], 10.0);
+        topo.set_load_avg(ids[1], 10.0);
+        let sel = static_selection(&topo, 2).unwrap();
+        // The reported quality reflects the true (loaded) conditions.
+        if sel.nodes.contains(&ids[0]) || sel.nodes.contains(&ids[1]) {
+            assert!(sel.quality.min_cpu < 0.5);
+        }
+        assert_eq!(sel.nodes.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Node-selection algorithms for high performance applications on shared
+//! networks.
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *"Automatic Node Selection for High Performance Applications on
+//! Networks"* (Subhlok, Lieu, Lowekamp — PPoPP '99): given a logical
+//! network topology annotated with measured conditions (from
+//! `nodesel-remos`) and an application's requirements, choose the set of
+//! compute nodes on which the application will run fastest.
+//!
+//! # The three fundamental algorithms (§3.2)
+//!
+//! * [`max_compute`] — the `m` nodes with the highest available CPU
+//!   fraction `cpu = 1/(1 + loadavg)`;
+//! * [`max_bandwidth`] — Figure 2: maximize the minimum available
+//!   bandwidth between any pair of selected nodes by deleting
+//!   minimum-bandwidth edges while enough connected compute nodes survive;
+//! * [`balanced`] — Figure 3: maximize
+//!   `min(min fractional cpu, min fractional bandwidth)` greedily.
+//!
+//! # Generalizations (§3.3)
+//!
+//! All supported through [`SelectionRequest`]:
+//! priority [`Weights`] between computation and communication; fixed
+//! [`Constraints`] (absolute bandwidth floors, CPU floors, required and
+//! allowed node sets); heterogeneous node speeds (via
+//! [`nodesel_topology::Node::speed`]) and a reference link bandwidth for
+//! heterogeneous networks; directed/bidirectional links (handled by the
+//! topology layer); and dynamic [`migration`] advice that discounts the
+//! application's own footprint.
+//!
+//! # Ground truth
+//!
+//! [`exhaustive_select`] provides a brute-force optimum for test-sized
+//! graphs; the property tests assert the greedy algorithms (with
+//! [`GreedyPolicy::Sweep`]) match it exactly on acyclic topologies, where
+//! the paper's arguments are tight.
+//!
+//! # Example
+//!
+//! ```
+//! use nodesel_core::{select, SelectionRequest};
+//! use nodesel_topology::builders::star;
+//! use nodesel_topology::units::MBPS;
+//!
+//! let (mut topo, ids) = star(6, 100.0 * MBPS);
+//! topo.set_load_avg(ids[0], 3.0); // busy node
+//! let sel = select(&topo, &SelectionRequest::balanced(4)).unwrap();
+//! assert_eq!(sel.nodes.len(), 4);
+//! assert!(!sel.nodes.contains(&ids[0])); // the busy node is avoided
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod algorithms;
+mod baseline;
+mod exhaustive;
+pub mod groups;
+pub mod latency;
+pub mod migration;
+mod quality;
+mod request;
+pub mod sizing;
+pub mod spec;
+mod weights;
+
+pub use algorithms::{balanced, max_bandwidth, max_compute, select, Selection};
+pub use baseline::{random_selection, static_selection};
+pub use exhaustive::{exhaustive_select, Combinations, ExhaustiveObjective};
+pub use groups::{select_groups, GroupSpec, GroupedRequest, GroupedSelection};
+pub use latency::{pairwise_latency, select_within_latency};
+pub use quality::{evaluate, Quality};
+pub use request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
+pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
+pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};
+pub use weights::Weights;
+
+/// Errors produced by the selection procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// Zero nodes were requested.
+    ZeroCount,
+    /// More required nodes than the requested set size.
+    TooManyRequired {
+        /// Number of required nodes.
+        required: usize,
+        /// Requested selection size.
+        count: usize,
+    },
+    /// A required node is missing, not a compute node, or excluded by the
+    /// other constraints.
+    RequiredNotEligible(nodesel_topology::NodeId),
+    /// Fewer eligible compute nodes exist than were requested.
+    NotEnoughNodes {
+        /// Eligible compute nodes available.
+        eligible: usize,
+        /// Requested selection size.
+        requested: usize,
+    },
+    /// Enough nodes exist, but no connected component satisfies all
+    /// constraints simultaneously.
+    Unsatisfiable,
+}
+
+impl core::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SelectError::ZeroCount => write!(f, "requested zero nodes"),
+            SelectError::TooManyRequired { required, count } => {
+                write!(f, "{required} required nodes exceed request size {count}")
+            }
+            SelectError::RequiredNotEligible(n) => {
+                write!(f, "required node {n:?} is not an eligible compute node")
+            }
+            SelectError::NotEnoughNodes {
+                eligible,
+                requested,
+            } => write!(
+                f,
+                "only {eligible} eligible compute nodes for a request of {requested}"
+            ),
+            SelectError::Unsatisfiable => {
+                write!(f, "no connected node set satisfies the constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}

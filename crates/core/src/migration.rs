@@ -1,0 +1,215 @@
+//! Dynamic migration advice (§3.3, "Dynamic migration").
+//!
+//! "The solution procedure can be applied directly to the problem of
+//! dynamic migration to avoid network congestion and busy nodes. One
+//! important consideration is that the load and traffic caused by the
+//! application itself must be captured separately as it is not due to a
+//! competing process."
+//!
+//! [`discount_own_usage`] removes the application's own footprint from a
+//! measured topology snapshot; [`advise`] then compares the quality of the
+//! current placement against a fresh selection and recommends migration
+//! when the improvement clears a hysteresis threshold (migration is not
+//! free, so marginal gains should not trigger it).
+
+use crate::quality::{evaluate, Quality};
+use crate::request::SelectionRequest;
+use crate::weights::Weights;
+use crate::{select, Objective, SelectError, Selection};
+use nodesel_topology::{Direction, EdgeId, NodeId, Topology};
+
+/// The application's own resource footprint, to be subtracted from
+/// measurements before deciding on migration.
+#[derive(Debug, Clone, Default)]
+pub struct OwnUsage {
+    /// Load-average contribution per node (typically 1.0 for each node
+    /// running one application process).
+    pub load: Vec<(NodeId, f64)>,
+    /// Average bandwidth the application itself drives over each directed
+    /// link, bits/s.
+    pub traffic: Vec<(EdgeId, Direction, f64)>,
+}
+
+impl OwnUsage {
+    /// The common case: one CPU-bound process on each currently used node
+    /// (no attributed traffic).
+    pub fn one_process_per_node(nodes: &[NodeId]) -> Self {
+        OwnUsage {
+            load: nodes.iter().map(|&n| (n, 1.0)).collect(),
+            traffic: Vec::new(),
+        }
+    }
+}
+
+/// Returns a copy of the snapshot with the application's own load and
+/// traffic removed (clamped at zero).
+pub fn discount_own_usage(topo: &Topology, own: &OwnUsage) -> Topology {
+    let mut t = topo.clone();
+    for &(n, load) in &own.load {
+        let current = t.node(n).load_avg();
+        t.set_load_avg(n, (current - load).max(0.0));
+    }
+    for &(e, dir, bits) in &own.traffic {
+        let current = t.link(e).used(dir);
+        t.set_link_used(e, dir, (current - bits).max(0.0));
+    }
+    t
+}
+
+/// Migration recommendation.
+#[derive(Debug, Clone)]
+pub struct MigrationAdvice {
+    /// Quality of the current placement, measured on the discounted
+    /// snapshot.
+    pub current_quality: Quality,
+    /// Balanced score of the current placement.
+    pub current_score: f64,
+    /// The best placement available right now.
+    pub best: Selection,
+    /// True when moving is worth it: `best.score > current_score * (1 +
+    /// threshold)`.
+    pub recommended: bool,
+}
+
+impl MigrationAdvice {
+    /// Nodes that would be vacated by the recommended move.
+    pub fn vacated(&self, current: &[NodeId]) -> Vec<NodeId> {
+        current
+            .iter()
+            .copied()
+            .filter(|n| !self.best.nodes.contains(n))
+            .collect()
+    }
+
+    /// Nodes that would be newly occupied.
+    pub fn occupied(&self, current: &[NodeId]) -> Vec<NodeId> {
+        self.best
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !current.contains(n))
+            .collect()
+    }
+}
+
+/// Evaluates whether a running application should migrate.
+///
+/// `snapshot` is the measured topology *including* the application's own
+/// footprint; `own` describes that footprint so it can be discounted.
+/// `improvement_threshold` is the relative score gain required to
+/// recommend a move (e.g. `0.25` = "only migrate for a ≥25% better
+/// score").
+pub fn advise(
+    snapshot: &Topology,
+    current: &[NodeId],
+    own: &OwnUsage,
+    request: &SelectionRequest,
+    improvement_threshold: f64,
+) -> Result<MigrationAdvice, SelectError> {
+    assert!(improvement_threshold >= 0.0);
+    assert_eq!(
+        current.len(),
+        request.count,
+        "request count must match the current placement size"
+    );
+    let discounted = discount_own_usage(snapshot, own);
+    let routes = discounted.routes();
+    let current_quality = evaluate(&discounted, &routes, current, request.reference_bandwidth);
+    let weights = match request.objective {
+        Objective::Balanced(w) => w,
+        _ => Weights::EQUAL,
+    };
+    let current_score = current_quality.score(weights);
+    let best = select(&discounted, request)?;
+    let recommended = best.score > current_score * (1.0 + improvement_threshold)
+        && best.nodes != current.to_vec();
+    Ok(MigrationAdvice {
+        current_quality,
+        current_score,
+        best,
+        recommended,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SelectionRequest;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+
+    #[test]
+    fn discount_removes_own_footprint() {
+        let (mut topo, ids) = star(3, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 1.0); // entirely our own process
+        topo.set_load_avg(ids[1], 2.0); // ours + one competitor
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[1]]);
+        let clean = discount_own_usage(&topo, &own);
+        assert_eq!(clean.node(ids[0]).load_avg(), 0.0);
+        assert_eq!(clean.node(ids[1]).load_avg(), 1.0);
+        assert_eq!(clean.node(ids[2]).load_avg(), 0.0);
+    }
+
+    #[test]
+    fn discount_clamps_at_zero() {
+        let (mut topo, ids) = star(2, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 0.5);
+        let own = OwnUsage::one_process_per_node(&[ids[0]]);
+        let clean = discount_own_usage(&topo, &own);
+        assert_eq!(clean.node(ids[0]).load_avg(), 0.0);
+    }
+
+    #[test]
+    fn no_migration_when_placement_is_fine() {
+        let (mut topo, ids) = star(4, 100.0 * MBPS);
+        // We run on n0, n1 (own load only); n2, n3 idle: no reason to move.
+        topo.set_load_avg(ids[0], 1.0);
+        topo.set_load_avg(ids[1], 1.0);
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[1]]);
+        let advice = advise(
+            &topo,
+            &[ids[0], ids[1]],
+            &own,
+            &SelectionRequest::balanced(2),
+            0.1,
+        )
+        .unwrap();
+        assert!(!advice.recommended);
+        assert_eq!(advice.current_score, 1.0);
+    }
+
+    #[test]
+    fn migration_recommended_away_from_competitors() {
+        let (mut topo, ids) = star(4, 100.0 * MBPS);
+        // We run on n0, n1; n0 also hosts three competing jobs.
+        topo.set_load_avg(ids[0], 4.0); // 1 ours + 3 competitors
+        topo.set_load_avg(ids[1], 1.0); // ours only
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[1]]);
+        let advice = advise(
+            &topo,
+            &[ids[0], ids[1]],
+            &own,
+            &SelectionRequest::balanced(2),
+            0.25,
+        )
+        .unwrap();
+        assert!(advice.recommended);
+        // The move vacates the busy node, not the quiet one.
+        assert_eq!(advice.vacated(&[ids[0], ids[1]]), vec![ids[0]]);
+        assert!(!advice.occupied(&[ids[0], ids[1]]).is_empty());
+        assert!(advice.best.score > advice.current_score);
+    }
+
+    #[test]
+    fn threshold_suppresses_marginal_moves() {
+        let (mut topo, ids) = star(3, 100.0 * MBPS);
+        // Slightly better node available: score 1/1.2 vs 1/(1+0.1).
+        topo.set_load_avg(ids[0], 1.2); // ours + 0.2 competitors
+        let own = OwnUsage::one_process_per_node(&[ids[0]]);
+        let req = SelectionRequest::balanced(1);
+        let strict = advise(&topo, &[ids[0]], &own, &req, 0.5).unwrap();
+        assert!(!strict.recommended);
+        let eager = advise(&topo, &[ids[0]], &own, &req, 0.0).unwrap();
+        assert!(eager.recommended);
+    }
+}

@@ -1,0 +1,80 @@
+//! Relative prioritization of computation and communication (§3.3).
+
+/// Priority weights for the balanced objective.
+///
+/// The paper: "if computation was prioritized by a factor of 2, 50% CPU
+/// availability would be considered equivalent to 25% availability of
+/// communication paths." A resource's availability is *divided* by its
+/// weight before the two are compared, so a higher `compute` weight makes
+/// CPU the scarcer resource and pushes the selection to spend bandwidth to
+/// protect CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Priority factor of computation.
+    pub compute: f64,
+    /// Priority factor of communication.
+    pub comm: f64,
+}
+
+impl Weights {
+    /// Equal priority (the paper's default formulation).
+    pub const EQUAL: Weights = Weights {
+        compute: 1.0,
+        comm: 1.0,
+    };
+
+    /// Computation prioritized by `factor` over communication.
+    pub fn compute_priority(factor: f64) -> Weights {
+        assert!(factor > 0.0);
+        Weights {
+            compute: factor,
+            comm: 1.0,
+        }
+    }
+
+    /// Communication prioritized by `factor` over computation.
+    pub fn comm_priority(factor: f64) -> Weights {
+        assert!(factor > 0.0);
+        Weights {
+            compute: 1.0,
+            comm: factor,
+        }
+    }
+
+    /// Validates that both weights are positive and finite.
+    pub fn validate(&self) -> bool {
+        self.compute > 0.0 && self.comm > 0.0 && self.compute.is_finite() && self.comm.is_finite()
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::EQUAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_equivalence() {
+        // Compute priority 2: cpu 0.5 and comm 0.25 score identically.
+        let w = Weights::compute_priority(2.0);
+        assert_eq!(0.5 / w.compute, 0.25 / w.comm);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Weights::default(), Weights::EQUAL);
+        let w = Weights::comm_priority(3.0);
+        assert_eq!(w.comm, 3.0);
+        assert_eq!(w.compute, 1.0);
+        assert!(w.validate());
+        assert!(!Weights {
+            compute: 0.0,
+            comm: 1.0
+        }
+        .validate());
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 1: the Remos logical-topology graph of a simple
+//! network, with live flow queries demonstrating the two API levels.
+
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::dot::to_dot;
+use nodesel_topology::testbeds::figure1;
+use nodesel_topology::units::MBPS;
+
+fn main() {
+    let f = figure1();
+    let hosts = f.hosts.clone();
+    let mut sim = Sim::new(f.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    // Some activity so the snapshot is non-trivial: a cross-switch stream
+    // and one busy host.
+    sim.start_transfer(hosts[0], hosts[2], 1e15, |_| {});
+    sim.start_compute(hosts[3], 1e9, |_| {});
+    sim.run_for(120.0);
+
+    let topo = remos.logical_topology(Estimator::Latest);
+    println!("=== Figure 1: Remos logical topology (DOT) ===");
+    println!("{}", to_dot(&topo, &[]));
+
+    println!("=== Flow queries (available bandwidth) ===");
+    let pairs = [
+        (hosts[0], hosts[1]),
+        (hosts[0], hosts[2]),
+        (hosts[1], hosts[3]),
+    ];
+    for info in remos.flow_query(&pairs, Estimator::Latest).unwrap() {
+        println!(
+            "{} -> {}: {:.1} Mbps available over {} hops, {:.2} ms latency",
+            topo.node(info.src).name(),
+            topo.node(info.dst).name(),
+            info.available_bw / MBPS,
+            info.hops,
+            info.latency * 1e3,
+        );
+    }
+    println!("=== Host queries ===");
+    for h in remos.host_query(&hosts, Estimator::Latest).unwrap() {
+        println!(
+            "{}: loadavg {:.2}, cpu {:.2}",
+            topo.node(h.node).name(),
+            h.load_avg,
+            h.cpu
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Long-running-job study: static placement vs periodic migration.
+//!
+//! Usage: `migration_study [repetitions] [iterations]` (defaults 8, 256).
+
+use nodesel_experiments::driver::{Condition, TrialConfig};
+use nodesel_experiments::migration_study::{run_long_jobs, LongRunStrategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let cfg = TrialConfig::default();
+    let seed = 4242;
+
+    println!(
+        "FFT x{iters} iterations (~{:.0} s unloaded) on 4 of 18 testbed nodes, load+traffic, {reps} reps",
+        iters as f64 * 1.5
+    );
+    println!("{:<34} {:>10} {:>12}", "strategy", "mean (s)", "moves/run");
+    let (t, _) = run_long_jobs(
+        iters,
+        LongRunStrategy::RandomStay,
+        Condition::Both,
+        &cfg,
+        seed,
+        reps,
+    );
+    println!("{:<34} {t:>10.1} {:>12}", "random, stay", "-");
+    let (t, _) = run_long_jobs(
+        iters,
+        LongRunStrategy::AutoStay,
+        Condition::Both,
+        &cfg,
+        seed,
+        reps,
+    );
+    println!("{:<34} {t:>10.1} {:>12}", "automatic, stay", "-");
+    for (period, threshold) in [(300.0, 0.5), (120.0, 0.3)] {
+        let strat = LongRunStrategy::AutoMigrate { period, threshold };
+        let (t, moves) = run_long_jobs(iters, strat, Condition::Both, &cfg, seed, reps);
+        println!(
+            "{:<34} {t:>10.1} {moves:>12.1}",
+            format!("automatic, migrate({period:.0}s, {threshold})")
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Empirically checks the §3.2 complexity claim: the selection algorithms
+//! run in O(n²) on the topology size. Prints a node-count sweep with
+//! per-size timings and the fitted growth exponent.
+
+use nodesel_core::{balanced, max_bandwidth, Constraints, GreedyPolicy, Weights};
+use nodesel_topology::builders::{random_tree, randomize_conditions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let sizes = [50usize, 100, 200, 400, 800];
+    let mut times = Vec::new();
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "nodes", "balanced (ms)", "maxbw (ms)"
+    );
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(42);
+        let computes = n / 2;
+        let (mut topo, _) = random_tree(&mut rng, computes, n - computes, 1e8);
+        randomize_conditions(&mut topo, &mut rng, 3.0, 0.9);
+        let m = 8.min(computes);
+        let reps = 5;
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            balanced(
+                &topo,
+                m,
+                Weights::EQUAL,
+                &Constraints::none(),
+                None,
+                GreedyPolicy::Sweep,
+            )
+            .unwrap();
+        }
+        let balanced_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            max_bandwidth(&topo, m, &Constraints::none()).unwrap();
+        }
+        let maxbw_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        println!("{n:>6} {balanced_ms:>14.3} {maxbw_ms:>14.3}");
+        times.push((n as f64, balanced_ms));
+    }
+    // Log-log slope between the smallest and largest size.
+    let (n0, t0) = times[0];
+    let (n1, t1) = times[times.len() - 1];
+    let slope = (t1 / t0).ln() / (n1 / n0).ln();
+    println!("fitted growth exponent (balanced): {slope:.2} (paper claims O(n^2))");
+}

@@ -1,0 +1,64 @@
+//! Sensitivity sweeps (§4.4): how the benefit of automatic selection
+//! varies with offered load, offered traffic, and application length.
+//!
+//! Usage: `sensitivity [repetitions]` (default 12).
+
+use nodesel_apps::{fft::fft_program, AppModel};
+use nodesel_experiments::sensitivity::{length_sensitivity, load_sensitivity, traffic_sensitivity};
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let app = AppModel::Phased(fft_program(32));
+
+    println!("=== Load-intensity sweep (FFT, 4 nodes, {reps} reps/point) ===");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>10}",
+        "factor", "random", "auto", "ref", "remaining"
+    );
+    for p in load_sensitivity(&app, 4, &[0.25, 0.5, 1.0, 2.0, 4.0], reps, 101) {
+        println!(
+            "{:>7.2} {:>9.1} {:>9.1} {:>9.1} {:>10.2}",
+            p.factor,
+            p.random,
+            p.auto,
+            p.reference,
+            p.remaining_increase()
+        );
+    }
+
+    println!("\n=== Traffic-intensity sweep (FFT, 4 nodes, {reps} reps/point) ===");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>10}",
+        "factor", "random", "auto", "ref", "remaining"
+    );
+    for p in traffic_sensitivity(&app, 4, &[0.25, 0.5, 1.0, 1.5, 2.0], reps, 202) {
+        println!(
+            "{:>7.2} {:>9.1} {:>9.1} {:>9.1} {:>10.2}",
+            p.factor,
+            p.random,
+            p.auto,
+            p.reference,
+            p.remaining_increase()
+        );
+    }
+
+    println!("\n=== Application-length sweep (FFT iterations, load+traffic) ===");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>10}",
+        "iters", "random", "auto", "ref", "remaining"
+    );
+    for p in length_sensitivity(4, &[8, 32, 128, 512], reps, 303) {
+        println!(
+            "{:>7.0} {:>9.1} {:>9.1} {:>9.1} {:>10.2}",
+            p.factor,
+            p.random,
+            p.auto,
+            p.reference,
+            p.remaining_increase()
+        );
+    }
+    println!("\n('remaining' = fraction of the induced slowdown surviving automatic selection)");
+}

@@ -1,0 +1,47 @@
+//! Logical-topology vs end-to-end-tomography study, across measurement
+//! noise levels.
+//!
+//! Usage: `tomography [repetitions]` (default 10).
+
+use nodesel_apps::{fft::fft_program, AppModel};
+use nodesel_experiments::driver::{Condition, TrialConfig};
+use nodesel_experiments::tomography::{run_view_trials, View};
+use nodesel_remos::CollectorConfig;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let app = AppModel::Phased(fft_program(32));
+    println!("FFT (32 iters, 4 nodes) under load+traffic, {reps} reps/cell");
+    println!(
+        "{:>8} {:>18} {:>16}",
+        "noise", "logical topology", "tomography"
+    );
+    for noise in [0.0, 0.1, 0.25, 0.5] {
+        let cfg = TrialConfig {
+            collector: CollectorConfig {
+                noise,
+                ..CollectorConfig::default()
+            },
+            ..TrialConfig::default()
+        };
+        let logical = run_view_trials(
+            &app,
+            4,
+            View::LogicalTopology,
+            Condition::Both,
+            &cfg,
+            31,
+            reps,
+        );
+        let tomo = run_view_trials(&app, 4, View::Tomography, Condition::Both, &cfg, 31, reps);
+        println!("{noise:>8.2} {logical:>18.1} {tomo:>16.1}");
+    }
+    println!(
+        "\n(the tomography view also pays O(n^2) active probes per decision,\n\
+         and cannot see peak capacities: fractional objectives assume a\n\
+         100 Mbps reference link)"
+    );
+}

@@ -1,0 +1,345 @@
+//! Single-trial experiment driver.
+//!
+//! One *trial* reproduces one execution from the paper's methodology
+//! (§4.3): bring the testbed to a steady state under the configured
+//! background load/traffic, select nodes (randomly or automatically from
+//! Remos measurements), run the application, and record its turnaround
+//! time.
+
+use nodesel_apps::AppModel;
+use nodesel_core::{balanced, random_selection, Constraints, GreedyPolicy, Weights};
+use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which background generators run during a trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Condition {
+    /// Unloaded testbed (the paper's reference column).
+    None,
+    /// Compute-load generator only.
+    Load,
+    /// Network-traffic generator only.
+    Traffic,
+    /// Both generators.
+    Both,
+}
+
+impl Condition {
+    /// All four conditions in table order.
+    pub const ALL: [Condition; 4] = [
+        Condition::None,
+        Condition::Load,
+        Condition::Traffic,
+        Condition::Both,
+    ];
+
+    /// Column label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Condition::None => "unloaded",
+            Condition::Load => "load",
+            Condition::Traffic => "traffic",
+            Condition::Both => "load+traffic",
+        }
+    }
+
+    fn has_load(self) -> bool {
+        matches!(self, Condition::Load | Condition::Both)
+    }
+
+    fn has_traffic(self) -> bool {
+        matches!(self, Condition::Traffic | Condition::Both)
+    }
+}
+
+/// How nodes are picked for the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Uniformly random compute nodes (the paper's baseline, which it
+    /// argues also stands in for static selection on this testbed).
+    Random,
+    /// The paper's framework: balanced selection on the Remos-measured
+    /// logical topology.
+    Automatic,
+    /// Balanced selection on the simulator's ground truth (no measurement
+    /// staleness) — an upper bound used by ablations.
+    Oracle,
+    /// Balanced selection on the unloaded topology (structure only).
+    Static,
+}
+
+impl Strategy {
+    /// Row label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Random => "random",
+            Strategy::Automatic => "automatic",
+            Strategy::Oracle => "oracle",
+            Strategy::Static => "static",
+        }
+    }
+}
+
+/// Tunables shared by every trial.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Background-load model (used when the condition includes load).
+    pub load: LoadConfig,
+    /// Background-traffic model (used when the condition includes traffic).
+    pub traffic: TrafficConfig,
+    /// Remos collector settings.
+    pub collector: CollectorConfig,
+    /// Estimator the automatic strategy queries with.
+    pub estimator: Estimator,
+    /// Seconds of warm-up before selection + launch.
+    pub warmup: f64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            load: LoadConfig::paper_defaults(),
+            traffic: TrafficConfig::paper_defaults(),
+            collector: CollectorConfig::default(),
+            estimator: Estimator::Latest,
+            warmup: 1800.0,
+        }
+    }
+}
+
+/// Result of one trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Application turnaround time, seconds.
+    pub elapsed: f64,
+    /// The node names that were selected.
+    pub nodes: Vec<String>,
+}
+
+/// Runs one trial of `app` on `m` nodes of the CMU testbed.
+///
+/// `seed` drives every random choice (generators and random selection);
+/// equal seeds give bit-identical trials.
+pub fn run_trial(
+    app: &AppModel,
+    m: usize,
+    strategy: Strategy,
+    condition: Condition,
+    config: &TrialConfig,
+    seed: u64,
+) -> TrialResult {
+    let tb = cmu_testbed();
+    let machines = tb.machines.clone();
+    let mut sim = Sim::new(tb.topo);
+    let remos = Remos::install(&mut sim, config.collector);
+    if condition.has_load() {
+        install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);
+    }
+    if condition.has_traffic() {
+        install_traffic(&mut sim, &machines, config.traffic, seed ^ 0x7AFF1C);
+    }
+    sim.run_for(config.warmup);
+
+    let nodes: Vec<NodeId> = match strategy {
+        Strategy::Random => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1EC7);
+            random_selection(sim.topology(), m, &mut rng)
+                .expect("testbed has enough nodes")
+                .nodes
+        }
+        Strategy::Automatic => {
+            let snapshot = remos.logical_topology(config.estimator);
+            balanced(
+                &snapshot,
+                m,
+                Weights::EQUAL,
+                &Constraints::none(),
+                None,
+                GreedyPolicy::Sweep,
+            )
+            .expect("testbed has enough nodes")
+            .nodes
+        }
+        Strategy::Oracle => {
+            let snapshot = sim.oracle_snapshot();
+            balanced(
+                &snapshot,
+                m,
+                Weights::EQUAL,
+                &Constraints::none(),
+                None,
+                GreedyPolicy::Sweep,
+            )
+            .expect("testbed has enough nodes")
+            .nodes
+        }
+        Strategy::Static => {
+            nodesel_core::static_selection(sim.topology(), m)
+                .expect("testbed has enough nodes")
+                .nodes
+        }
+    };
+
+    let handle = app.launch(&mut sim, &nodes);
+    while !handle.is_finished() {
+        assert!(sim.step(), "simulation drained before the app finished");
+    }
+    let names = {
+        let topo = sim.topology();
+        nodes
+            .iter()
+            .map(|&n| topo.node(n).name().to_string())
+            .collect()
+    };
+    TrialResult {
+        elapsed: handle.elapsed().expect("finished"),
+        nodes: names,
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected); 0 for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Half-width of the ~95% confidence interval for the mean
+/// (`1.96 σ / √n`); the paper's "statistically relevant results" caveat,
+/// quantified.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Runs `repetitions` independent trials in parallel (one OS thread per
+/// chunk) and returns the per-trial turnaround times in seed order.
+pub fn run_trials(
+    app: &AppModel,
+    m: usize,
+    strategy: Strategy,
+    condition: Condition,
+    config: &TrialConfig,
+    base_seed: u64,
+    repetitions: usize,
+) -> Vec<f64> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(repetitions.max(1));
+    let mut results = vec![0.0f64; repetitions];
+    let chunk = repetitions.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out) in results.chunks_mut(chunk).enumerate() {
+            let app = app.clone();
+            let config = *config;
+            scope.spawn(move || {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let rep = t * chunk + i;
+                    let seed = base_seed.wrapping_add(1_000_003 * rep as u64);
+                    *slot = run_trial(&app, m, strategy, condition, &config, seed).elapsed;
+                }
+            });
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_apps::fft::fft_program;
+
+    fn tiny_app() -> AppModel {
+        AppModel::Phased(fft_program(2))
+    }
+
+    #[test]
+    fn unloaded_trial_is_deterministic() {
+        let cfg = TrialConfig {
+            warmup: 10.0,
+            ..TrialConfig::default()
+        };
+        let a = run_trial(&tiny_app(), 4, Strategy::Random, Condition::None, &cfg, 1);
+        let b = run_trial(&tiny_app(), 4, Strategy::Random, Condition::None, &cfg, 1);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.nodes.len(), 4);
+    }
+
+    #[test]
+    fn load_slows_random_placement() {
+        let cfg = TrialConfig {
+            warmup: 300.0,
+            ..TrialConfig::default()
+        };
+        let app = AppModel::Phased(fft_program(12));
+        let unloaded = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 3, 5);
+        let loaded = run_trials(&app, 4, Strategy::Random, Condition::Load, &cfg, 3, 5);
+        assert!(
+            mean(&loaded) > mean(&unloaded) * 1.05,
+            "load {loaded:?} vs unloaded {unloaded:?}"
+        );
+    }
+
+    #[test]
+    fn automatic_beats_random_under_load_on_average() {
+        let cfg = TrialConfig {
+            warmup: 300.0,
+            ..TrialConfig::default()
+        };
+        let app = tiny_app();
+        let random = run_trials(&app, 4, Strategy::Random, Condition::Load, &cfg, 11, 6);
+        let auto = run_trials(&app, 4, Strategy::Automatic, Condition::Load, &cfg, 11, 6);
+        assert!(
+            mean(&auto) < mean(&random),
+            "auto {:?} vs random {:?}",
+            auto,
+            random
+        );
+    }
+
+    #[test]
+    fn run_trials_is_seed_stable() {
+        let cfg = TrialConfig {
+            warmup: 20.0,
+            ..TrialConfig::default()
+        };
+        let app = tiny_app();
+        let a = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
+        let b = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn std_dev_and_ci() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(ci95_half_width(&[5.0]), 0.0);
+        // Known sample: {2, 4, 4, 4, 5, 5, 7, 9} has sample std ≈ 2.138.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.138).abs() < 1e-3);
+        let ci = ci95_half_width(&xs);
+        assert!((ci - 1.96 * 2.138 / 8f64.sqrt()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment drivers that regenerate the paper's evaluation artifacts.
+//!
+//! * [`table1`] — the full Table 1 matrix: three applications × {load,
+//!   traffic, both} × {random, automatic}, with the unloaded reference
+//!   column and the paper's "% change" and increase-ratio derived metrics;
+//! * [`scenario`] — the Figure 4 worked example (automatic selection
+//!   steering around a bulk `m-16 → m-18` stream);
+//! * [`driver`] — the single-trial machinery both are built on, reusable
+//!   by the Criterion benches and ablations.
+//!
+//! Every experiment is a pure function of its seed: the simulator, the
+//! generators and the selection algorithms are all deterministic, so rows
+//! can be regenerated exactly.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod driver;
+pub mod migration_study;
+pub mod scenario;
+pub mod sensitivity;
+pub mod table1;
+pub mod tomography;
+
+pub use driver::{mean, run_trial, run_trials, Condition, Strategy, TrialConfig, TrialResult};
+pub use scenario::{run_fig4_scenario, Fig4Outcome};
+pub use sensitivity::{
+    length_sensitivity, load_sensitivity, traffic_sensitivity, SensitivityPoint,
+};
+pub use table1::{paper_table1, run_table1, run_table1_row, Table1, Table1Config, Table1Row};

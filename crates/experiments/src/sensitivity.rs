@@ -1,0 +1,205 @@
+//! Sensitivity study (§4.4).
+//!
+//! The paper: "More experimentation is needed to address a number of
+//! questions, including ... sensitivity of automatic node selection to
+//! load and traffic on one hand, and application length and
+//! characteristics on the other. Addressing these issues satisfactorily
+//! requires an amount of experimentation that we could not attain because
+//! of limited resources." Simulation removes that resource limit: these
+//! sweeps scale the offered load / traffic and the application length and
+//! measure how the benefit of automatic selection responds.
+
+use crate::driver::{mean, run_trials, Condition, Strategy, TrialConfig};
+use nodesel_apps::{fft::fft_program, AppModel};
+use serde::{Deserialize, Serialize};
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Multiplier applied to the baseline generator intensity (or the
+    /// iteration count, for the length sweep).
+    pub factor: f64,
+    /// Mean runtime with random selection, seconds.
+    pub random: f64,
+    /// Mean runtime with automatic selection, seconds.
+    pub auto: f64,
+    /// Mean unloaded reference runtime, seconds.
+    pub reference: f64,
+}
+
+impl SensitivityPoint {
+    /// Fraction of the induced increase remaining under automatic
+    /// selection (≈0 = selection removes the whole penalty; 1 = no help).
+    pub fn remaining_increase(&self) -> f64 {
+        let r = (self.random - self.reference).max(0.0);
+        let a = (self.auto - self.reference).max(0.0);
+        if r > 1e-9 {
+            a / r
+        } else {
+            1.0
+        }
+    }
+}
+
+fn measure(
+    app: &AppModel,
+    m: usize,
+    condition: Condition,
+    config: &TrialConfig,
+    seed: u64,
+    reps: usize,
+) -> (f64, f64, f64) {
+    let reference = mean(&run_trials(
+        app,
+        m,
+        Strategy::Random,
+        Condition::None,
+        config,
+        seed,
+        reps,
+    ));
+    let random = mean(&run_trials(
+        app,
+        m,
+        Strategy::Random,
+        condition,
+        config,
+        seed,
+        reps,
+    ));
+    let auto = mean(&run_trials(
+        app,
+        m,
+        Strategy::Automatic,
+        condition,
+        config,
+        seed,
+        reps,
+    ));
+    (reference, random, auto)
+}
+
+/// Sweeps the offered compute load: the baseline arrival rate is scaled
+/// by each factor.
+pub fn load_sensitivity(
+    app: &AppModel,
+    m: usize,
+    factors: &[f64],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<SensitivityPoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let mut config = TrialConfig::default();
+            config.load.arrival_rate *= factor;
+            let (reference, random, auto) =
+                measure(app, m, Condition::Load, &config, seed, repetitions);
+            SensitivityPoint {
+                factor,
+                random,
+                auto,
+                reference,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the offered background traffic: the baseline message arrival
+/// rate is scaled by each factor.
+pub fn traffic_sensitivity(
+    app: &AppModel,
+    m: usize,
+    factors: &[f64],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<SensitivityPoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let mut config = TrialConfig::default();
+            config.traffic.arrival_rate *= factor;
+            let (reference, random, auto) =
+                measure(app, m, Condition::Traffic, &config, seed, repetitions);
+            SensitivityPoint {
+                factor,
+                random,
+                auto,
+                reference,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the application length (FFT iteration count): short runs enjoy
+/// fresh measurements for their whole lifetime; long runs outlive them.
+pub fn length_sensitivity(
+    m: usize,
+    iteration_counts: &[usize],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<SensitivityPoint> {
+    iteration_counts
+        .iter()
+        .map(|&iters| {
+            let app = AppModel::Phased(fft_program(iters));
+            let config = TrialConfig::default();
+            let (reference, random, auto) =
+                measure(&app, m, Condition::Both, &config, seed, repetitions);
+            SensitivityPoint {
+                factor: iters as f64,
+                random,
+                auto,
+                reference,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_increase_math() {
+        let p = SensitivityPoint {
+            factor: 1.0,
+            random: 100.0,
+            auto: 75.0,
+            reference: 50.0,
+        };
+        assert!((p.remaining_increase() - 0.5).abs() < 1e-12);
+        let none = SensitivityPoint {
+            factor: 1.0,
+            random: 50.0,
+            auto: 50.0,
+            reference: 50.0,
+        };
+        assert_eq!(none.remaining_increase(), 1.0);
+    }
+
+    #[test]
+    fn load_sweep_is_monotone_in_random_cost() {
+        // More offered load must (stochastically) cost random placement
+        // more; compare the extreme factors with a small app.
+        let app = AppModel::Phased(fft_program(8));
+        let pts = load_sensitivity(&app, 4, &[0.25, 4.0], 6, 31);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].random > pts[0].random,
+            "x0.25 -> {:.1}, x4 -> {:.1}",
+            pts[0].random,
+            pts[1].random
+        );
+        // Auto never loses to random on average at the heavy point.
+        assert!(pts[1].auto <= pts[1].random * 1.05);
+    }
+
+    #[test]
+    fn zero_factor_degenerates_to_reference() {
+        // Factor ~0 (tiny arrival rate): load barely exists, random ≈ ref.
+        let app = AppModel::Phased(fft_program(4));
+        let pts = load_sensitivity(&app, 4, &[1e-6], 4, 17);
+        assert!((pts[0].random - pts[0].reference).abs() / pts[0].reference < 0.05);
+    }
+}

@@ -1,0 +1,290 @@
+//! Reproduction of Table 1: application performance under load and
+//! traffic with random vs automatically selected nodes.
+
+use crate::driver::{ci95_half_width, mean, run_trials, Condition, Strategy, TrialConfig};
+use nodesel_apps::AppModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Paper-reported Table 1 values, for side-by-side comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Random-selection times for load / traffic / both, seconds.
+    pub random: [f64; 3],
+    /// Automatic-selection times for load / traffic / both, seconds.
+    pub auto: [f64; 3],
+    /// Unloaded reference time, seconds.
+    pub reference: f64,
+}
+
+/// The paper's published Table 1 numbers.
+pub fn paper_table1(app: &str) -> Option<PaperRow> {
+    match app {
+        "FFT (1K)" => Some(PaperRow {
+            random: [112.6, 80.3, 142.6],
+            auto: [82.6, 64.6, 118.5],
+            reference: 48.0,
+        }),
+        "Airshed" => Some(PaperRow {
+            random: [393.8, 281.3, 530.2],
+            auto: [254.0, 188.5, 355.1],
+            reference: 150.0,
+        }),
+        "MRI" => Some(PaperRow {
+            random: [683.0, 591.0, 776.0],
+            auto: [594.0, 571.0, 667.0],
+            reference: 540.0,
+        }),
+        _ => None,
+    }
+}
+
+/// Configuration of the Table 1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Config {
+    /// Repetitions per (application, strategy, condition) cell.
+    pub repetitions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-trial settings.
+    pub trial: TrialConfig,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            repetitions: 24,
+            seed: 0x7AB1E1,
+            trial: TrialConfig::default(),
+        }
+    }
+}
+
+/// One application's measured row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Node count used (as in the paper).
+    pub nodes: usize,
+    /// Mean time with randomly selected nodes for load / traffic / both.
+    pub random: [f64; 3],
+    /// 95% confidence half-widths for the random cells.
+    pub random_ci: [f64; 3],
+    /// Mean time with automatically selected nodes for load / traffic /
+    /// both.
+    pub auto: [f64; 3],
+    /// 95% confidence half-widths for the automatic cells.
+    pub auto_ci: [f64; 3],
+    /// Mean unloaded reference time.
+    pub reference: f64,
+}
+
+impl Table1Row {
+    /// `(auto - random) / random` per condition — the paper's "% change"
+    /// columns (negative = automatic is faster).
+    pub fn percent_change(&self) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (self.auto[i] - self.random[i]) / self.random[i] * 100.0;
+        }
+        out
+    }
+
+    /// The paper's headline metric: how much of the load/traffic-induced
+    /// *increase* over the reference remains under automatic selection.
+    /// `0.5` means the increase was cut in half. Index: load/traffic/both.
+    pub fn increase_ratio(&self) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let random_increase = (self.random[i] - self.reference).max(0.0);
+            let auto_increase = (self.auto[i] - self.reference).max(0.0);
+            *slot = if random_increase > 0.0 {
+                auto_increase / random_increase
+            } else {
+                1.0
+            };
+        }
+        out
+    }
+}
+
+/// Full Table 1 results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per application.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Mean of [`Table1Row::increase_ratio`] over rows and loaded
+    /// conditions — the "increase ... was reduced by half" claim is this
+    /// value being ≈ 0.5.
+    pub fn mean_increase_ratio(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for row in &self.rows {
+            for r in row.increase_ratio() {
+                sum += r;
+                n += 1.0;
+            }
+        }
+        sum / n
+    }
+}
+
+/// Runs the full Table 1 experiment.
+pub fn run_table1(config: &Table1Config) -> Table1 {
+    let rows = AppModel::paper_suite()
+        .into_iter()
+        .map(|(app, m)| run_table1_row(&app, m, config))
+        .collect();
+    Table1 { rows }
+}
+
+/// Runs one application's row.
+pub fn run_table1_row(app: &AppModel, m: usize, config: &Table1Config) -> Table1Row {
+    let cell = |strategy: Strategy, condition: Condition, salt: u64| {
+        let samples = run_trials(
+            app,
+            m,
+            strategy,
+            condition,
+            &config.trial,
+            config.seed ^ salt,
+            config.repetitions,
+        );
+        (mean(&samples), ci95_half_width(&samples))
+    };
+    let (reference, _) = cell(Strategy::Random, Condition::None, 0);
+    let conditions = [Condition::Load, Condition::Traffic, Condition::Both];
+    let mut random = [0.0; 3];
+    let mut random_ci = [0.0; 3];
+    let mut auto = [0.0; 3];
+    let mut auto_ci = [0.0; 3];
+    for (i, &c) in conditions.iter().enumerate() {
+        // Same seeds for both strategies: paired comparison, exactly the
+        // same background activity.
+        let (r, rci) = cell(Strategy::Random, c, 1 + i as u64);
+        let (a, aci) = cell(Strategy::Automatic, c, 1 + i as u64);
+        random[i] = r;
+        random_ci[i] = rci;
+        auto[i] = a;
+        auto_ci[i] = aci;
+    }
+    Table1Row {
+        app: app.name().to_string(),
+        nodes: m,
+        random,
+        random_ci,
+        auto,
+        auto_ci,
+        reference,
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>5} | {:>8} {:>8} {:>8} | {:>16} {:>16} {:>16} | {:>8}",
+            "App",
+            "Nodes",
+            "rnd:load",
+            "rnd:traf",
+            "rnd:both",
+            "auto:load",
+            "auto:traffic",
+            "auto:both",
+            "ref"
+        )?;
+        writeln!(f, "{}", "-".repeat(120))?;
+        for row in &self.rows {
+            let pc = row.percent_change();
+            writeln!(
+                f,
+                "{:<10} {:>5} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} ({:>+5.1}%) {:>8.1} ({:>+5.1}%) {:>8.1} ({:>+5.1}%) | {:>8.1}",
+                row.app,
+                row.nodes,
+                row.random[0],
+                row.random[1],
+                row.random[2],
+                row.auto[0],
+                pc[0],
+                row.auto[1],
+                pc[1],
+                row.auto[2],
+                pc[2],
+                row.reference,
+            )?;
+        }
+        writeln!(f, "{}", "-".repeat(120))?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<10} 95% CI half-widths: random ±{:.1}/±{:.1}/±{:.1}  auto ±{:.1}/±{:.1}/±{:.1}",
+                row.app,
+                row.random_ci[0],
+                row.random_ci[1],
+                row.random_ci[2],
+                row.auto_ci[0],
+                row.auto_ci[1],
+                row.auto_ci[2],
+            )?;
+        }
+        writeln!(
+            f,
+            "mean fraction of the load/traffic-induced increase remaining under automatic selection: {:.2} (paper: ~0.5)",
+            self.mean_increase_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_present_for_suite() {
+        for (app, _) in AppModel::paper_suite() {
+            assert!(paper_table1(app.name()).is_some());
+        }
+        assert!(paper_table1("nope").is_none());
+    }
+
+    #[test]
+    fn percent_change_and_increase_ratio() {
+        let row = Table1Row {
+            app: "x".into(),
+            nodes: 4,
+            random: [100.0, 80.0, 150.0],
+            random_ci: [0.0; 3],
+            auto: [75.0, 60.0, 100.0],
+            auto_ci: [0.0; 3],
+            reference: 50.0,
+        };
+        let pc = row.percent_change();
+        assert!((pc[0] + 25.0).abs() < 1e-9);
+        let ir = row.increase_ratio();
+        assert!((ir[0] - 0.5).abs() < 1e-9); // 25/50
+        assert!((ir[2] - 0.5).abs() < 1e-9); // 50/100
+    }
+
+    #[test]
+    fn table_formats() {
+        let t = Table1 {
+            rows: vec![Table1Row {
+                app: "FFT (1K)".into(),
+                nodes: 4,
+                random: [112.6, 80.3, 142.6],
+                random_ci: [5.0; 3],
+                auto: [82.6, 64.6, 118.5],
+                auto_ci: [4.0; 3],
+                reference: 48.0,
+            }],
+        };
+        let s = t.to_string();
+        assert!(s.contains("FFT (1K)"));
+        assert!(s.contains("paper: ~0.5"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Sampling distributions implemented from first principles.
+//!
+//! The generators of §4.2 need exponential interarrival times (Poisson
+//! processes), exponential + Pareto job durations (Harchol-Balter & Downey's
+//! process-lifetime model) and LogNormal message sizes. We implement the
+//! samplers directly — inverse-CDF for exponential and Pareto, Box–Muller
+//! for the normal underlying LogNormal — so their exact behaviour is pinned
+//! by this crate's tests rather than an external dependency.
+
+use rand::Rng;
+
+/// Exponential distribution with the given rate λ (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate` (events per
+    /// unit time). Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Creates from the mean instead of the rate.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample by inverse CDF: `-ln(1-U)/λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // random() yields U in [0,1); 1-U is in (0,1] so ln is finite.
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Pareto distribution with scale `x_m` and shape `α`:
+/// `Pr[X > x] = (x_m / x)^α` for `x ≥ x_m`.
+///
+/// Process-lifetime studies (Harchol-Balter & Downey, SIGMETRICS '96)
+/// report shapes near `α = 1`, i.e. extremely heavy tails; callers should
+/// truncate (see [`Pareto::sample_truncated`]) when a finite mean matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution. Panics unless both parameters are
+    /// positive.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "Pareto parameters must be positive"
+        );
+        Pareto { scale, shape }
+    }
+
+    /// Minimum value (the scale `x_m`).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Tail index `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Draws one sample by inverse CDF: `x_m * (1-U)^{-1/α}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.scale * (1.0 - u).powf(-1.0 / self.shape)
+    }
+
+    /// Draws a sample capped at `max` (rejection-free truncation by
+    /// clamping, which preserves the body of the distribution and lumps the
+    /// extreme tail at the cap).
+    pub fn sample_truncated<R: Rng + ?Sized>(&self, rng: &mut R, max: f64) -> f64 {
+        self.sample(rng).min(max)
+    }
+}
+
+/// Standard normal sampler using the Box–Muller transform, caching the
+/// second variate of each pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdNormal {
+    spare: Option<f64>,
+}
+
+impl StdNormal {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        StdNormal::default()
+    }
+
+    /// Draws one N(0,1) sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 in (0,1] to keep ln finite.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// LogNormal distribution: `exp(μ + σ Z)` with `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    normal: StdNormal,
+}
+
+impl LogNormal {
+    /// Creates from the underlying normal's location `μ` and scale `σ ≥ 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
+        LogNormal {
+            mu,
+            sigma,
+            normal: StdNormal::new(),
+        }
+    }
+
+    /// Creates the LogNormal whose *distribution* mean and median are as
+    /// given (`median = exp(μ)`, `mean = exp(μ + σ²/2)`); a convenient
+    /// parameterization for message sizes ("typical size X, mean pulled up
+    /// by a heavy tail"). Panics unless `mean ≥ median > 0`.
+    pub fn from_median_mean(median: f64, mean: f64) -> Self {
+        assert!(median > 0.0 && mean >= median, "need mean >= median > 0");
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        LogNormal::new(mu, sigma)
+    }
+
+    /// Distribution mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Distribution median `exp(μ)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * self.normal.sample(rng)).exp()
+    }
+}
+
+/// SplitMix64: derives independent sub-seeds from a master seed, so each
+/// host/generator gets its own deterministic stream.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 200_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let d = Exponential::with_mean(4.0);
+        assert_eq!(d.mean(), 4.0);
+        let mut r = rng();
+        let mut sum = 0.0;
+        for _ in 0..N {
+            let x = d.sample(&mut r);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // Pr[X > mean] should be e^-1 ≈ 0.3679.
+        let d = Exponential::new(1.0);
+        let mut r = rng();
+        let over = (0..N).filter(|_| d.sample(&mut r) > 1.0).count();
+        let frac = over as f64 / N as f64;
+        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail {frac}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        let mut over4 = 0usize;
+        for _ in 0..N {
+            let x = d.sample(&mut r);
+            assert!(x >= 2.0);
+            if x > 4.0 {
+                over4 += 1;
+            }
+        }
+        // Pr[X > 4] = (2/4)^1.5 ≈ 0.3536.
+        let frac = over4 as f64 / N as f64;
+        assert!((frac - 0.5f64.powf(1.5)).abs() < 0.01, "tail {frac}");
+    }
+
+    #[test]
+    fn pareto_truncation_caps_samples() {
+        let d = Pareto::new(1.0, 1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample_truncated(&mut r, 100.0) <= 100.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut n = StdNormal::new();
+        let mut r = rng();
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..N {
+            let z = n.sample(&mut r);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / N as f64;
+        let var = sq / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let mut d = LogNormal::from_median_mean(10.0, 20.0);
+        assert!((d.median() - 10.0).abs() < 1e-9);
+        assert!((d.mean() - 20.0).abs() < 1e-9);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let med = samples[N / 2];
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        assert!((med - 10.0).abs() < 0.2, "median {med}");
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_lognormal_is_constant() {
+        let mut d = LogNormal::new(2.0_f64.ln(), 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_seed_streams_differ() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, split_seed(42, 0));
+    }
+}

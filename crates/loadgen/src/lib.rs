@@ -1,0 +1,27 @@
+//! Synthetic background load and traffic generators.
+//!
+//! Reimplements the §4.2 workload of the PPoPP '99 node-selection paper:
+//!
+//! * **Compute load** ([`install_load`]): per-node Poisson job arrivals
+//!   with durations from a mixture of exponential and (truncated) Pareto
+//!   distributions — the Harchol-Balter & Downey process-lifetime model the
+//!   authors used, parameterized for a compute-intensive departmental
+//!   cluster rather than interactive desktops.
+//! * **Network traffic** ([`install_traffic`]): Poisson message arrivals
+//!   between uniformly random ordered node pairs with LogNormal message
+//!   sizes.
+//!
+//! All sampling distributions are implemented from scratch in [`dist`] and
+//! pinned by statistical tests. Generators are deterministic per seed and
+//! per node (seeds are split with SplitMix64), so experiment repetitions
+//! are exactly reproducible.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dist;
+mod load;
+mod traffic;
+
+pub use load::{install_load, JobDurationModel, LoadConfig, LoadHandle};
+pub use traffic::{install_traffic, TrafficConfig, TrafficHandle};

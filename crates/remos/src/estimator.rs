@@ -1,0 +1,190 @@
+//! Estimators mapping a metric's sample history to one value.
+//!
+//! The Remos API lets applications ask for network information "based on a
+//! fixed window of history, current network conditions, or an estimate of
+//! the future availability" (paper §2.2). These map onto:
+//!
+//! * [`Estimator::Latest`] — the most recent sample (current conditions;
+//!   also what the paper's node-selection experiments used: "simply uses
+//!   the most recent measurements as a forecast for the future");
+//! * [`Estimator::WindowMean`] — the mean of the retained history window;
+//! * [`Estimator::Ewma`] — exponentially weighted average favouring recent
+//!   samples;
+//! * [`Estimator::Trend`] — least-squares linear extrapolation one sample
+//!   period into the future, clamped at zero (a simple forecast in the
+//!   spirit of the Network Weather Service);
+//! * [`Estimator::Quantile`] — a window quantile, for conservative
+//!   (plan-for-the-bad-case) placement decisions.
+
+use std::collections::VecDeque;
+
+/// How to condense a sample history into an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Estimator {
+    /// Most recent sample.
+    Latest,
+    /// Mean over the retained window.
+    WindowMean,
+    /// Exponentially weighted moving average with smoothing factor
+    /// `alpha` in `(0, 1]`; `alpha = 1` degenerates to [`Estimator::Latest`].
+    Ewma {
+        /// Weight of each new sample.
+        alpha: f64,
+    },
+    /// Linear least-squares fit over the window, extrapolated one step
+    /// ahead and clamped to be non-negative.
+    Trend,
+    /// The `q`-quantile of the window (`q` in `[0, 1]`, linear
+    /// interpolation). High quantiles of load or utilization give
+    /// *conservative* estimates — plan for the bad case rather than the
+    /// average — which suits risk-averse placement of long jobs.
+    Quantile {
+        /// Quantile in `[0, 1]`; `0.5` is the median.
+        q: f64,
+    },
+}
+
+impl Estimator {
+    /// Applies the estimator to a history of samples ordered oldest →
+    /// newest. Returns 0.0 for an empty history (nothing measured yet —
+    /// the conservative choice for *availability* metrics is handled by
+    /// callers that know the peak).
+    pub fn estimate(self, history: &VecDeque<f64>) -> f64 {
+        let n = history.len();
+        if n == 0 {
+            return 0.0;
+        }
+        match self {
+            Estimator::Latest => history[n - 1],
+            Estimator::WindowMean => history.iter().sum::<f64>() / n as f64,
+            Estimator::Ewma { alpha } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+                let mut acc = history[0];
+                for &x in history.iter().skip(1) {
+                    acc = alpha * x + (1.0 - alpha) * acc;
+                }
+                acc
+            }
+            Estimator::Quantile { q } => {
+                assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+                let mut sorted: Vec<f64> = history.iter().copied().collect();
+                sorted.sort_by(f64::total_cmp);
+                let pos = q * (n - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+            Estimator::Trend => {
+                if n == 1 {
+                    return history[0];
+                }
+                // Least squares of y over x = 0..n-1, predicted at x = n.
+                let nf = n as f64;
+                let sx = (nf - 1.0) * nf / 2.0;
+                let sxx = (nf - 1.0) * nf * (2.0 * nf - 1.0) / 6.0;
+                let sy: f64 = history.iter().sum();
+                let sxy: f64 = history.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+                let denom = nf * sxx - sx * sx;
+                if denom.abs() < 1e-12 {
+                    return sy / nf;
+                }
+                let slope = (nf * sxy - sx * sy) / denom;
+                let intercept = (sy - slope * sx) / nf;
+                (intercept + slope * nf).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(xs: &[f64]) -> VecDeque<f64> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn latest_takes_newest() {
+        assert_eq!(Estimator::Latest.estimate(&hist(&[1.0, 2.0, 9.0])), 9.0);
+    }
+
+    #[test]
+    fn empty_history_is_zero() {
+        for e in [
+            Estimator::Latest,
+            Estimator::WindowMean,
+            Estimator::Ewma { alpha: 0.5 },
+            Estimator::Trend,
+            Estimator::Quantile { q: 0.9 },
+        ] {
+            assert_eq!(e.estimate(&hist(&[])), 0.0);
+        }
+    }
+
+    #[test]
+    fn window_mean_averages() {
+        assert_eq!(
+            Estimator::WindowMean.estimate(&hist(&[1.0, 2.0, 3.0, 6.0])),
+            3.0
+        );
+    }
+
+    #[test]
+    fn ewma_weights_recent_samples() {
+        let e = Estimator::Ewma { alpha: 0.5 };
+        // 1, then 0.5*3 + 0.5*1 = 2.
+        assert_eq!(e.estimate(&hist(&[1.0, 3.0])), 2.0);
+        // alpha = 1 is Latest.
+        assert_eq!(
+            Estimator::Ewma { alpha: 1.0 }.estimate(&hist(&[1.0, 7.0])),
+            7.0
+        );
+    }
+
+    #[test]
+    fn trend_extrapolates_linear_series_exactly() {
+        // y = 2x + 1 over x=0..3 predicts y(4) = 9.
+        let e = Estimator::Trend;
+        assert!((e.estimate(&hist(&[1.0, 3.0, 5.0, 7.0])) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_clamps_at_zero() {
+        // Steeply decreasing: raw extrapolation would be negative.
+        assert_eq!(Estimator::Trend.estimate(&hist(&[4.0, 2.0, 0.0])), 0.0);
+    }
+
+    #[test]
+    fn trend_on_single_sample_is_that_sample() {
+        assert_eq!(Estimator::Trend.estimate(&hist(&[5.0])), 5.0);
+    }
+
+    #[test]
+    fn trend_on_constant_series_is_constant() {
+        assert!((Estimator::Trend.estimate(&hist(&[2.0, 2.0, 2.0])) - 2.0).abs() < 1e-9);
+    }
+    #[test]
+    fn quantile_interpolates() {
+        let h = hist(&[4.0, 1.0, 3.0, 2.0]); // sorted: 1,2,3,4
+        assert_eq!(Estimator::Quantile { q: 0.0 }.estimate(&h), 1.0);
+        assert_eq!(Estimator::Quantile { q: 1.0 }.estimate(&h), 4.0);
+        assert!((Estimator::Quantile { q: 0.5 }.estimate(&h) - 2.5).abs() < 1e-12);
+        // p90 of four samples: pos 2.7 => 3·0.3 + 4·0.7 ... careful:
+        // sorted[2]=3, sorted[3]=4, frac 0.7 => 3.7.
+        assert!((Estimator::Quantile { q: 0.9 }.estimate(&h) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_on_singleton_and_empty() {
+        assert_eq!(Estimator::Quantile { q: 0.9 }.estimate(&hist(&[7.0])), 7.0);
+        assert_eq!(Estimator::Quantile { q: 0.9 }.estimate(&hist(&[])), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        Estimator::Quantile { q: 1.5 }.estimate(&hist(&[1.0]));
+    }
+}

@@ -1,0 +1,395 @@
+//! Inferring a logical topology from end-to-end measurements (network
+//! tomography).
+//!
+//! The paper argues that "the logical topology graph contains structural
+//! network information that cannot be captured by measurements between
+//! pairs of compute nodes, and this research exploits this extra
+//! information to develop faster and more accurate node selection
+//! procedures" (§2.2), and that systems relying on pairwise data (AppLeS
+//! / NWS) solve a qualitatively different problem (§5).
+//!
+//! This module makes that comparison executable. It implements the best
+//! reconstruction pairwise data permits: on a tree, the matrix of
+//! bottleneck available bandwidths is a **max-min ultrametric**
+//! (`bw(a,c) ≥ min(bw(a,b), bw(b,c))`), and single-linkage agglomeration
+//! over descending bandwidth rebuilds a dendrogram that reproduces every
+//! pairwise bottleneck exactly. What it *cannot* rebuild:
+//!
+//! * link **peak** capacities (`maxbw`) — only availability is
+//!   measurable end-to-end, so fractional-bandwidth objectives need an
+//!   assumed reference;
+//! * probe cost — `O(n²)` active pair measurements versus the collector's
+//!   `O(links)` passive counters;
+//! * robustness — each pair is measured independently, so noise breaks
+//!   the ultrametric consistency that SNMP per-link data preserves by
+//!   construction (quantified by the tomography experiment).
+
+use nodesel_topology::{NodeId, Topology, TopologyError};
+
+/// One end-to-end measurement between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMeasurement {
+    /// First host (index into the host list given to [`infer_topology`]).
+    pub a: usize,
+    /// Second host.
+    pub b: usize,
+    /// Measured available bandwidth between them, bits/s.
+    pub available_bw: f64,
+}
+
+/// A host as seen end-to-end: its name and measured load average.
+#[derive(Debug, Clone)]
+pub struct HostObservation {
+    /// Unique host name.
+    pub name: String,
+    /// Measured load average.
+    pub load_avg: f64,
+}
+
+/// Disjoint-set forest over cluster indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+/// Reconstructs a logical topology from pairwise available-bandwidth
+/// measurements by single-linkage agglomeration.
+///
+/// Pairs are processed in descending bandwidth order; when a pair spans
+/// two clusters, a synthetic switch joins them and the *cluster-joining
+/// links* get the pair's bandwidth as capacity. Host access links get the
+/// host's best observed bandwidth. On consistent (ultrametric) inputs the
+/// result reproduces every pairwise bottleneck exactly; inconsistent
+/// inputs (noise) are absorbed by the single-linkage order, silently
+/// coarsening the structure.
+///
+/// The inferred capacities represent *available* bandwidth — utilization
+/// is indistinguishable from a smaller pipe end-to-end — so the returned
+/// links carry zero `used` and callers optimizing fractional bandwidth
+/// must supply a reference bandwidth.
+///
+/// ```
+/// use nodesel_remos::inference::{infer_topology, HostObservation, PairMeasurement};
+/// let hosts: Vec<_> = (0..3).map(|i| HostObservation {
+///     name: format!("h{i}"), load_avg: 0.0,
+/// }).collect();
+/// // h0-h1 fast, both far from h2.
+/// let pairs = [
+///     PairMeasurement { a: 0, b: 1, available_bw: 90e6 },
+///     PairMeasurement { a: 0, b: 2, available_bw: 10e6 },
+///     PairMeasurement { a: 1, b: 2, available_bw: 10e6 },
+/// ];
+/// let topo = infer_topology(&hosts, &pairs).unwrap();
+/// let r = topo.routes();
+/// let id = |n: &str| topo.node_by_name(n).unwrap();
+/// assert_eq!(r.bottleneck_bw(id("h0"), id("h1")).unwrap(), 90e6);
+/// assert_eq!(r.bottleneck_bw(id("h0"), id("h2")).unwrap(), 10e6);
+/// ```
+pub fn infer_topology(
+    hosts: &[HostObservation],
+    pairs: &[PairMeasurement],
+) -> Result<Topology, TopologyError> {
+    let n = hosts.len();
+    let mut topo = Topology::new();
+    let host_ids: Vec<NodeId> = hosts
+        .iter()
+        .map(|h| {
+            let id = topo.try_add_node(h.name.clone(), nodesel_topology::NodeKind::Compute, 1.0)?;
+            Ok::<NodeId, TopologyError>(id)
+        })
+        .collect::<Result<_, _>>()?;
+    for (h, &id) in hosts.iter().zip(&host_ids) {
+        topo.set_load_avg(id, h.load_avg.max(0.0));
+    }
+    if n <= 1 {
+        return Ok(topo);
+    }
+
+    // Access-link capacity: the best bandwidth each host ever achieves.
+    let mut best = vec![0.0f64; n];
+    for p in pairs {
+        assert!(p.a < n && p.b < n && p.a != p.b, "invalid pair");
+        best[p.a] = best[p.a].max(p.available_bw);
+        best[p.b] = best[p.b].max(p.available_bw);
+    }
+
+    // Every host hangs off its own access switch; clusters then merge
+    // switch-to-switch.
+    let mut cluster_top: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let sw = topo.add_network_node(format!("sw-{}", hosts[i].name));
+            topo.add_link(sw, host_ids[i], best[i].max(1.0));
+            sw
+        })
+        .collect();
+
+    let mut order: Vec<&PairMeasurement> = pairs.iter().collect();
+    order.sort_by(|x, y| {
+        y.available_bw
+            .total_cmp(&x.available_bw)
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut merges = 0usize;
+    for p in order {
+        let (ra, rb) = (uf.find(p.a), uf.find(p.b));
+        if ra == rb {
+            continue;
+        }
+        let joint = topo.add_network_node(format!("inf-{merges}"));
+        let cap = p.available_bw.max(1.0);
+        topo.add_link(joint, cluster_top[ra], cap);
+        topo.add_link(joint, cluster_top[rb], cap);
+        uf.union(ra, rb);
+        let root = uf.find(p.a);
+        cluster_top[root] = joint;
+        merges += 1;
+        if merges == n - 1 {
+            break;
+        }
+    }
+    Ok(topo)
+}
+
+/// Gathers the full pairwise measurement matrix from a Remos handle's
+/// flow queries — the probing an end-to-end-only system would have to do
+/// (`O(n²)` active measurements).
+pub fn measure_all_pairs(
+    remos: &crate::Remos,
+    hosts: &[NodeId],
+    estimator: crate::Estimator,
+) -> Result<(Vec<HostObservation>, Vec<PairMeasurement>), TopologyError> {
+    let host_infos = remos.host_query(hosts, estimator)?;
+    let topo = remos.logical_topology(estimator);
+    let observations = host_infos
+        .iter()
+        .map(|h| HostObservation {
+            name: topo.node(h.node).name().to_string(),
+            load_avg: h.load_avg,
+        })
+        .collect();
+    let mut queries = Vec::new();
+    for i in 0..hosts.len() {
+        for j in i + 1..hosts.len() {
+            queries.push((hosts[i], hosts[j]));
+        }
+    }
+    let infos = remos.flow_query(&queries, estimator)?;
+    let pairs = infos
+        .iter()
+        .enumerate()
+        .map(|(k, info)| {
+            let (i, j) = index_pair(k, hosts.len());
+            PairMeasurement {
+                a: i,
+                b: j,
+                // The symmetric quantity the pair would measure.
+                available_bw: info.available_bw,
+            }
+        })
+        .collect();
+    Ok((observations, pairs))
+}
+
+/// Inverse of the row-major upper-triangle enumeration used above.
+fn index_pair(k: usize, n: usize) -> (usize, usize) {
+    let mut idx = k;
+    for i in 0..n {
+        let row = n - i - 1;
+        if idx < row {
+            return (i, i + 1 + idx);
+        }
+        idx -= row;
+    }
+    unreachable!("pair index out of range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::{dumbbell, random_tree, randomize_conditions};
+    use nodesel_topology::units::MBPS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Measures all pairs directly from a ground-truth topology.
+    fn pairs_from(
+        topo: &Topology,
+        hosts: &[NodeId],
+    ) -> (Vec<HostObservation>, Vec<PairMeasurement>) {
+        let routes = topo.routes();
+        let obs = hosts
+            .iter()
+            .map(|&h| HostObservation {
+                name: topo.node(h).name().to_string(),
+                load_avg: topo.node(h).load_avg(),
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..hosts.len() {
+            for j in i + 1..hosts.len() {
+                pairs.push(PairMeasurement {
+                    a: i,
+                    b: j,
+                    available_bw: routes.bottleneck_bw(hosts[i], hosts[j]).unwrap(),
+                });
+            }
+        }
+        (obs, pairs)
+    }
+
+    #[test]
+    fn reconstruction_reproduces_pairwise_bottlenecks() {
+        // The ultrametric theorem, checked on seeded random trees with
+        // random conditions: inferred pairwise bottlenecks == measured.
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut topo, hosts) = random_tree(&mut rng, 6, 3, 100.0 * MBPS);
+            randomize_conditions(&mut topo, &mut rng, 2.0, 0.9);
+            let (obs, pairs) = pairs_from(&topo, &hosts);
+            let inferred = infer_topology(&obs, &pairs).unwrap();
+            let iroutes = inferred.routes();
+            let ids: Vec<NodeId> = (0..hosts.len())
+                .map(|i| inferred.node_by_name(topo.node(hosts[i]).name()).unwrap())
+                .collect();
+            for p in &pairs {
+                let got = iroutes.bottleneck_bw(ids[p.a], ids[p.b]).unwrap();
+                assert!(
+                    (got - p.available_bw).abs() <= 1e-6 * p.available_bw.max(1.0),
+                    "seed {seed}: pair ({},{}) measured {}, inferred {got}",
+                    p.a,
+                    p.b,
+                    p.available_bw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loads_carry_over() {
+        let (mut topo, hosts) = dumbbell(2, 100.0 * MBPS, 10.0 * MBPS);
+        topo.set_load_avg(hosts[0], 2.5);
+        let (obs, pairs) = pairs_from(&topo, &hosts);
+        let inferred = infer_topology(&obs, &pairs).unwrap();
+        let h0 = inferred.node_by_name("l0").unwrap();
+        assert_eq!(inferred.node(h0).load_avg(), 2.5);
+        assert_eq!(inferred.compute_node_count(), 4);
+        assert!(inferred.is_connected());
+        assert!(inferred.is_acyclic());
+    }
+
+    #[test]
+    fn dumbbell_structure_is_recovered() {
+        let (topo, hosts) = dumbbell(3, 100.0 * MBPS, 10.0 * MBPS);
+        let (obs, pairs) = pairs_from(&topo, &hosts);
+        let inferred = infer_topology(&obs, &pairs).unwrap();
+        let r = inferred.routes();
+        let id = |i: usize| inferred.node_by_name(topo.node(hosts[i]).name()).unwrap();
+        // Same-side pairs keep 100 Mbps; cross-side pairs see the 10 Mbps
+        // bottleneck — including the *shared* internal node, so joint
+        // congestion of cross flows is structurally visible.
+        assert_eq!(r.bottleneck_bw(id(0), id(1)).unwrap(), 100.0 * MBPS);
+        assert_eq!(r.bottleneck_bw(id(0), id(3)).unwrap(), 10.0 * MBPS);
+        assert_eq!(r.bottleneck_bw(id(4), id(1)).unwrap(), 10.0 * MBPS);
+    }
+
+    #[test]
+    fn singleton_and_empty_inputs() {
+        let inferred = infer_topology(&[], &[]).unwrap();
+        assert_eq!(inferred.node_count(), 0);
+        let one = infer_topology(
+            &[HostObservation {
+                name: "only".into(),
+                load_avg: 1.0,
+            }],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(one.compute_node_count(), 1);
+    }
+
+    #[test]
+    fn inconsistent_measurements_still_yield_a_valid_tree() {
+        // Deliberately non-ultrametric (noisy) inputs.
+        let obs: Vec<HostObservation> = (0..4)
+            .map(|i| HostObservation {
+                name: format!("h{i}"),
+                load_avg: 0.0,
+            })
+            .collect();
+        let pairs = vec![
+            PairMeasurement {
+                a: 0,
+                b: 1,
+                available_bw: 90e6,
+            },
+            PairMeasurement {
+                a: 0,
+                b: 2,
+                available_bw: 30e6,
+            },
+            PairMeasurement {
+                a: 1,
+                b: 2,
+                available_bw: 70e6,
+            }, // violates ultrametric
+            PairMeasurement {
+                a: 0,
+                b: 3,
+                available_bw: 20e6,
+            },
+            PairMeasurement {
+                a: 1,
+                b: 3,
+                available_bw: 25e6,
+            },
+            PairMeasurement {
+                a: 2,
+                b: 3,
+                available_bw: 15e6,
+            },
+        ];
+        let inferred = infer_topology(&obs, &pairs).unwrap();
+        assert!(inferred.is_connected());
+        assert!(inferred.is_acyclic());
+        assert_eq!(inferred.compute_node_count(), 4);
+    }
+
+    #[test]
+    fn index_pair_round_trips() {
+        let n = 7;
+        let mut k = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(index_pair(k, n), (i, j));
+                k += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! A Remos-like resource measurement layer over the simulator.
+//!
+//! Remos (REsource MOnitoring System, Lowekamp et al., HPDC '98) is the
+//! query interface to network information the PPoPP '99 node-selection
+//! framework is built on. This crate reproduces its externally visible
+//! behaviour against `nodesel-simnet`:
+//!
+//! * a periodic **SNMP-style collector** samples host load averages and
+//!   per-directed-link octet counters into bounded history windows
+//!   ([`CollectorConfig`]);
+//! * the **query API** exposes the paper's two abstraction levels —
+//!   [`Remos::flow_query`] (available bandwidth between node pairs) and
+//!   [`Remos::logical_topology`] (a functional snapshot of the network
+//!   annotated with measured conditions);
+//! * [`Estimator`] selects between history-window, current-conditions and
+//!   future-estimate answers, mirroring the Remos API's query modes.
+//!
+//! Selection algorithms consume the annotated [`nodesel_topology::Topology`]
+//! returned by `logical_topology`; because it is built purely from sampled
+//! data, staleness and measurement noise propagate into selection quality
+//! exactly as they would on a real network.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod collector;
+mod estimator;
+pub mod inference;
+mod queries;
+
+pub use collector::CollectorConfig;
+pub use estimator::Estimator;
+pub use queries::{FlowInfo, HostInfo, QueryStats, Remos};

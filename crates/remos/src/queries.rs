@@ -1,0 +1,434 @@
+//! The two-level Remos query API: flow queries and logical topology.
+
+use crate::collector::{install, CollectorConfig, SharedSamples};
+use crate::estimator::Estimator;
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::{Direction, NodeId, Topology, TopologyError};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Counters of API usage: "the cost that an application pays ... is low
+/// and directly related to the depth and frequency of its requests for
+/// network information" (paper §2.2). These counters expose that
+/// frequency so experiments can report the measurement bill of each
+/// strategy (e.g. tomography's O(n²) pair probes vs one topology query).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Logical-topology queries served.
+    pub topology_queries: u64,
+    /// Flow-query calls served (independent and sharing-aware).
+    pub flow_queries: u64,
+    /// Total node pairs evaluated across all flow queries.
+    pub pairs_queried: u64,
+    /// Host-query calls served.
+    pub host_queries: u64,
+}
+
+/// Result of a flow query for one node pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowInfo {
+    /// Flow source.
+    pub src: NodeId,
+    /// Flow destination.
+    pub dst: NodeId,
+    /// Estimated available bandwidth along the fixed route, bits/s.
+    pub available_bw: f64,
+    /// One-way latency along the route, seconds.
+    pub latency: f64,
+    /// Number of links on the route.
+    pub hops: usize,
+}
+
+/// Result of a host query for one compute node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// The node.
+    pub node: NodeId,
+    /// Estimated load average.
+    pub load_avg: f64,
+    /// Available CPU fraction `1/(1+loadavg)`.
+    pub cpu: f64,
+    /// Relative speed of the node.
+    pub speed: f64,
+}
+
+/// The Remos query interface.
+///
+/// A `Remos` handle wraps the shared sample store fed by the periodic
+/// collector. Queries are answered purely from sampled history — the
+/// interface never peeks at simulator ground truth — which reproduces the
+/// defining property of the real system: applications see *measurements*,
+/// with their period, staleness and noise.
+///
+/// The two abstraction levels of the paper's API are
+/// [`Remos::logical_topology`] (a functional snapshot of the network,
+/// annotated with measured conditions) and [`Remos::flow_query`]
+/// (end-to-end available bandwidth for specific node pairs).
+#[derive(Clone)]
+pub struct Remos {
+    samples: SharedSamples,
+    stats: Rc<Cell<QueryStats>>,
+}
+
+impl Remos {
+    /// Installs the SNMP-style collector into a simulator and returns the
+    /// query handle.
+    pub fn install(sim: &mut Sim, config: CollectorConfig) -> Remos {
+        Remos {
+            samples: install(sim, config),
+            stats: Rc::new(Cell::new(QueryStats::default())),
+        }
+    }
+
+    /// API-usage counters accumulated by this handle (shared across
+    /// clones).
+    pub fn query_stats(&self) -> QueryStats {
+        self.stats.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut QueryStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    /// Number of collection rounds completed so far.
+    pub fn sample_count(&self) -> u64 {
+        self.samples.borrow().sample_count
+    }
+
+    /// Time of the most recent sample, if any.
+    pub fn last_sample_time(&self) -> Option<SimTime> {
+        self.samples.borrow().last_sample
+    }
+
+    /// The logical network topology annotated with estimated conditions:
+    /// per-compute-node load averages and per-direction link utilizations.
+    ///
+    /// Metrics with no samples yet report zero load / zero utilization
+    /// (optimistic), matching a monitor that has just started. Estimated
+    /// utilization is clamped to the link capacity.
+    pub fn logical_topology(&self, estimator: Estimator) -> Topology {
+        self.bump(|s| s.topology_queries += 1);
+        let st = self.samples.borrow();
+        let mut topo = st.base.clone();
+        for id in topo.node_ids().collect::<Vec<_>>() {
+            if topo.node(id).is_compute() {
+                let load = estimator.estimate(&st.host[id.index()]).max(0.0);
+                topo.set_load_avg(id, load);
+            }
+        }
+        for e in topo.edge_ids().collect::<Vec<_>>() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                let slot = e.index() * 2 + dir as usize;
+                let cap = topo.link(e).capacity(dir);
+                let used = estimator.estimate(&st.link[slot]).clamp(0.0, cap);
+                topo.set_link_used(e, dir, used);
+            }
+        }
+        topo
+    }
+
+    /// Flow queries: estimated available bandwidth and latency between each
+    /// requested pair, over the network's fixed routes.
+    pub fn flow_query(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        estimator: Estimator,
+    ) -> Result<Vec<FlowInfo>, TopologyError> {
+        self.bump(|s| {
+            s.flow_queries += 1;
+            s.pairs_queried += pairs.len() as u64;
+        });
+        let topo = self.logical_topology(estimator);
+        let routes = topo.routes();
+        pairs
+            .iter()
+            .map(|&(src, dst)| {
+                let path = routes.path(src, dst)?;
+                Ok(FlowInfo {
+                    src,
+                    dst,
+                    available_bw: routes.available_bandwidth(src, dst)?,
+                    latency: routes.latency(src, dst)?,
+                    hops: path.len(),
+                })
+            })
+            .collect()
+    }
+
+    /// Sharing-aware flow queries (paper §2.2: flow queries "account for
+    /// sharing of network links by multiple flows").
+    ///
+    /// Where [`Remos::flow_query`] reports each pair's available bandwidth
+    /// independently, this predicts the max-min fair rate each requested
+    /// flow would obtain if **all of them ran simultaneously**, competing
+    /// for whatever capacity the measured background traffic has left.
+    /// This is what an application planning a communication phase (e.g. an
+    /// all-to-all) should ask for.
+    pub fn flow_query_shared(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        estimator: Estimator,
+    ) -> Result<Vec<FlowInfo>, TopologyError> {
+        self.bump(|s| {
+            s.flow_queries += 1;
+            s.pairs_queried += pairs.len() as u64;
+        });
+        let topo = self.logical_topology(estimator);
+        let routes = topo.routes();
+        // Residual capacity per directed link after measured background
+        // traffic.
+        let mut capacity = vec![0.0; topo.link_count() * 2];
+        for e in topo.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                capacity[nodesel_topology::maxmin::dir_slot(e, dir)] = topo.link(e).available(dir);
+            }
+        }
+        let mut paths = Vec::with_capacity(pairs.len());
+        let mut flow_slots = Vec::with_capacity(pairs.len());
+        for &(src, dst) in pairs {
+            let path = routes.path(src, dst)?;
+            flow_slots.push(
+                path.hops
+                    .iter()
+                    .map(|&(e, d)| nodesel_topology::maxmin::dir_slot(e, d))
+                    .collect::<Vec<_>>(),
+            );
+            paths.push(path);
+        }
+        let rates = nodesel_topology::maxmin::max_min_allocate(&capacity, &flow_slots);
+        pairs
+            .iter()
+            .zip(paths.iter().zip(rates))
+            .map(|(&(src, dst), (path, rate))| {
+                Ok(FlowInfo {
+                    src,
+                    dst,
+                    available_bw: rate,
+                    latency: routes.latency(src, dst)?,
+                    hops: path.len(),
+                })
+            })
+            .collect()
+    }
+
+    /// Host queries: estimated load and available CPU for each node.
+    /// Errors on network nodes.
+    pub fn host_query(
+        &self,
+        nodes: &[NodeId],
+        estimator: Estimator,
+    ) -> Result<Vec<HostInfo>, TopologyError> {
+        self.bump(|s| s.host_queries += 1);
+        let st = self.samples.borrow();
+        nodes
+            .iter()
+            .map(|&node| {
+                let n = st.base.node(node);
+                if !n.is_compute() {
+                    return Err(TopologyError::NotComputeNode(node));
+                }
+                let load_avg = estimator.estimate(&st.host[node.index()]).max(0.0);
+                Ok(HostInfo {
+                    node,
+                    load_avg,
+                    cpu: 1.0 / (1.0 + load_avg),
+                    speed: n.speed(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::{chain, star};
+    use nodesel_topology::units::MBPS;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fresh_monitor_reports_unloaded_network() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        let t = remos.logical_topology(Estimator::Latest);
+        assert_eq!(t.node(ids[0]).cpu(), 1.0);
+        for e in t.edge_ids() {
+            assert_eq!(t.link(e).bwfactor(), 1.0);
+        }
+        assert_eq!(remos.sample_count(), 0);
+    }
+
+    #[test]
+    fn topology_reflects_measured_load_and_traffic() {
+        let (topo, ids) = chain(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.start_compute(ids[1], 1e9, |_| {});
+        sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
+        sim.run_until(secs(600));
+        let t = remos.logical_topology(Estimator::Latest);
+        assert!(t.node(ids[1]).load_avg() > 0.9);
+        assert!(t.node(ids[0]).load_avg() < 0.05);
+        // Both chain links are saturated in the forward direction.
+        for e in t.edge_ids() {
+            assert!(t.link(e).bw() < MBPS, "bw {}", t.link(e).bw());
+        }
+    }
+
+    #[test]
+    fn flow_query_reports_available_bandwidth_and_latency() {
+        let mut topo = Topology::new();
+        let a = topo.add_compute_node("a", 1.0);
+        let s = topo.add_network_node("s");
+        let b = topo.add_compute_node("b", 1.0);
+        topo.add_link_full(a, s, 100.0 * MBPS, 100.0 * MBPS, 0.001);
+        topo.add_link_full(s, b, 10.0 * MBPS, 10.0 * MBPS, 0.002);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.run_until(secs(30));
+        let infos = remos
+            .flow_query(&[(a, b), (b, a)], Estimator::Latest)
+            .unwrap();
+        assert_eq!(infos[0].available_bw, 10.0 * MBPS);
+        assert_eq!(infos[0].hops, 2);
+        assert!((infos[0].latency - 0.003).abs() < 1e-12);
+        assert_eq!(infos[1].available_bw, 10.0 * MBPS);
+    }
+
+    #[test]
+    fn measurements_are_stale_not_instant() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(
+            &mut sim,
+            CollectorConfig {
+                period: 10.0,
+                ..CollectorConfig::default()
+            },
+        );
+        // Let a couple of idle samples land, then start the job.
+        sim.run_until(secs(25));
+        sim.start_compute(ids[0], 1e9, |_| {});
+        sim.run_until(secs(29));
+        // True load is ramping up but the last sample (t=20) predates it.
+        let t = remos.logical_topology(Estimator::Latest);
+        assert_eq!(t.node(ids[0]).load_avg(), 0.0);
+        sim.run_until(secs(300));
+        let t = remos.logical_topology(Estimator::Latest);
+        assert!(t.node(ids[0]).load_avg() > 0.9);
+    }
+
+    #[test]
+    fn estimators_disagree_on_transients() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        // Load for the first 150s only, then idle.
+        sim.start_compute(ids[0], 150.0, |_| {});
+        sim.run_until(secs(175));
+        let latest = remos.host_query(&[ids[0]], Estimator::Latest).unwrap()[0].load_avg;
+        let mean = remos.host_query(&[ids[0]], Estimator::WindowMean).unwrap()[0].load_avg;
+        // The window mean still remembers the loaded period.
+        assert!(mean > latest);
+    }
+
+    #[test]
+    fn host_query_rejects_network_nodes() {
+        let (topo, _) = star(2, 100.0 * MBPS);
+        let hub = topo.node_by_name("hub").unwrap();
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        assert!(matches!(
+            remos.host_query(&[hub], Estimator::Latest),
+            Err(TopologyError::NotComputeNode(_))
+        ));
+    }
+
+    #[test]
+    fn flow_query_errors_on_disconnected_pair() {
+        let mut topo = Topology::new();
+        let a = topo.add_compute_node("a", 1.0);
+        let b = topo.add_compute_node("b", 1.0);
+        let mut sim = Sim::new(topo.clone());
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        assert!(remos.flow_query(&[(a, b)], Estimator::Latest).is_err());
+    }
+    #[test]
+    fn shared_flow_query_divides_a_common_bottleneck() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.run_until(secs(30));
+        // Two flows converging on n2: independently each sees 100 Mbps,
+        // together they split n2's access link 50/50.
+        let pairs = [(ids[0], ids[2]), (ids[1], ids[2])];
+        let indep = remos.flow_query(&pairs, Estimator::Latest).unwrap();
+        assert_eq!(indep[0].available_bw, 100.0 * MBPS);
+        assert_eq!(indep[1].available_bw, 100.0 * MBPS);
+        let shared = remos.flow_query_shared(&pairs, Estimator::Latest).unwrap();
+        assert_eq!(shared[0].available_bw, 50.0 * MBPS);
+        assert_eq!(shared[1].available_bw, 50.0 * MBPS);
+    }
+
+    #[test]
+    fn shared_flow_query_respects_background_traffic() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        // Persistent background flow into n2 consumes ~100 Mbps of its
+        // access link... shared with whatever else runs, but the *measured*
+        // utilization is what the prediction subtracts.
+        sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
+        sim.run_until(secs(60));
+        let shared = remos
+            .flow_query_shared(&[(ids[1], ids[2])], Estimator::Latest)
+            .unwrap();
+        // The link is measured as saturated, so the predicted residual
+        // share is near zero.
+        assert!(
+            shared[0].available_bw < 5.0 * MBPS,
+            "{}",
+            shared[0].available_bw
+        );
+    }
+
+    #[test]
+    fn shared_flow_query_disjoint_paths_unaffected() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.run_until(secs(10));
+        // Disjoint pairs keep full rate even when queried together.
+        let shared = remos
+            .flow_query_shared(&[(ids[0], ids[1]), (ids[2], ids[3])], Estimator::Latest)
+            .unwrap();
+        assert_eq!(shared[0].available_bw, 100.0 * MBPS);
+        assert_eq!(shared[1].available_bw, 100.0 * MBPS);
+    }
+    #[test]
+    fn query_stats_count_usage() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        assert_eq!(remos.query_stats(), QueryStats::default());
+        let _ = remos.logical_topology(Estimator::Latest);
+        let _ = remos.flow_query(&[(ids[0], ids[1]), (ids[1], ids[2])], Estimator::Latest);
+        let _ = remos.host_query(&ids, Estimator::Latest);
+        let stats = remos.query_stats();
+        // flow_query internally takes one topology snapshot too.
+        assert_eq!(stats.topology_queries, 2);
+        assert_eq!(stats.flow_queries, 1);
+        assert_eq!(stats.pairs_queried, 2);
+        assert_eq!(stats.host_queries, 1);
+        // Clones share the counters.
+        let clone = remos.clone();
+        let _ = clone.logical_topology(Estimator::Latest);
+        assert_eq!(remos.query_stats().topology_queries, 3);
+    }
+}

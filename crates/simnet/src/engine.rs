@@ -1,0 +1,730 @@
+//! The discrete-event engine tying hosts, flows and user events together.
+
+use crate::flows::{FlowId, FlowTable};
+use crate::host::{Host, TaskId};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, Tracer};
+use nodesel_topology::{Direction, EdgeId, NodeId, RouteTable, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Default UNIX-style load-average damping constant (1-minute average).
+pub const DEFAULT_LOAD_AVG_TAU: f64 = 60.0;
+
+/// A deferred action executed by the engine at its scheduled time.
+pub type Callback = Box<dyn FnOnce(&mut Sim)>;
+
+enum EventKind {
+    HostWake { host: usize, generation: u64 },
+    NetWake { generation: u64 },
+    User(Callback),
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// CPU tasks completed (application + background).
+    pub completed_tasks: u64,
+    /// Flows fully delivered (application + background).
+    pub completed_flows: u64,
+    /// Events dispatched.
+    pub events: u64,
+}
+
+/// The simulator.
+///
+/// `Sim` owns a [`Topology`] (capacities, speeds, structure), a
+/// processor-sharing [`Host`] per compute node, and a max-min fair
+/// [`FlowTable`]. All activity — application phases, background load,
+/// background traffic, measurement sampling — is expressed as events.
+///
+/// # Determinism
+///
+/// Events at equal timestamps dispatch in scheduling order (a strictly
+/// monotone sequence number breaks ties), and every internal algorithm
+/// iterates in dense-index order, so a run is a pure function of the
+/// topology and the scheduled events.
+pub struct Sim {
+    topo: Topology,
+    routes: RouteTable,
+    time: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    hosts: Vec<Option<Host>>,
+    host_generation: Vec<u64>,
+    flows: FlowTable,
+    net_generation: u64,
+    next_task: u64,
+    next_flow: u64,
+    task_done: HashMap<TaskId, Callback>,
+    flow_done: HashMap<FlowId, (f64, Callback)>,
+    stats: SimStats,
+    tracer: Option<Tracer>,
+}
+
+impl Sim {
+    /// Builds a simulator over a topology snapshot. Load averages and link
+    /// utilizations stored in `topo` are ignored: the simulator derives
+    /// them from actual activity.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_load_avg_tau(topo, DEFAULT_LOAD_AVG_TAU)
+    }
+
+    /// Like [`Sim::new`] with an explicit load-average time constant.
+    pub fn with_load_avg_tau(topo: Topology, tau: f64) -> Self {
+        let routes = RouteTable::build(&topo);
+        let hosts: Vec<Option<Host>> = topo
+            .node_ids()
+            .map(|id| {
+                let n = topo.node(id);
+                n.is_compute().then(|| Host::new(n.speed(), tau))
+            })
+            .collect();
+        let host_generation = vec![0; hosts.len()];
+        let flows = FlowTable::new(&topo);
+        Sim {
+            topo,
+            routes,
+            time: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            hosts,
+            host_generation,
+            flows,
+            net_generation: 0,
+            next_task: 1,
+            next_flow: 1,
+            task_done: HashMap::new(),
+            flow_done: HashMap::new(),
+            stats: SimStats::default(),
+            tracer: None,
+        }
+    }
+
+    /// Enables event tracing with a buffer of up to `limit` events (use
+    /// `usize::MAX` for unbounded). Call [`Sim::take_trace`] to drain.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.tracer = Some(Tracer::new(limit));
+    }
+
+    /// Drains the trace buffer, returning the recorded events and the
+    /// number of events dropped because the buffer was full.
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.tracer.as_mut().map(Tracer::take).unwrap_or_default()
+    }
+
+    #[inline]
+    fn trace(&mut self, make: impl FnOnce(SimTime) -> TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            let at = self.time;
+            t.record(make(at));
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.time);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    /// Schedules `f` to run at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = at.max(self.time);
+        self.push(at, EventKind::User(Box::new(f)));
+    }
+
+    /// Schedules `f` to run `delay_secs` from now.
+    pub fn schedule_in(&mut self, delay_secs: f64, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = self.time.after_secs_f64(delay_secs);
+        self.push(at, EventKind::User(Box::new(f)));
+    }
+
+    // ----- CPU tasks ------------------------------------------------------
+
+    fn host_mut(&mut self, node: NodeId) -> &mut Host {
+        self.hosts[node.index()]
+            .as_mut()
+            .expect("CPU operations require a compute node")
+    }
+
+    fn reschedule_host(&mut self, node: NodeId) {
+        let idx = node.index();
+        self.host_generation[idx] += 1;
+        let generation = self.host_generation[idx];
+        let at = self.hosts[idx]
+            .as_ref()
+            .expect("compute node")
+            .next_completion();
+        if at != SimTime::NEVER {
+            self.push(
+                at.max(self.time),
+                EventKind::HostWake {
+                    host: idx,
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Starts a CPU task of `work` reference-seconds on `node`; `on_done`
+    /// fires when it completes. Returns the task id.
+    pub fn start_compute(
+        &mut self,
+        node: NodeId,
+        work: f64,
+        on_done: impl FnOnce(&mut Sim) + 'static,
+    ) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let now = self.time;
+        let host = self.host_mut(node);
+        host.settle(now);
+        host.add_task(id, work);
+        self.task_done.insert(id, Box::new(on_done));
+        self.reschedule_host(node);
+        self.trace(|at| TraceEvent::TaskStarted { at, node, id, work });
+        id
+    }
+
+    /// Cancels a running CPU task; its completion callback is dropped.
+    /// Returns true when the task was live on `node`.
+    pub fn cancel_compute(&mut self, node: NodeId, id: TaskId) -> bool {
+        let now = self.time;
+        let host = self.host_mut(node);
+        host.settle(now);
+        let removed = host.remove_task(id);
+        if removed {
+            self.task_done.remove(&id);
+            self.reschedule_host(node);
+            self.trace(|at| TraceEvent::TaskCancelled { at, node, id });
+        }
+        removed
+    }
+
+    // ----- Flows ----------------------------------------------------------
+
+    fn reschedule_net(&mut self) {
+        self.net_generation += 1;
+        let generation = self.net_generation;
+        let at = self.flows.next_completion();
+        if at != SimTime::NEVER {
+            self.push(at.max(self.time), EventKind::NetWake { generation });
+        }
+    }
+
+    /// Starts a bulk transfer of `bits` from `src` to `dst` along the fixed
+    /// route; `on_done` fires when the last bit has arrived (transfer time
+    /// plus one-way path latency). Panics when the nodes are disconnected.
+    ///
+    /// A transfer to self delivers after zero time (the paper's node set is
+    /// connected through the network; local communication is free).
+    pub fn start_transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bits: f64,
+        on_done: impl FnOnce(&mut Sim) + 'static,
+    ) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        if src == dst {
+            self.stats.completed_flows += 1;
+            self.schedule_in(0.0, on_done);
+            return id;
+        }
+        let path = self
+            .routes
+            .resolve(&self.topo, src, dst)
+            .expect("transfer endpoints must be connected");
+        let latency: f64 = path
+            .hops
+            .iter()
+            .map(|&(e, _)| self.topo.link(e).latency())
+            .sum();
+        self.flows.settle(self.time);
+        self.flows.add_flow(id, &path, bits);
+        self.flow_done.insert(id, (latency, Box::new(on_done)));
+        self.reschedule_net();
+        self.trace(|at| TraceEvent::FlowStarted {
+            at,
+            id,
+            src,
+            dst,
+            bits,
+        });
+        id
+    }
+
+    /// Cancels a live flow, dropping its callback. Returns true when live.
+    pub fn cancel_transfer(&mut self, id: FlowId) -> bool {
+        self.flows.settle(self.time);
+        let removed = self.flows.remove_flow(id);
+        if removed {
+            self.flow_done.remove(&id);
+            self.reschedule_net();
+            self.trace(|at| TraceEvent::FlowCancelled { at, id });
+        }
+        removed
+    }
+
+    // ----- Measurement interface -----------------------------------------
+
+    /// Instantaneous run-queue length of a compute node.
+    pub fn run_queue(&self, node: NodeId) -> usize {
+        self.hosts[node.index()]
+            .as_ref()
+            .expect("compute node")
+            .run_queue()
+    }
+
+    /// Load average of a compute node as of now (damped analytically; does
+    /// not mutate state).
+    pub fn load_avg(&self, node: NodeId) -> f64 {
+        let host = self.hosts[node.index()].as_ref().expect("compute node");
+        // Analytic continuation of the host EWMA to the current instant.
+        let mut h = host.clone();
+        h.settle(self.time);
+        h.load_avg()
+    }
+
+    /// Aggregate flow rate on a directed link right now, bits/s.
+    pub fn link_rate(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.flows.link_rate(edge, dir)
+    }
+
+    /// Cumulative bits carried by a directed link up to now (SNMP-style
+    /// octet counter).
+    pub fn link_bits(&self, edge: EdgeId, dir: Direction) -> f64 {
+        let dt = self.time.seconds_since(self.flows_last_update());
+        self.flows.link_bits(edge, dir) + self.flows.link_rate(edge, dir) * dt
+    }
+
+    fn flows_last_update(&self) -> SimTime {
+        // FlowTable settles lazily; its own clock is private, so expose the
+        // counters relative to the engine clock by settling virtually.
+        // (Engine settles flows on every mutation, so the gap is just the
+        // quiet period since the last flow event.)
+        self.flows.last_update()
+    }
+
+    /// Number of live flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Reference-seconds of CPU work completed on a node so far.
+    pub fn completed_work(&self, node: NodeId) -> f64 {
+        self.hosts[node.index()]
+            .as_ref()
+            .expect("compute node")
+            .completed_work()
+    }
+
+    /// A topology snapshot annotated with the *true* instantaneous
+    /// conditions: per-node load averages and per-direction link
+    /// utilizations equal to current flow rates. This is the "perfect
+    /// oracle" measurement; `nodesel-remos` layers realistic sampling on
+    /// top.
+    pub fn oracle_snapshot(&self) -> Topology {
+        let mut t = self.topo.clone();
+        let computes: Vec<NodeId> = t.compute_nodes().collect();
+        for n in computes {
+            t.set_load_avg(n, self.load_avg(n));
+        }
+        for e in t.edge_ids().collect::<Vec<_>>() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                t.set_link_used(e, dir, self.flows.link_rate(e, dir));
+            }
+        }
+        t
+    }
+
+    // ----- Event loop -----------------------------------------------------
+
+    /// Dispatches the next event, if any. Returns false when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "event from the past");
+        self.time = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::User(f) => f(self),
+            EventKind::HostWake { host, generation } => {
+                if generation == self.host_generation[host] {
+                    self.on_host_wake(host);
+                }
+            }
+            EventKind::NetWake { generation } => {
+                if generation == self.net_generation {
+                    self.on_net_wake();
+                }
+            }
+        }
+        true
+    }
+
+    fn on_host_wake(&mut self, host: usize) {
+        let node = NodeId::from_index(host);
+        let now = self.time;
+        let h = self.host_mut(node);
+        h.settle(now);
+        let finished = h.take_finished();
+        self.reschedule_host(node);
+        for id in finished {
+            self.stats.completed_tasks += 1;
+            self.trace(|at| TraceEvent::TaskFinished { at, node, id });
+            if let Some(cb) = self.task_done.remove(&id) {
+                cb(self);
+            }
+        }
+    }
+
+    fn on_net_wake(&mut self) {
+        self.flows.settle(self.time);
+        let finished = self.flows.take_finished();
+        self.reschedule_net();
+        for id in finished {
+            self.stats.completed_flows += 1;
+            self.trace(|at| TraceEvent::FlowFinished { at, id });
+            if let Some((latency, cb)) = self.flow_done.remove(&id) {
+                // The last bit still has to propagate to the receiver.
+                self.schedule_in(latency, cb);
+            }
+        }
+    }
+
+    /// Runs until the event queue is exhausted; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.time
+    }
+
+    /// Runs all events up to and including `limit`, then sets the clock to
+    /// `limit`. Later events stay queued.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > limit {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(limit);
+    }
+
+    /// Runs for `secs` simulated seconds from now.
+    pub fn run_for(&mut self, secs: f64) {
+        let limit = self.time.after_secs_f64(secs);
+        self.run_until(limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::{chain, star};
+    use nodesel_topology::units::MBPS;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn compute_task_completion_time() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_compute(ids[0], 5.0, move |s| {
+            *d.borrow_mut() = Some(s.now());
+        });
+        sim.run();
+        assert_eq!(*done.borrow(), Some(t(5.0)));
+        assert_eq!(sim.stats().completed_tasks, 1);
+    }
+
+    #[test]
+    fn background_task_slows_application_task() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.start_compute(ids[0], 100.0, |_| {});
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_compute(ids[0], 5.0, move |s| {
+            *d.borrow_mut() = Some(s.now());
+        });
+        sim.run_for(30.0);
+        // Shared with one competitor: 5 units at rate 0.5 => 10 s.
+        assert_eq!(*done.borrow(), Some(t(10.0)));
+    }
+
+    #[test]
+    fn transfer_takes_bandwidth_time_plus_latency() {
+        let mut topo = nodesel_topology::Topology::new();
+        let a = topo.add_compute_node("a", 1.0);
+        let b = topo.add_compute_node("b", 1.0);
+        topo.add_link_full(a, b, 100.0 * MBPS, 100.0 * MBPS, 0.01);
+        let mut sim = Sim::new(topo);
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_transfer(a, b, 100.0 * MBPS, move |s| {
+            *d.borrow_mut() = Some(s.now());
+        });
+        sim.run();
+        // 1 s of transfer + 10 ms propagation.
+        let finished = done.borrow().unwrap();
+        assert!((finished.as_secs_f64() - 1.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn competing_transfers_share_and_then_speed_up() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let t1 = Rc::new(RefCell::new(None));
+        let t2 = Rc::new(RefCell::new(None));
+        let (d1, d2) = (t1.clone(), t2.clone());
+        // Both flows into n2: 100 Mbit and 50 Mbit.
+        sim.start_transfer(ids[0], ids[2], 100.0 * MBPS, move |s| {
+            *d1.borrow_mut() = Some(s.now().as_secs_f64());
+        });
+        sim.start_transfer(ids[1], ids[2], 50.0 * MBPS, move |s| {
+            *d2.borrow_mut() = Some(s.now().as_secs_f64());
+        });
+        sim.run();
+        // Shared 50/50 until the small one drains at 1 s; the big one then
+        // has 50 Mbit left at full rate: total 1.5 s.
+        assert!((t2.borrow().unwrap() - 1.0).abs() < 1e-6);
+        assert!((t1.borrow().unwrap() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_transfer_is_instant() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let done = Rc::new(RefCell::new(false));
+        let d = done.clone();
+        sim.start_transfer(ids[0], ids[0], 1e9, move |_| {
+            *d.borrow_mut() = true;
+        });
+        sim.run();
+        assert!(*done.borrow());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn user_events_fire_in_order() {
+        let (topo, _) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [(0, 2.0), (1, 1.0), (2, 1.0)] {
+            let l = log.clone();
+            sim.schedule_in(delay, move |_| l.borrow_mut().push(i));
+        }
+        sim.run();
+        // Same-time events dispatch in scheduling order: 1 before 2.
+        assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cancel_compute_drops_callback() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let id = sim.start_compute(ids[0], 5.0, move |_| *f.borrow_mut() = true);
+        sim.run_for(1.0);
+        assert!(sim.cancel_compute(ids[0], id));
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.stats().completed_tasks, 0);
+    }
+
+    #[test]
+    fn cancel_transfer_frees_bandwidth() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let id1 = sim.start_transfer(ids[0], ids[2], 1e12, |_| {});
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_transfer(ids[1], ids[2], 100.0 * MBPS, move |s| {
+            *d.borrow_mut() = Some(s.now().as_secs_f64());
+        });
+        sim.run_for(0.5); // both at 50 Mbps; 25 Mbit of flow 2 done
+        assert!(sim.cancel_transfer(id1));
+        sim.run_for(10.0);
+        // Remaining 75 Mbit at 100 Mbps => total 0.5 + 0.75 = 1.25 s.
+        assert!((done.borrow().unwrap() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oracle_snapshot_reflects_conditions() {
+        let (topo, ids) = chain(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.start_compute(ids[0], 1e9, |_| {});
+        sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
+        sim.run_for(300.0);
+        let snap = sim.oracle_snapshot();
+        // Node 0 has one long-running job => load ≈ 1, cpu ≈ 0.5.
+        assert!(snap.node(ids[0]).load_avg() > 0.98);
+        assert!(snap.node(ids[1]).load_avg() < 1e-6);
+        // The flow saturates both links in its direction.
+        let e = snap.edge_ids().next().unwrap();
+        assert!(snap.link(e).bw() < 1.0);
+    }
+
+    #[test]
+    fn run_until_stops_clock_at_limit() {
+        let (topo, _) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_in(10.0, move |_| *f.borrow_mut() = true);
+        sim.run_until(t(5.0));
+        assert_eq!(sim.now(), t(5.0));
+        assert!(!*fired.borrow());
+        sim.run_until(t(10.0));
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (topo, ids) = star(4, 100.0 * MBPS);
+            let mut sim = Sim::new(topo);
+            for (i, &n) in ids.iter().enumerate() {
+                sim.start_compute(n, 1.0 + i as f64, |_| {});
+                let dst = ids[(i + 1) % ids.len()];
+                sim.start_transfer(n, dst, 10.0 * MBPS * (i + 1) as f64, |_| {});
+            }
+            sim.run();
+            (sim.now(), sim.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use nodesel_topology::builders::star;
+    use nodesel_topology::units::MBPS;
+
+    #[test]
+    fn trace_records_lifecycles_in_order() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.enable_trace(usize::MAX);
+        sim.start_compute(ids[0], 1.0, |_| {});
+        sim.start_transfer(ids[0], ids[1], 50.0 * MBPS, |_| {});
+        sim.run();
+        let (events, dropped) = sim.take_trace();
+        assert_eq!(dropped, 0);
+        let kinds: Vec<&'static str> = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::TaskStarted { .. } => "ts",
+                TraceEvent::TaskFinished { .. } => "tf",
+                TraceEvent::FlowStarted { .. } => "fs",
+                TraceEvent::FlowFinished { .. } => "ff",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["ts", "fs", "ff", "tf"]);
+        // Timestamps are monotone.
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        // The flow (0.5 s) finishes before the task (1 s).
+        assert_eq!(events[2].at(), SimTime::from_secs_f64(0.5));
+        assert_eq!(events[3].at(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn trace_records_cancellations() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.enable_trace(usize::MAX);
+        let t = sim.start_compute(ids[0], 100.0, |_| {});
+        let f = sim.start_transfer(ids[0], ids[1], 1e12, |_| {});
+        sim.run_for(1.0);
+        sim.cancel_compute(ids[0], t);
+        sim.cancel_transfer(f);
+        sim.run_for(1.0);
+        let (events, _) = sim.take_trace();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TaskCancelled { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FlowCancelled { .. })));
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_runs() {
+        let run = || {
+            let (topo, ids) = star(4, 100.0 * MBPS);
+            let mut sim = Sim::new(topo);
+            sim.enable_trace(usize::MAX);
+            for (i, &n) in ids.iter().enumerate() {
+                sim.start_compute(n, 0.5 + i as f64, |_| {});
+                sim.start_transfer(n, ids[(i + 1) % 4], 20.0 * MBPS, |_| {});
+            }
+            sim.run();
+            sim.take_trace().0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabled_trace_returns_empty() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.start_compute(ids[0], 1.0, |_| {});
+        sim.run();
+        let (events, dropped) = sim.take_trace();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+}

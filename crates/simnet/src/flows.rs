@@ -1,0 +1,392 @@
+//! Bulk-transfer flows with max-min fair bandwidth sharing.
+//!
+//! Transfers are modeled as fluid flows over their fixed route. Whenever the
+//! flow set changes, link bandwidth is (re)divided by **progressive
+//! filling**: repeatedly find the directed link with the smallest fair share
+//! among its unfrozen flows, freeze those flows at that rate, subtract, and
+//! continue. The result is the unique max-min fair allocation — the standard
+//! fluid abstraction for competing TCP-like bulk transfers, and the
+//! mechanism by which background traffic slows application communication in
+//! the Table 1 experiments.
+//!
+//! The table also keeps per-directed-link byte counters (advanced in
+//! [`FlowTable::settle`]) so the measurement layer can sample SNMP-style
+//! octet counts.
+
+use crate::time::SimTime;
+use nodesel_topology::{Direction, EdgeId, NodeId, Path, Topology};
+
+/// Identifier of a flow within a [`FlowTable`]. Unique per engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A directed link: the unit of capacity in the fluid model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirLink {
+    /// The undirected edge.
+    pub edge: EdgeId,
+    /// Travel direction across it.
+    pub dir: Direction,
+}
+
+impl DirLink {
+    fn slot(self) -> usize {
+        self.edge.index() * 2 + self.dir as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    id: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    /// Remaining payload in bits.
+    remaining: f64,
+    /// Current max-min fair rate in bits/s.
+    rate: f64,
+    /// Directed links traversed, in order.
+    hops: Vec<DirLink>,
+}
+
+/// All live flows plus the derived per-link state.
+#[derive(Debug)]
+pub struct FlowTable {
+    flows: Vec<Flow>,
+    /// Peak capacity per directed link (indexed by [`DirLink::slot`]).
+    capacity: Vec<f64>,
+    /// Aggregate allocated rate per directed link.
+    link_rate: Vec<f64>,
+    /// Cumulative bits carried per directed link.
+    link_bits: Vec<f64>,
+    last_update: SimTime,
+}
+
+impl FlowTable {
+    /// Creates an empty table for the given topology's link capacities.
+    pub fn new(topo: &Topology) -> Self {
+        let mut capacity = vec![0.0; topo.link_count() * 2];
+        for e in topo.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                capacity[DirLink { edge: e, dir }.slot()] = topo.link(e).capacity(dir);
+            }
+        }
+        let slots = capacity.len();
+        FlowTable {
+            flows: Vec::new(),
+            capacity,
+            link_rate: vec![0.0; slots],
+            link_bits: vec![0.0; slots],
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flow is live.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Aggregate allocated rate (bits/s) on a directed link.
+    pub fn link_rate(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.link_rate[DirLink { edge, dir }.slot()]
+    }
+
+    /// Cumulative bits carried by a directed link up to the last settle.
+    pub fn link_bits(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.link_bits[DirLink { edge, dir }.slot()]
+    }
+
+    /// The time up to which flow progress has been accounted.
+    pub fn last_update(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Current rate of a flow, if live.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+    }
+
+    /// Remaining bits of a flow, if live.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.remaining)
+    }
+
+    /// Source and destination of a flow, if live.
+    pub fn endpoints(&self, id: FlowId) -> Option<(NodeId, NodeId)> {
+        self.flows
+            .iter()
+            .find(|f| f.id == id)
+            .map(|f| (f.src, f.dst))
+    }
+
+    /// Advances all flows to `now` at their current rates and accumulates
+    /// link byte counters. Must be called before any mutation or query at
+    /// `now`.
+    pub fn settle(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        let dt = now.seconds_since(self.last_update);
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                let moved = f.rate * dt;
+                f.remaining = (f.remaining - moved).max(0.0);
+                for h in &f.hops {
+                    self.link_bits[h.slot()] += moved;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a flow over `path` carrying `bits`, then reallocates. The caller
+    /// must have settled to the current time first.
+    pub fn add_flow(&mut self, id: FlowId, path: &Path, bits: f64) {
+        assert!(bits >= 0.0, "flow size must be non-negative");
+        assert!(!path.is_empty(), "flows require src != dst");
+        let hops = path
+            .hops
+            .iter()
+            .map(|&(edge, dir)| DirLink { edge, dir })
+            .collect();
+        self.flows.push(Flow {
+            id,
+            src: path.src,
+            dst: path.dst,
+            remaining: bits,
+            rate: 0.0,
+            hops,
+        });
+        self.reallocate();
+    }
+
+    /// Removes a flow (finished or cancelled), then reallocates. Returns
+    /// true when the flow was live.
+    pub fn remove_flow(&mut self, id: FlowId) -> bool {
+        let before = self.flows.len();
+        self.flows.retain(|f| f.id != id);
+        let removed = self.flows.len() != before;
+        if removed {
+            self.reallocate();
+        }
+        removed
+    }
+
+    /// Pops every flow whose payload has fully drained (id order), then
+    /// reallocates if any finished.
+    pub fn take_finished(&mut self) -> Vec<FlowId> {
+        let mut done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| f.remaining <= 0.0)
+            .map(|f| f.id)
+            .collect();
+        done.sort_unstable();
+        if !done.is_empty() {
+            self.flows.retain(|f| f.remaining > 0.0);
+            self.reallocate();
+        }
+        done
+    }
+
+    /// Absolute time of the earliest flow completion at current rates, or
+    /// [`SimTime::NEVER`] when there are no flows.
+    pub fn next_completion(&self) -> SimTime {
+        let mut soonest = f64::INFINITY;
+        for f in &self.flows {
+            let eta = if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else if f.remaining <= 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            soonest = soonest.min(eta);
+        }
+        if soonest.is_infinite() {
+            SimTime::NEVER
+        } else {
+            self.last_update.after_secs_f64(soonest)
+        }
+    }
+
+    /// Recomputes the max-min fair allocation by progressive filling
+    /// (delegated to [`nodesel_topology::maxmin`], which the measurement
+    /// layer shares for its sharing-aware flow predictions).
+    fn reallocate(&mut self) {
+        for r in self.link_rate.iter_mut() {
+            *r = 0.0;
+        }
+        if self.flows.is_empty() {
+            return;
+        }
+        let flow_slots: Vec<Vec<usize>> = self
+            .flows
+            .iter()
+            .map(|f| f.hops.iter().map(|h| h.slot()).collect())
+            .collect();
+        let rates = nodesel_topology::maxmin::max_min_allocate(&self.capacity, &flow_slots);
+        for (f, rate) in self.flows.iter_mut().zip(rates) {
+            debug_assert!(rate.is_finite(), "flows always have at least one hop");
+            f.rate = rate;
+            for h in &f.hops {
+                self.link_rate[h.slot()] += rate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_topology::builders::{chain, dumbbell, star};
+    use nodesel_topology::units::MBPS;
+    use nodesel_topology::Routes;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn path(r: &Routes<'_>, a: NodeId, b: NodeId) -> Path {
+        r.path(a, b).unwrap()
+    }
+
+    #[test]
+    fn lone_flow_gets_bottleneck_bandwidth() {
+        let (topo, ids) = chain(3, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[2]), 100.0 * MBPS);
+        assert_eq!(ft.flow_rate(FlowId(1)), Some(100.0 * MBPS));
+        // 100 Mbit at 100 Mbps => 1 second.
+        assert_eq!(ft.next_completion(), t(1.0));
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        // Both flows converge on n2's access link (hub -> n2).
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[2]), 1e9);
+        ft.add_flow(FlowId(2), &path(&r, ids[1], ids[2]), 1e9);
+        assert_eq!(ft.flow_rate(FlowId(1)), Some(50.0 * MBPS));
+        assert_eq!(ft.flow_rate(FlowId(2)), Some(50.0 * MBPS));
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let (topo, ids) = dumbbell(2, 100.0 * MBPS, 10.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        // Within the left side and within the right side.
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[1]), 1e9);
+        ft.add_flow(FlowId(2), &path(&r, ids[2], ids[3]), 1e9);
+        assert_eq!(ft.flow_rate(FlowId(1)), Some(100.0 * MBPS));
+        assert_eq!(ft.flow_rate(FlowId(2)), Some(100.0 * MBPS));
+    }
+
+    #[test]
+    fn max_min_gives_unbottlenecked_flow_the_slack() {
+        let (topo, ids) = dumbbell(2, 100.0 * MBPS, 30.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        // Two cross flows share the 30 Mbps backbone (15 each); one local
+        // flow shares l0's access link with cross flow 1.
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[2]), 1e12);
+        ft.add_flow(FlowId(2), &path(&r, ids[1], ids[3]), 1e12);
+        ft.add_flow(FlowId(3), &path(&r, ids[0], ids[1]), 1e12);
+        let r1 = ft.flow_rate(FlowId(1)).unwrap();
+        let r2 = ft.flow_rate(FlowId(2)).unwrap();
+        let r3 = ft.flow_rate(FlowId(3)).unwrap();
+        assert!((r1 - 15.0 * MBPS).abs() < 1.0);
+        assert!((r2 - 15.0 * MBPS).abs() < 1.0);
+        // Flow 3 picks up the remaining 85 Mbps on the shared access link.
+        assert!((r3 - 85.0 * MBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn opposite_directions_use_separate_capacity() {
+        let (topo, ids) = chain(2, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[1]), 1e12);
+        ft.add_flow(FlowId(2), &path(&r, ids[1], ids[0]), 1e12);
+        // Full-duplex: each direction carries its flow at line rate.
+        assert_eq!(ft.flow_rate(FlowId(1)), Some(100.0 * MBPS));
+        assert_eq!(ft.flow_rate(FlowId(2)), Some(100.0 * MBPS));
+    }
+
+    #[test]
+    fn settle_and_finish_lifecycle() {
+        let (topo, ids) = chain(2, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[1]), 50.0 * MBPS);
+        let eta = ft.next_completion();
+        assert_eq!(eta, t(0.5));
+        ft.settle(eta);
+        assert_eq!(ft.take_finished(), vec![FlowId(1)]);
+        assert!(ft.is_empty());
+        // Counters recorded the carried bits on the forward direction only.
+        let e = topo.edge_ids().next().unwrap();
+        let fwd = ft.link_bits(e, topo.link(e).direction_from(ids[0]));
+        let back = ft.link_bits(e, topo.link(e).direction_from(ids[1]));
+        assert!((fwd - 50.0 * MBPS).abs() < 1e-3);
+        assert_eq!(back, 0.0);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[2]), 100.0 * MBPS);
+        ft.add_flow(FlowId(2), &path(&r, ids[1], ids[2]), 100.0 * MBPS);
+        // Both run at 50 Mbps. After 1s, half of each remains.
+        ft.settle(t(1.0));
+        assert!(ft.remove_flow(FlowId(2)));
+        assert_eq!(ft.flow_rate(FlowId(1)), Some(100.0 * MBPS));
+        // Remaining 50 Mbit at 100 Mbps: finishes at 1.5s.
+        assert_eq!(ft.next_completion(), t(1.5));
+    }
+
+    #[test]
+    fn zero_size_flow_completes_immediately() {
+        let (topo, ids) = chain(2, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        ft.add_flow(FlowId(1), &path(&r, ids[0], ids[1]), 0.0);
+        assert_eq!(ft.next_completion(), ft.next_completion());
+        ft.settle(SimTime::ZERO);
+        assert_eq!(ft.take_finished(), vec![FlowId(1)]);
+    }
+
+    #[test]
+    fn link_rates_never_exceed_capacity() {
+        // Heavily loaded star: all pairs exchanging.
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let r = topo.routes();
+        let mut ft = FlowTable::new(&topo);
+        let mut next = 0u64;
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    ft.add_flow(FlowId(next), &path(&r, a, b), 1e12);
+                    next += 1;
+                }
+            }
+        }
+        for e in topo.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                assert!(ft.link_rate(e, dir) <= topo.link(e).capacity(dir) * (1.0 + 1e-9));
+            }
+        }
+        // Every flow got a strictly positive rate.
+        for f in 0..next {
+            assert!(ft.flow_rate(FlowId(f)).unwrap() > 0.0);
+        }
+    }
+}

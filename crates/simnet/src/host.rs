@@ -1,0 +1,276 @@
+//! Processor-sharing host model.
+//!
+//! Each compute node is a host running an arbitrary set of CPU tasks under
+//! egalitarian processor sharing: with `n` active tasks on a host of speed
+//! `s`, every task progresses at `s / n` reference-seconds per second. This
+//! is exactly the model behind the paper's `cpu = 1/(1 + loadavg)` formula —
+//! a new process joining `loadavg` equal-priority competitors gets that
+//! fraction of the machine.
+//!
+//! Hosts also maintain a UNIX-style exponentially damped **load average** of
+//! the run-queue length, which is what the measurement layer samples. The
+//! damping is computed in closed form on every state change, so the load
+//! average is exact for piecewise-constant run queues regardless of event
+//! spacing.
+
+use crate::time::SimTime;
+
+/// Identifier of a CPU task within a [`Host`]. Unique per engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Task {
+    id: TaskId,
+    /// Remaining work in reference-seconds (seconds on an unloaded host of
+    /// speed 1.0).
+    remaining: f64,
+}
+
+/// Processor-sharing host state.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Relative speed; 1.0 is the reference node type.
+    speed: f64,
+    tasks: Vec<Task>,
+    last_update: SimTime,
+    load_avg: f64,
+    /// Load-average damping time constant in seconds (UNIX 1-minute: 60).
+    tau: f64,
+    /// Cumulative reference-seconds of work completed (for accounting).
+    completed_work: f64,
+}
+
+impl Host {
+    /// Creates an idle host of the given relative speed.
+    pub fn new(speed: f64, load_avg_tau: f64) -> Self {
+        assert!(speed > 0.0, "host speed must be positive");
+        assert!(
+            load_avg_tau > 0.0,
+            "load-average time constant must be positive"
+        );
+        Host {
+            speed,
+            tasks: Vec::new(),
+            last_update: SimTime::ZERO,
+            load_avg: 0.0,
+            tau: load_avg_tau,
+            completed_work: 0.0,
+        }
+    }
+
+    /// Relative speed of the host.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Number of currently running tasks (instantaneous run-queue length).
+    pub fn run_queue(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Exponentially damped load average as of the last settle.
+    pub fn load_avg(&self) -> f64 {
+        self.load_avg
+    }
+
+    /// Cumulative reference-seconds of completed work.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Per-task progress rate (reference-seconds per second) at the current
+    /// run-queue length; zero when idle.
+    pub fn task_rate(&self) -> f64 {
+        if self.tasks.is_empty() {
+            0.0
+        } else {
+            self.speed / self.tasks.len() as f64
+        }
+    }
+
+    /// Advances internal accounting to `now`: applies progress to all tasks
+    /// at the processor-sharing rate and damps the load average. Must be
+    /// called (by the engine) before any state change or query at `now`.
+    pub fn settle(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        let dt = now.seconds_since(self.last_update);
+        if dt > 0.0 {
+            let n = self.tasks.len();
+            if n > 0 {
+                let progress = dt * self.speed / n as f64;
+                for t in &mut self.tasks {
+                    t.remaining = (t.remaining - progress).max(0.0);
+                }
+                self.completed_work += dt * self.speed;
+            }
+            // Exact EWMA for a constant run queue over [last_update, now]:
+            // la(t + dt) = n + (la(t) - n) * exp(-dt / tau).
+            let n = n as f64;
+            self.load_avg = n + (self.load_avg - n) * (-dt / self.tau).exp();
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a task with `work` reference-seconds of demand. The caller must
+    /// have settled the host to the current time first.
+    pub fn add_task(&mut self, id: TaskId, work: f64) {
+        assert!(work >= 0.0, "task work must be non-negative");
+        self.tasks.push(Task {
+            id,
+            remaining: work,
+        });
+    }
+
+    /// Removes a task (e.g. a cancelled background job). Returns true if it
+    /// was present.
+    pub fn remove_task(&mut self, id: TaskId) -> bool {
+        let before = self.tasks.len();
+        self.tasks.retain(|t| t.id != id);
+        self.tasks.len() != before
+    }
+
+    /// Remaining work of a task, if present.
+    pub fn remaining(&self, id: TaskId) -> Option<f64> {
+        self.tasks.iter().find(|t| t.id == id).map(|t| t.remaining)
+    }
+
+    /// Pops every task whose remaining work has reached zero (ties resolved
+    /// in task-id order for determinism).
+    pub fn take_finished(&mut self) -> Vec<TaskId> {
+        let mut done: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|t| t.remaining <= 0.0)
+            .map(|t| t.id)
+            .collect();
+        done.sort_unstable();
+        self.tasks.retain(|t| t.remaining > 0.0);
+        done
+    }
+
+    /// Absolute time at which the next task will finish if the task set
+    /// stays unchanged, or [`SimTime::NEVER`] when idle.
+    pub fn next_completion(&self) -> SimTime {
+        let Some(min_remaining) = self
+            .tasks
+            .iter()
+            .map(|t| t.remaining)
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.min(r)))
+            })
+        else {
+            return SimTime::NEVER;
+        };
+        let rate = self.task_rate();
+        self.last_update.after_secs_f64(min_remaining / rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 10.0);
+        assert_eq!(h.next_completion(), t(10.0));
+        h.settle(t(10.0));
+        assert_eq!(h.take_finished(), vec![TaskId(1)]);
+        assert_eq!(h.run_queue(), 0);
+        assert!((h.completed_work() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tasks_share_the_processor() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 10.0);
+        h.add_task(TaskId(2), 10.0);
+        // Each runs at 0.5 => both complete at 20s.
+        assert_eq!(h.next_completion(), t(20.0));
+        h.settle(t(20.0));
+        assert_eq!(h.take_finished(), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn joining_task_slows_existing_one() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 10.0);
+        h.settle(t(5.0)); // 5 of 10 done
+        h.add_task(TaskId(2), 100.0);
+        // Remaining 5 units at rate 0.5 => completes at 5 + 10 = 15.
+        assert_eq!(h.next_completion(), t(15.0));
+        h.settle(t(15.0));
+        assert_eq!(h.take_finished(), vec![TaskId(1)]);
+        // Task 2 progressed 5 units in those 10 seconds.
+        assert!((h.remaining(TaskId(2)).unwrap() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_host_scales_rates() {
+        let mut h = Host::new(2.0, 60.0);
+        h.add_task(TaskId(1), 10.0);
+        assert_eq!(h.next_completion(), t(5.0));
+        h.add_task(TaskId(2), 10.0);
+        // Two tasks at speed 2 => rate 1 each.
+        assert_eq!(h.task_rate(), 1.0);
+    }
+
+    #[test]
+    fn remove_task_restores_speed() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 10.0);
+        h.add_task(TaskId(2), 10.0);
+        h.settle(t(2.0));
+        assert!(h.remove_task(TaskId(2)));
+        assert!(!h.remove_task(TaskId(2)));
+        // 9 units left at full speed.
+        assert_eq!(h.next_completion(), t(11.0));
+    }
+
+    #[test]
+    fn load_average_converges_to_run_queue() {
+        let mut h = Host::new(1.0, 60.0);
+        for i in 0..3 {
+            h.add_task(TaskId(i), 1e9);
+        }
+        assert_eq!(h.load_avg(), 0.0);
+        h.settle(t(60.0));
+        // After one time constant: 3 * (1 - e^-1) ≈ 1.90.
+        assert!((h.load_avg() - 3.0 * (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+        h.settle(t(1200.0));
+        assert!((h.load_avg() - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn load_average_decays_when_idle() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 1e9);
+        h.settle(t(600.0));
+        assert!(h.load_avg() > 0.99);
+        h.remove_task(TaskId(1));
+        h.settle(t(1200.0));
+        assert!(h.load_avg() < 1e-4);
+    }
+
+    #[test]
+    fn zero_work_task_finishes_immediately() {
+        let mut h = Host::new(1.0, 60.0);
+        h.add_task(TaskId(1), 0.0);
+        assert_eq!(h.next_completion(), h.next_completion());
+        h.settle(SimTime::ZERO);
+        assert_eq!(h.take_finished(), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn idle_host_never_completes() {
+        let h = Host::new(1.0, 60.0);
+        assert_eq!(h.next_completion(), SimTime::NEVER);
+        assert_eq!(h.task_rate(), 0.0);
+    }
+}

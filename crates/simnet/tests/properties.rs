@@ -1,0 +1,143 @@
+//! Property tests of the simulator's physical invariants: conservation of
+//! work and bytes, fairness bounds, and determinism under arbitrary
+//! scenarios.
+
+use nodesel_simnet::{Sim, SimTime};
+use nodesel_topology::builders::random_tree;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{Direction, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A randomized scenario: a seeded tree, some tasks, some flows.
+fn build_scenario(seed: u64) -> (Sim, Topology, Vec<NodeId>, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let computes = rng.random_range(2..6);
+    let networks = rng.random_range(0..4);
+    let (topo, ids) = random_tree(&mut rng, computes, networks, 100.0 * MBPS);
+    let mut sim = Sim::new(topo.clone());
+    let mut total_work = 0.0;
+    let mut total_bits = 0.0;
+    for _ in 0..rng.random_range(1..8) {
+        let n = ids[rng.random_range(0..ids.len())];
+        let work = rng.random_range(0.1..20.0);
+        total_work += work;
+        sim.start_compute(n, work, |_| {});
+    }
+    for _ in 0..rng.random_range(1..8) {
+        let a = ids[rng.random_range(0..ids.len())];
+        let b = ids[rng.random_range(0..ids.len())];
+        if a == b {
+            continue;
+        }
+        let bits = rng.random_range(1.0..200.0) * MBPS;
+        total_bits += bits;
+        sim.start_transfer(a, b, bits, |_| {});
+    }
+    (sim, topo, ids, total_work, total_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All scheduled CPU work is eventually performed, exactly once.
+    #[test]
+    fn work_is_conserved(seed in 0u64..100_000) {
+        let (mut sim, _topo, ids, total_work, _) = build_scenario(seed);
+        sim.run();
+        let done: f64 = ids.iter().map(|&n| sim.completed_work(n)).sum();
+        prop_assert!((done - total_work).abs() < 1e-6,
+            "scheduled {total_work}, performed {done}");
+    }
+
+    /// Flows drain exactly their payload through their first hop counters.
+    #[test]
+    fn bytes_are_conserved_per_flow(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB17E5);
+        let (topo, ids) = random_tree(&mut rng, 4, 2, 100.0 * MBPS);
+        if ids.len() < 2 { return Ok(()); }
+        let mut sim = Sim::new(topo.clone());
+        // One flow at a time, so per-link counters are attributable.
+        let bits = rng.random_range(1.0..500.0) * MBPS;
+        let (a, b) = (ids[0], ids[1]);
+        sim.start_transfer(a, b, bits, |_| {});
+        sim.run();
+        let routes = topo.routes();
+        let path = routes.path(a, b).unwrap();
+        for &(e, d) in &path.hops {
+            let carried = sim.link_bits(e, d);
+            // Event times are ceiled to whole nanoseconds, so the counter
+            // may overshoot by up to rate x 1 ns (~0.1 bit at 100 Mbps).
+            prop_assert!((carried - bits).abs() < 1.0,
+                "link carried {carried}, payload {bits}");
+            // Nothing moved in the reverse direction.
+            prop_assert_eq!(sim.link_bits(e, d.reverse()), 0.0);
+        }
+    }
+
+    /// Directed-link rates never exceed capacity at any sampled moment.
+    #[test]
+    fn links_never_oversubscribed(seed in 0u64..100_000) {
+        let (mut sim, topo, _ids, _, _) = build_scenario(seed);
+        for step in 1..20u64 {
+            sim.run_until(SimTime(step * 100_000_000)); // every 0.1 s
+            for e in topo.edge_ids() {
+                for dir in [Direction::AtoB, Direction::BtoA] {
+                    let cap = topo.link(e).capacity(dir);
+                    prop_assert!(sim.link_rate(e, dir) <= cap * (1.0 + 1e-9));
+                }
+            }
+        }
+    }
+
+    /// Everything that starts finishes, and the run is deterministic.
+    #[test]
+    fn deterministic_completion(seed in 0u64..100_000) {
+        let run = |seed| {
+            let (mut sim, _, _, _, _) = build_scenario(seed);
+            let end = sim.run();
+            (end, sim.stats())
+        };
+        let (end_a, stats_a) = run(seed);
+        let (end_b, stats_b) = run(seed);
+        prop_assert_eq!(end_a, end_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    /// A transfer can never beat the line rate: elapsed >= bits/bottleneck.
+    #[test]
+    fn transfers_respect_physics(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF10);
+        let (topo, ids) = random_tree(&mut rng, 3, 2, 100.0 * MBPS);
+        if ids.len() < 2 { return Ok(()); }
+        let bits = rng.random_range(1.0..100.0) * MBPS;
+        let routes = topo.routes();
+        let bound = bits / routes.bottleneck_bw(ids[0], ids[1]).unwrap();
+        let mut sim = Sim::new(topo.clone());
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_transfer(ids[0], ids[1], bits, move |s| {
+            *d.borrow_mut() = Some(s.now().as_secs_f64());
+        });
+        sim.run();
+        let t = done.borrow().expect("finished");
+        prop_assert!(t >= bound - 1e-9, "finished in {t}, physics bound {bound}");
+    }
+
+    /// Load averages stay within [0, run-queue bound] and respond to work.
+    #[test]
+    fn load_average_is_bounded(seed in 0u64..100_000) {
+        let (mut sim, _topo, ids, _, _) = build_scenario(seed);
+        let max_tasks = 8.0; // build_scenario starts at most 7 tasks
+        for step in 1..10u64 {
+            sim.run_until(SimTime(step * 1_000_000_000));
+            for &n in &ids {
+                let la = sim.load_avg(n);
+                prop_assert!((0.0..=max_tasks).contains(&la), "load {la}");
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Canonical topology builders.
+//!
+//! These construct the network shapes used throughout the workspace: simple
+//! teaching topologies (star, chain, dumbbell), parameterized cluster
+//! fabrics, and seeded random trees for property tests and scaling benches.
+//! The paper-specific networks (Figure 1, Figure 4) live in
+//! [`crate::testbeds`].
+
+use crate::units::MBPS;
+use crate::{NodeId, Topology};
+use rand::Rng;
+
+/// A star: one switch in the middle, `leaves` compute nodes around it, all
+/// links at `capacity` bits/s. Returns the topology and the leaf ids.
+pub fn star(leaves: usize, capacity: f64) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let hub = t.add_network_node("hub");
+    let ids = (0..leaves)
+        .map(|i| {
+            let id = t.add_compute_node(format!("n{i}"), 1.0);
+            t.add_link(hub, id, capacity);
+            id
+        })
+        .collect();
+    (t, ids)
+}
+
+/// A chain of `len` compute nodes: `n0 - n1 - ... - n{len-1}`.
+pub fn chain(len: usize, capacity: f64) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..len)
+        .map(|i| t.add_compute_node(format!("n{i}"), 1.0))
+        .collect();
+    for w in ids.windows(2) {
+        t.add_link(w[0], w[1], capacity);
+    }
+    (t, ids)
+}
+
+/// A dumbbell: two stars of `per_side` compute nodes joined by a single
+/// `backbone` link — the classic shape where the shared middle link is the
+/// contended resource.
+pub fn dumbbell(per_side: usize, edge_capacity: f64, backbone: f64) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let left = t.add_network_node("sw-left");
+    let right = t.add_network_node("sw-right");
+    t.add_link(left, right, backbone);
+    let mut ids = Vec::with_capacity(2 * per_side);
+    for i in 0..per_side {
+        let id = t.add_compute_node(format!("l{i}"), 1.0);
+        t.add_link(left, id, edge_capacity);
+        ids.push(id);
+    }
+    for i in 0..per_side {
+        let id = t.add_compute_node(format!("r{i}"), 1.0);
+        t.add_link(right, id, edge_capacity);
+        ids.push(id);
+    }
+    (t, ids)
+}
+
+/// A multi-cluster fabric: `clusters` stars of `per_cluster` compute nodes,
+/// whose switches hang off one core router. Edge links run at
+/// `edge_capacity`, uplinks at `uplink_capacity`.
+pub fn multi_cluster(
+    clusters: usize,
+    per_cluster: usize,
+    edge_capacity: f64,
+    uplink_capacity: f64,
+) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let core = t.add_network_node("core");
+    let mut ids = Vec::with_capacity(clusters * per_cluster);
+    for c in 0..clusters {
+        let sw = t.add_network_node(format!("sw{c}"));
+        t.add_link(core, sw, uplink_capacity);
+        for i in 0..per_cluster {
+            let id = t.add_compute_node(format!("c{c}n{i}"), 1.0);
+            t.add_link(sw, id, edge_capacity);
+            ids.push(id);
+        }
+    }
+    (t, ids)
+}
+
+/// A balanced tree of switches with compute nodes at the leaves.
+///
+/// `depth` levels of switches with `fanout` children each; the bottom level
+/// of switches carries `fanout` compute leaves. `depth == 0` degenerates to
+/// a star of `fanout` leaves.
+pub fn switch_tree(depth: usize, fanout: usize, capacity: f64) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let root = t.add_network_node("root");
+    let mut frontier = vec![root];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for (pi, &p) in frontier.iter().enumerate() {
+            for f in 0..fanout {
+                let sw = t.add_network_node(format!("sw-{level}-{pi}-{f}"));
+                t.add_link(p, sw, capacity);
+                next.push(sw);
+            }
+        }
+        frontier = next;
+    }
+    let mut leaves = Vec::new();
+    for (pi, &p) in frontier.iter().enumerate() {
+        for f in 0..fanout {
+            let leaf = t.add_compute_node(format!("m-{pi}-{f}"), 1.0);
+            t.add_link(p, leaf, capacity);
+            leaves.push(leaf);
+        }
+    }
+    (t, leaves)
+}
+
+/// A uniformly random tree over `compute` compute nodes and `network`
+/// switches (random Prüfer-style attachment: each new node links to a
+/// uniformly chosen earlier node). Node roles are shuffled so compute nodes
+/// appear at arbitrary positions. All links at `capacity`.
+///
+/// Random trees are the workhorse of the property tests: the paper's §3.2
+/// algorithms are exact on acyclic graphs, so any seeded tree gives a case
+/// where greedy must equal exhaustive search.
+pub fn random_tree<R: Rng>(
+    rng: &mut R,
+    compute: usize,
+    network: usize,
+    capacity: f64,
+) -> (Topology, Vec<NodeId>) {
+    assert!(compute + network >= 1);
+    let total = compute + network;
+    // Choose which positions are compute nodes.
+    let mut roles = vec![false; total];
+    let mut chosen = 0;
+    while chosen < compute {
+        let i = rng.random_range(0..total);
+        if !roles[i] {
+            roles[i] = true;
+            chosen += 1;
+        }
+    }
+    let mut t = Topology::new();
+    let mut ids = Vec::with_capacity(total);
+    let mut computes = Vec::with_capacity(compute);
+    for (i, &is_compute) in roles.iter().enumerate() {
+        let id = if is_compute {
+            let id = t.add_compute_node(format!("m{i}"), 1.0);
+            computes.push(id);
+            id
+        } else {
+            t.add_network_node(format!("s{i}"))
+        };
+        if i > 0 {
+            let parent = ids[rng.random_range(0..i)];
+            t.add_link(parent, id, capacity);
+        }
+        ids.push(id);
+    }
+    (t, computes)
+}
+
+/// Assigns independent random load averages in `[0, max_load]` to every
+/// compute node and random utilization in `[0, max_util_fraction]` of
+/// capacity to every link direction. Used by benches and tests to produce
+/// arbitrary-but-deterministic network conditions.
+pub fn randomize_conditions<R: Rng>(
+    topo: &mut Topology,
+    rng: &mut R,
+    max_load: f64,
+    max_util_fraction: f64,
+) {
+    let compute: Vec<NodeId> = topo.compute_nodes().collect();
+    for n in compute {
+        topo.set_load_avg(n, rng.random_range(0.0..=max_load));
+    }
+    for e in topo.edge_ids().collect::<Vec<_>>() {
+        for dir in [crate::Direction::AtoB, crate::Direction::BtoA] {
+            let cap = topo.link(e).capacity(dir);
+            topo.set_link_used(e, dir, cap * rng.random_range(0.0..=max_util_fraction));
+        }
+    }
+}
+
+/// Default capacity used by examples: 100 Mbps Ethernet.
+pub const DEFAULT_CAPACITY: f64 = 100.0 * MBPS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_shape() {
+        let (t, leaves) = star(5, DEFAULT_CAPACITY);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 5);
+        assert_eq!(t.compute_node_count(), 5);
+        assert_eq!(leaves.len(), 5);
+        assert!(t.is_connected() && t.is_acyclic());
+    }
+
+    #[test]
+    fn chain_shape() {
+        let (t, ids) = chain(4, DEFAULT_CAPACITY);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.degree(ids[0]), 1);
+        assert_eq!(t.degree(ids[1]), 2);
+        assert!(t.is_acyclic());
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (t, ids) = dumbbell(3, DEFAULT_CAPACITY, 10.0 * MBPS);
+        assert_eq!(ids.len(), 6);
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.link_count(), 7);
+        assert!(t.is_connected() && t.is_acyclic());
+        // Cross-side bottleneck is the backbone.
+        let r = t.routes();
+        assert_eq!(r.bottleneck_bw(ids[0], ids[3]).unwrap(), 10.0 * MBPS);
+        assert_eq!(r.bottleneck_bw(ids[0], ids[1]).unwrap(), DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn multi_cluster_shape() {
+        let (t, ids) = multi_cluster(3, 4, DEFAULT_CAPACITY, 2.0 * DEFAULT_CAPACITY);
+        assert_eq!(ids.len(), 12);
+        assert_eq!(t.node_count(), 1 + 3 + 12);
+        assert!(t.is_connected() && t.is_acyclic());
+    }
+
+    #[test]
+    fn switch_tree_shape() {
+        let (t, leaves) = switch_tree(2, 2, DEFAULT_CAPACITY);
+        // 1 root + 2 + 4 switches, 8 leaves.
+        assert_eq!(leaves.len(), 8);
+        assert_eq!(t.node_count(), 15);
+        assert!(t.is_connected() && t.is_acyclic());
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let (t, computes) = random_tree(&mut rng, 6, 4, DEFAULT_CAPACITY);
+            assert_eq!(t.node_count(), 10);
+            assert_eq!(t.link_count(), 9);
+            assert_eq!(computes.len(), 6);
+            assert!(t.is_connected());
+            assert!(t.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_per_seed() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let (t, _) = random_tree(&mut rng, 5, 5, DEFAULT_CAPACITY);
+            (0..t.node_count())
+                .map(|i| t.node(crate::NodeId::from_index(i)).name().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn randomize_conditions_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut t, _) = star(6, DEFAULT_CAPACITY);
+        randomize_conditions(&mut t, &mut rng, 4.0, 0.9);
+        for n in t.compute_nodes() {
+            let l = t.node(n).load_avg();
+            assert!((0.0..=4.0).contains(&l));
+        }
+        for e in t.edge_ids() {
+            assert!(t.link(e).bwfactor() >= 0.1 - 1e-9);
+        }
+    }
+}
+
+/// A ring of `n` compute nodes (the simplest cyclic topology): static
+/// routing fixes one of the two possible paths per pair, exercising the
+/// §3.3 "cycles in network topology" case.
+pub fn ring(n: usize, capacity: f64) -> (Topology, Vec<NodeId>) {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| t.add_compute_node(format!("n{i}"), 1.0))
+        .collect();
+    for i in 0..n {
+        t.add_link(ids[i], ids[(i + 1) % n], capacity);
+    }
+    (t, ids)
+}
+
+/// A `rows × cols` grid of compute nodes with nearest-neighbour links —
+/// a richer cyclic topology with many alternative paths per pair.
+pub fn grid(rows: usize, cols: usize, capacity: f64) -> (Topology, Vec<NodeId>) {
+    assert!(rows >= 1 && cols >= 1);
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = (0..rows * cols)
+        .map(|i| t.add_compute_node(format!("g{}-{}", i / cols, i % cols), 1.0))
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                t.add_link(ids[i], ids[i + 1], capacity);
+            }
+            if r + 1 < rows {
+                t.add_link(ids[i], ids[i + cols], capacity);
+            }
+        }
+    }
+    (t, ids)
+}
+
+#[cfg(test)]
+mod cyclic_tests {
+    use super::*;
+    use crate::metrics::metrics;
+
+    #[test]
+    fn ring_is_cyclic_and_routes_shortest() {
+        let (t, ids) = ring(6, DEFAULT_CAPACITY);
+        assert!(t.is_connected());
+        assert!(!t.is_acyclic());
+        let r = t.routes();
+        // Opposite nodes are 3 hops apart either way; the route is fixed.
+        let p = r.path(ids[0], ids[3]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(r.path(ids[0], ids[3]).unwrap(), p);
+        // Adjacent nodes route directly.
+        assert_eq!(r.path(ids[0], ids[1]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn grid_shape_and_diameter() {
+        let (t, ids) = grid(3, 4, DEFAULT_CAPACITY);
+        assert_eq!(ids.len(), 12);
+        assert_eq!(t.link_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(!t.is_acyclic());
+        let m = metrics(&t);
+        // Manhattan diameter: (3-1) + (4-1) = 5.
+        assert_eq!(m.diameter_hops, Some(5));
+    }
+
+    #[test]
+    fn degenerate_grid_is_a_chain() {
+        let (t, _) = grid(1, 5, DEFAULT_CAPACITY);
+        assert!(t.is_acyclic());
+        assert_eq!(t.link_count(), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of topology snapshots.
+//!
+//! Produces output mirroring the paper's figures: compute nodes as boxes,
+//! network nodes as ellipses, links labeled `bw/maxbw`, and an optional set
+//! of *selected* nodes drawn with bold borders (as in Figure 4).
+
+use crate::units::MBPS;
+use crate::{NodeId, Topology};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders the topology as a DOT graph.
+///
+/// `selected` nodes are emphasized with a bold border and grey fill, the
+/// convention Figure 4 uses for automatically selected nodes.
+pub fn to_dot(topo: &Topology, selected: &[NodeId]) -> String {
+    let selected: HashSet<NodeId> = selected.iter().copied().collect();
+    let mut out = String::new();
+    out.push_str("graph topology {\n");
+    out.push_str("  graph [overlap=false, splines=true];\n");
+    for id in topo.node_ids() {
+        let n = topo.node(id);
+        let shape = if n.is_compute() { "box" } else { "ellipse" };
+        let extra = if selected.contains(&id) {
+            ", style=\"bold,filled\", fillcolor=lightgrey, penwidth=2.5"
+        } else {
+            ""
+        };
+        let label = if n.is_compute() {
+            format!("{}\\ncpu={:.2}", n.name(), n.cpu())
+        } else {
+            n.name().to_string()
+        };
+        writeln!(
+            out,
+            "  \"{}\" [shape={shape}, label=\"{label}\"{extra}];",
+            n.name()
+        )
+        .unwrap();
+    }
+    for e in topo.edge_ids() {
+        let l = topo.link(e);
+        writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [label=\"{:.0}/{:.0} Mbps\"];",
+            topo.node(l.a()).name(),
+            topo.node(l.b()).name(),
+            l.bw() / MBPS,
+            l.maxbw() / MBPS,
+        )
+        .unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let (t, leaves) = builders::star(3, builders::DEFAULT_CAPACITY);
+        let dot = to_dot(&t, &leaves[..1]);
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.ends_with("}\n"));
+        for id in t.node_ids() {
+            assert!(dot.contains(t.node(id).name()));
+        }
+        // One selected node gets the bold style.
+        assert_eq!(dot.matches("penwidth=2.5").count(), 1);
+        // Hub links all appear.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_labels_show_availability() {
+        let (mut t, _) = builders::star(2, builders::DEFAULT_CAPACITY);
+        let e = t.edge_ids().next().unwrap();
+        t.set_link_used(e, crate::Direction::AtoB, 60.0 * MBPS);
+        let dot = to_dot(&t, &[]);
+        assert!(dot.contains("40/100 Mbps"));
+        assert!(dot.contains("100/100 Mbps"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Compact, type-safe identifiers for graph elements.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within a [`crate::Topology`].
+///
+/// `NodeId`s are dense indices assigned in insertion order, which gives the
+/// deterministic iteration order the selection algorithms rely on for
+/// reproducible tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Intended for consumers (simulator, benches) that maintain parallel
+    /// per-node arrays; passing an index that is out of range for the
+    /// topology it is used with will cause a panic at the use site.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+/// Identifier of a link (edge) within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trips_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(EdgeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+}

@@ -1,0 +1,201 @@
+//! Links (edges) of the logical topology graph.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Direction of traffic on a link, relative to its stored endpoint order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From endpoint `a` towards endpoint `b`.
+    AtoB,
+    /// From endpoint `b` towards endpoint `a`.
+    BtoA,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::AtoB => Direction::BtoA,
+            Direction::BtoA => Direction::AtoB,
+        }
+    }
+}
+
+/// A communication link between two nodes (paper §3.1 and §3.3).
+///
+/// The paper starts from undirected links but explicitly supports networks
+/// where each direction is a distinct physical channel ("Independent and
+/// shared network links", §3.3). A `Link` therefore stores a capacity and a
+/// current utilization *per direction*; a classic shared medium is modeled
+/// by constructing the link with equal directional capacities and the
+/// aggregate view ([`Link::bw`]) taking the minimum available direction, as
+/// prescribed by the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    /// Peak capacity in bits/s for each direction (`[a->b, b->a]`).
+    pub(crate) capacity: [f64; 2],
+    /// Currently consumed bandwidth in bits/s for each direction.
+    pub(crate) used: [f64; 2],
+    /// One-way latency in seconds.
+    pub(crate) latency: f64,
+}
+
+impl Link {
+    pub(crate) fn new(a: NodeId, b: NodeId, cap_ab: f64, cap_ba: f64, latency: f64) -> Self {
+        assert!(
+            cap_ab > 0.0 && cap_ba > 0.0,
+            "link capacity must be positive"
+        );
+        assert!(latency >= 0.0, "latency must be non-negative");
+        Link {
+            a,
+            b,
+            capacity: [cap_ab, cap_ba],
+            used: [0.0, 0.0],
+            latency,
+        }
+    }
+
+    /// First endpoint (in construction order).
+    pub fn a(&self) -> NodeId {
+        self.a
+    }
+
+    /// Second endpoint (in construction order).
+    pub fn b(&self) -> NodeId {
+        self.b
+    }
+
+    /// Returns the endpoint other than `n`; panics if `n` is not an endpoint.
+    pub fn opposite(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n:?} is not an endpoint of this link")
+        }
+    }
+
+    /// True if `n` is one of the endpoints.
+    pub fn touches(&self, n: NodeId) -> bool {
+        n == self.a || n == self.b
+    }
+
+    /// Direction of travel when leaving `from` over this link.
+    pub fn direction_from(&self, from: NodeId) -> Direction {
+        if from == self.a {
+            Direction::AtoB
+        } else {
+            debug_assert_eq!(from, self.b);
+            Direction::BtoA
+        }
+    }
+
+    /// Peak bandwidth of the given direction, bits/s.
+    pub fn capacity(&self, dir: Direction) -> f64 {
+        self.capacity[dir as usize]
+    }
+
+    /// Currently consumed bandwidth of the given direction, bits/s.
+    pub fn used(&self, dir: Direction) -> f64 {
+        self.used[dir as usize]
+    }
+
+    /// Available bandwidth of the given direction, bits/s (never negative).
+    pub fn available(&self, dir: Direction) -> f64 {
+        (self.capacity(dir) - self.used(dir)).max(0.0)
+    }
+
+    /// One-way latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// `maxbw(i, j)`: the peak bandwidth of the link (paper §3.1).
+    ///
+    /// For a bidirectional link this is the minimum of the two directional
+    /// capacities, matching the paper's rule that "the available capacity of
+    /// a bidirectional link is taken to be the minimum of the available
+    /// capacities in each direction".
+    pub fn maxbw(&self) -> f64 {
+        self.capacity[0].min(self.capacity[1])
+    }
+
+    /// `bw(i, j)`: the currently available bandwidth of the link.
+    pub fn bw(&self) -> f64 {
+        self.available(Direction::AtoB)
+            .min(self.available(Direction::BtoA))
+    }
+
+    /// `bwfactor = bw / maxbw`: fraction of the peak bandwidth available.
+    pub fn bwfactor(&self) -> f64 {
+        self.bw() / self.maxbw()
+    }
+
+    pub(crate) fn set_used(&mut self, dir: Direction, bits_per_sec: f64) {
+        assert!(bits_per_sec >= 0.0, "utilization must be non-negative");
+        self.used[dir as usize] = bits_per_sec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MBPS;
+
+    fn link() -> Link {
+        Link::new(NodeId(0), NodeId(1), 100.0 * MBPS, 100.0 * MBPS, 1e-4)
+    }
+
+    #[test]
+    fn fresh_link_is_fully_available() {
+        let l = link();
+        assert_eq!(l.bw(), 100.0 * MBPS);
+        assert_eq!(l.maxbw(), 100.0 * MBPS);
+        assert_eq!(l.bwfactor(), 1.0);
+    }
+
+    #[test]
+    fn bw_takes_worst_direction() {
+        let mut l = link();
+        l.set_used(Direction::AtoB, 80.0 * MBPS);
+        l.set_used(Direction::BtoA, 20.0 * MBPS);
+        assert_eq!(l.bw(), 20.0 * MBPS);
+        assert!((l.bwfactor() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn available_saturates_at_zero() {
+        let mut l = link();
+        l.set_used(Direction::AtoB, 150.0 * MBPS);
+        assert_eq!(l.available(Direction::AtoB), 0.0);
+        assert_eq!(l.bw(), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_capacities() {
+        let l = Link::new(NodeId(0), NodeId(1), 155.0 * MBPS, 100.0 * MBPS, 0.0);
+        assert_eq!(l.maxbw(), 100.0 * MBPS);
+        assert_eq!(l.capacity(Direction::AtoB), 155.0 * MBPS);
+    }
+
+    #[test]
+    fn opposite_and_direction() {
+        let l = link();
+        assert_eq!(l.opposite(NodeId(0)), NodeId(1));
+        assert_eq!(l.opposite(NodeId(1)), NodeId(0));
+        assert_eq!(l.direction_from(NodeId(0)), Direction::AtoB);
+        assert_eq!(l.direction_from(NodeId(1)), Direction::BtoA);
+        assert_eq!(Direction::AtoB.reverse(), Direction::BtoA);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn opposite_rejects_foreign_node() {
+        link().opposite(NodeId(7));
+    }
+}

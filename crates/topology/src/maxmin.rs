@@ -1,0 +1,168 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+//!
+//! Given per-resource capacities and a set of flows, each consuming one
+//! unit of rate on every resource it crosses, the **max-min fair**
+//! allocation maximizes the minimum rate, then the second minimum, and so
+//! on. Progressive filling computes it exactly: repeatedly find the
+//! resource with the smallest equal share among its unfrozen flows, freeze
+//! those flows at that share, subtract, and continue.
+//!
+//! Two consumers share this module: the simulator's flow table (actual
+//! bandwidth of competing transfers) and the Remos flow queries that
+//! "account for sharing of network links by multiple flows" (paper §2.2).
+
+/// Dense index of a directed link: `edge_index * 2 + direction`.
+#[inline]
+pub fn dir_slot(edge: crate::EdgeId, dir: crate::Direction) -> usize {
+    edge.index() * 2 + dir as usize
+}
+
+/// Computes the max-min fair rate for each flow.
+///
+/// * `capacity[s]` — capacity of resource (directed link) `s`;
+/// * `flow_slots[f]` — the resources flow `f` crosses (deduplicated;
+///   static routes never revisit a link).
+///
+/// Returns one rate per flow. Flows crossing no resources get
+/// `f64::INFINITY` (local communication is not bandwidth-limited).
+/// Deterministic: the bottleneck chosen each round is the lowest-share,
+/// lowest-index resource.
+///
+/// ```
+/// use nodesel_topology::maxmin::max_min_allocate;
+/// // Two flows share resource 0 (cap 30); flow 1 alone also crosses
+/// // resource 1 (cap 100) and picks up the slack there... flow 2 does:
+/// let rates = max_min_allocate(&[30.0, 100.0], &[vec![0], vec![0, 1], vec![1]]);
+/// assert_eq!(rates, vec![15.0, 15.0, 85.0]);
+/// ```
+pub fn max_min_allocate(capacity: &[f64], flow_slots: &[Vec<usize>]) -> Vec<f64> {
+    let nf = flow_slots.len();
+    let mut rate = vec![f64::INFINITY; nf];
+    if nf == 0 {
+        return rate;
+    }
+    let slots = capacity.len();
+    let mut remaining: Vec<f64> = capacity.to_vec();
+    let mut count = vec![0u32; slots];
+    let mut frozen = vec![false; nf];
+    let mut unfrozen = 0usize;
+    for (f, path) in flow_slots.iter().enumerate() {
+        if path.is_empty() {
+            frozen[f] = true; // stays at infinity
+        } else {
+            unfrozen += 1;
+            for &s in path {
+                debug_assert!(s < slots, "slot out of range");
+                count[s] += 1;
+            }
+        }
+    }
+    while unfrozen > 0 {
+        let mut best: Option<(f64, usize)> = None;
+        for s in 0..slots {
+            if count[s] == 0 {
+                continue;
+            }
+            let share = remaining[s] / count[s] as f64;
+            match best {
+                Some((b, _)) if b <= share => {}
+                _ => best = Some((share, s)),
+            }
+        }
+        let Some((share, slot)) = best else {
+            break;
+        };
+        let share = share.max(0.0);
+        for (f, path) in flow_slots.iter().enumerate() {
+            if frozen[f] || !path.contains(&slot) {
+                continue;
+            }
+            frozen[f] = true;
+            unfrozen -= 1;
+            rate[f] = share;
+            for &s in path {
+                remaining[s] = (remaining[s] - share).max(0.0);
+                count[s] -= 1;
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        let rates = max_min_allocate(&[100.0, 10.0, 50.0], &[vec![0, 1, 2]]);
+        assert_eq!(rates, vec![10.0]);
+    }
+
+    #[test]
+    fn equal_split_on_shared_resource() {
+        let rates = max_min_allocate(&[90.0], &[vec![0], vec![0], vec![0]]);
+        assert_eq!(rates, vec![30.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn unbottlenecked_flow_takes_the_slack() {
+        // Flows A and B share slot 0 (cap 30); flow C shares slot 1 with A
+        // (cap 100). A freezes at 15; C then gets 85.
+        let rates = max_min_allocate(&[30.0, 100.0], &[vec![0, 1], vec![0], vec![1]]);
+        assert_eq!(rates, vec![15.0, 15.0, 85.0]);
+    }
+
+    #[test]
+    fn empty_path_is_unlimited() {
+        let rates = max_min_allocate(&[10.0], &[vec![], vec![0]]);
+        assert!(rates[0].is_infinite());
+        assert_eq!(rates[1], 10.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(max_min_allocate(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn allocation_never_oversubscribes() {
+        // A little mesh of 4 slots and 6 flows with overlapping paths.
+        let caps = [40.0, 25.0, 60.0, 10.0];
+        let flows = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![3],
+            vec![2, 3],
+            vec![0],
+        ];
+        let rates = max_min_allocate(&caps, &flows);
+        let mut used = [0.0f64; 4];
+        for (f, path) in flows.iter().enumerate() {
+            assert!(rates[f] > 0.0);
+            for &s in path {
+                used[s] += rates[f];
+            }
+        }
+        for (s, &u) in used.iter().enumerate() {
+            assert!(u <= caps[s] * (1.0 + 1e-9), "slot {s} oversubscribed: {u}");
+        }
+        // Max-min property (spot): every flow is bottlenecked somewhere —
+        // on some crossed slot the capacity is (nearly) exhausted.
+        for (f, path) in flows.iter().enumerate() {
+            let bottlenecked = path.iter().any(|&s| used[s] >= caps[s] - 1e-6);
+            assert!(
+                bottlenecked,
+                "flow {f} (rate {}) is not bottlenecked",
+                rates[f]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_its_flows() {
+        let rates = max_min_allocate(&[0.0, 100.0], &[vec![0], vec![1]]);
+        assert_eq!(rates, vec![0.0, 100.0]);
+    }
+}

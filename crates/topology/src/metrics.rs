@@ -1,0 +1,215 @@
+//! Structural metrics of a topology.
+//!
+//! Used by reports and benches to characterize generated networks
+//! (diameter, path lengths, bandwidth distribution) and by the CLI's
+//! `inspect` command.
+
+use crate::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Summary statistics of a topology's structure and current conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMetrics {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Compute nodes.
+    pub compute_nodes: usize,
+    /// Links.
+    pub links: usize,
+    /// True when the graph is connected.
+    pub connected: bool,
+    /// True when the graph is a forest.
+    pub acyclic: bool,
+    /// Hop-count diameter over compute-node pairs (`None` when
+    /// disconnected or fewer than two compute nodes).
+    pub diameter_hops: Option<usize>,
+    /// Mean hop count over connected compute-node pairs.
+    pub mean_path_hops: f64,
+    /// Minimum / mean / maximum link `bw` (available bandwidth), bits/s.
+    pub bw_min: f64,
+    /// Mean available link bandwidth, bits/s.
+    pub bw_mean: f64,
+    /// Maximum available link bandwidth, bits/s.
+    pub bw_max: f64,
+    /// Mean compute-node load average.
+    pub mean_load: f64,
+}
+
+/// BFS hop distances from `src` to every node (`usize::MAX` =
+/// unreachable).
+pub fn hop_distances(topo: &Topology, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topo.node_count()];
+    dist[src.index()] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(v) = q.pop_front() {
+        for &(_, w) in topo.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Computes [`TopologyMetrics`] for a topology snapshot.
+pub fn metrics(topo: &Topology) -> TopologyMetrics {
+    let computes: Vec<NodeId> = topo.compute_nodes().collect();
+    let mut diameter: Option<usize> = None;
+    let mut hop_sum = 0usize;
+    let mut hop_pairs = 0usize;
+    for &a in &computes {
+        let dist = hop_distances(topo, a);
+        for &b in &computes {
+            if b <= a {
+                continue;
+            }
+            let d = dist[b.index()];
+            if d != usize::MAX {
+                diameter = Some(diameter.map_or(d, |cur| cur.max(d)));
+                hop_sum += d;
+                hop_pairs += 1;
+            }
+        }
+    }
+    let (mut bw_min, mut bw_max, mut bw_sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for e in topo.edge_ids() {
+        let bw = topo.link(e).bw();
+        bw_min = bw_min.min(bw);
+        bw_max = bw_max.max(bw);
+        bw_sum += bw;
+    }
+    if topo.link_count() == 0 {
+        bw_min = 0.0;
+    }
+    let mean_load = if computes.is_empty() {
+        0.0
+    } else {
+        computes
+            .iter()
+            .map(|&n| topo.node(n).load_avg())
+            .sum::<f64>()
+            / computes.len() as f64
+    };
+    TopologyMetrics {
+        nodes: topo.node_count(),
+        compute_nodes: computes.len(),
+        links: topo.link_count(),
+        connected: topo.is_connected(),
+        acyclic: topo.is_acyclic(),
+        diameter_hops: diameter,
+        mean_path_hops: if hop_pairs > 0 {
+            hop_sum as f64 / hop_pairs as f64
+        } else {
+            0.0
+        },
+        bw_min,
+        bw_mean: if topo.link_count() > 0 {
+            bw_sum / topo.link_count() as f64
+        } else {
+            0.0
+        },
+        bw_max,
+        mean_load,
+    }
+}
+
+impl core::fmt::Display for TopologyMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "nodes: {} ({} compute), links: {}",
+            self.nodes, self.compute_nodes, self.links
+        )?;
+        writeln!(
+            f,
+            "connected: {}, acyclic: {}",
+            self.connected, self.acyclic
+        )?;
+        match self.diameter_hops {
+            Some(d) => writeln!(
+                f,
+                "compute-pair hops: diameter {}, mean {:.2}",
+                d, self.mean_path_hops
+            )?,
+            None => writeln!(f, "compute-pair hops: n/a")?,
+        }
+        writeln!(
+            f,
+            "available bandwidth (Mbps): min {:.1}, mean {:.1}, max {:.1}",
+            self.bw_min / 1e6,
+            self.bw_mean / 1e6,
+            self.bw_max / 1e6
+        )?;
+        write!(f, "mean compute load average: {:.2}", self.mean_load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{chain, dumbbell, star};
+    use crate::testbeds::cmu_testbed;
+    use crate::units::MBPS;
+
+    #[test]
+    fn star_metrics() {
+        let (t, _) = star(4, 100.0 * MBPS);
+        let m = metrics(&t);
+        assert_eq!(m.nodes, 5);
+        assert_eq!(m.compute_nodes, 4);
+        assert!(m.connected && m.acyclic);
+        assert_eq!(m.diameter_hops, Some(2));
+        assert_eq!(m.mean_path_hops, 2.0);
+        assert_eq!(m.bw_mean, 100.0 * MBPS);
+    }
+
+    #[test]
+    fn chain_diameter() {
+        let (t, _) = chain(5, 100.0 * MBPS);
+        let m = metrics(&t);
+        assert_eq!(m.diameter_hops, Some(4));
+    }
+
+    #[test]
+    fn testbed_metrics() {
+        let tb = cmu_testbed();
+        let m = metrics(&tb.topo);
+        assert_eq!(m.compute_nodes, 18);
+        // Worst pair: panama host to suez host = 4 hops.
+        assert_eq!(m.diameter_hops, Some(4));
+        assert!(m.mean_path_hops > 2.0 && m.mean_path_hops < 4.0);
+    }
+
+    #[test]
+    fn disconnected_and_empty_cases() {
+        let t = Topology::new();
+        let m = metrics(&t);
+        assert_eq!(m.diameter_hops, None);
+        assert_eq!(m.bw_min, 0.0);
+        let mut t = Topology::new();
+        t.add_compute_node("a", 1.0);
+        t.add_compute_node("b", 1.0);
+        let m = metrics(&t);
+        assert!(!m.connected);
+        assert_eq!(m.diameter_hops, None);
+    }
+
+    #[test]
+    fn conditions_feed_through() {
+        let (mut t, ids) = dumbbell(2, 100.0 * MBPS, 10.0 * MBPS);
+        t.set_load_avg(ids[0], 2.0);
+        let m = metrics(&t);
+        assert_eq!(m.bw_min, 10.0 * MBPS);
+        assert_eq!(m.bw_max, 100.0 * MBPS);
+        assert!((m.mean_load - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders() {
+        let (t, _) = star(3, 100.0 * MBPS);
+        let s = metrics(&t).to_string();
+        assert!(s.contains("3 compute"));
+        assert!(s.contains("diameter 2"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Nodes of the logical topology graph.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a node can run application processes or only forwards traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A processor available for computation.
+    Compute,
+    /// A switch/router used only for routing communication.
+    Network,
+}
+
+/// A node of the topology graph (paper §3.1).
+///
+/// Compute nodes carry two dynamic/static attributes used by the selection
+/// algorithms:
+///
+/// * `speed` — relative computation capacity; `1.0` is the *reference node
+///   type* of §3.3 ("Heterogeneous links and nodes"). A node twice as fast
+///   as the reference has `speed == 2.0`.
+/// * `load_avg` — the UNIX-style load average reported by the measurement
+///   layer, from which [`Node::cpu`] derives the available CPU fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) speed: f64,
+    pub(crate) load_avg: f64,
+}
+
+impl Node {
+    pub(crate) fn new(name: impl Into<String>, kind: NodeKind, speed: f64) -> Self {
+        let speed = if kind == NodeKind::Network {
+            0.0
+        } else {
+            speed
+        };
+        assert!(
+            kind == NodeKind::Network || speed > 0.0,
+            "compute node speed must be positive"
+        );
+        Node {
+            name: name.into(),
+            kind,
+            speed,
+            load_avg: 0.0,
+        }
+    }
+
+    /// Human-readable unique name (e.g. `"m-7"`, `"gibraltar"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// True when the node can run application processes.
+    pub fn is_compute(&self) -> bool {
+        self.kind == NodeKind::Compute
+    }
+
+    /// Relative computation capacity (1.0 = reference node type).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Most recent load average attributed to this node.
+    pub fn load_avg(&self) -> f64 {
+        self.load_avg
+    }
+
+    /// Fraction of the node's computation power available to a new
+    /// application process: `cpu = 1 / (1 + loadavg)` (paper §3.1).
+    ///
+    /// The load average counts active competing processes; assuming equal
+    /// scheduling priority, an application process joining `loadavg` others
+    /// receives this fraction of the processor. Network nodes report `0.0`.
+    pub fn cpu(&self) -> f64 {
+        match self.kind {
+            NodeKind::Compute => 1.0 / (1.0 + self.load_avg),
+            NodeKind::Network => 0.0,
+        }
+    }
+
+    /// Available computation capacity normalized to the reference node type:
+    /// `cpu() * speed()`.
+    ///
+    /// On a homogeneous system this equals [`Node::cpu`]; with heterogeneous
+    /// nodes (§3.3) it is the quantity the balanced algorithm compares
+    /// against fractional bandwidth.
+    pub fn effective_cpu(&self) -> f64 {
+        self.cpu() * self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_follows_paper_formula() {
+        let mut n = Node::new("m-1", NodeKind::Compute, 1.0);
+        assert_eq!(n.cpu(), 1.0);
+        n.load_avg = 1.0;
+        assert_eq!(n.cpu(), 0.5);
+        n.load_avg = 3.0;
+        assert_eq!(n.cpu(), 0.25);
+    }
+
+    #[test]
+    fn network_nodes_have_no_cpu() {
+        let n = Node::new("sw", NodeKind::Network, 1.0);
+        assert_eq!(n.cpu(), 0.0);
+        assert_eq!(n.speed(), 0.0);
+        assert!(!n.is_compute());
+    }
+
+    #[test]
+    fn effective_cpu_scales_with_speed() {
+        let mut n = Node::new("fast", NodeKind::Compute, 2.0);
+        n.load_avg = 1.0;
+        // Half of a double-speed node is one reference node.
+        assert_eq!(n.effective_cpu(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_compute_node_rejected() {
+        let _ = Node::new("bad", NodeKind::Compute, 0.0);
+    }
+}

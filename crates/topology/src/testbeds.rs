@@ -1,0 +1,226 @@
+//! Paper-specific networks: the Figure 1 example graph and the Figure 4
+//! CMU testbed.
+
+use crate::units::MBPS;
+use crate::{NodeId, Topology};
+
+/// Handles into the [`cmu_testbed`] topology.
+#[derive(Debug, Clone)]
+pub struct CmuTestbed {
+    /// The annotated graph.
+    pub topo: Topology,
+    /// Compute nodes `m-1` .. `m-18`, in order (`machines[0]` is `m-1`).
+    pub machines: Vec<NodeId>,
+    /// Router `panama`.
+    pub panama: NodeId,
+    /// Router `gibraltar`.
+    pub gibraltar: NodeId,
+    /// Router `suez`.
+    pub suez: NodeId,
+}
+
+impl CmuTestbed {
+    /// The compute node named `m-{i}` (1-based, matching the paper's labels).
+    pub fn m(&self, i: usize) -> NodeId {
+        assert!((1..=18).contains(&i), "machines are m-1 .. m-18");
+        self.machines[i - 1]
+    }
+}
+
+/// Reconstruction of the Figure 4 IP testbed at Carnegie Mellon.
+///
+/// From the paper: compute nodes are DEC Alphas `m-1` to `m-18`; routers are
+/// `panama`, `suez` and `gibraltar`; all links are 100 Mbps Ethernet except
+/// the `gibraltar`–`suez` link, which is 155 Mbps ATM.
+///
+/// **Documented assumption.** The text does not state which hosts attach to
+/// which router, only the figure (not machine-readable) does. We attach
+/// `m-1`..`m-6` to `panama`, `m-7`..`m-16` to `gibraltar`, and `m-17`,
+/// `m-18` to `suez`, with routers chained `panama — gibraltar — suez`. This
+/// keeps the paper's worked scenario meaningful: a bulk stream from `m-16`
+/// to `m-18` crosses the `gibraltar`–`suez` trunk, so automatic selection
+/// must confine the application to nodes whose pairwise routes avoid that
+/// trunk (the "bold border" nodes of Figure 4). Any attachment with `m-16`
+/// and `m-18` under different routers preserves this behaviour.
+///
+/// Per-host access links are modeled at 100 Mbps with 0.1 ms latency, the
+/// trunks at 100 Mbps (`panama`–`gibraltar`) and 155 Mbps (`gibraltar`–`suez`)
+/// with 0.2 ms latency.
+pub fn cmu_testbed() -> CmuTestbed {
+    let mut t = Topology::new();
+    let panama = t.add_network_node("panama");
+    let gibraltar = t.add_network_node("gibraltar");
+    let suez = t.add_network_node("suez");
+    t.add_link_full(panama, gibraltar, 100.0 * MBPS, 100.0 * MBPS, 2e-4);
+    t.add_link_full(gibraltar, suez, 155.0 * MBPS, 155.0 * MBPS, 2e-4);
+
+    let mut machines = Vec::with_capacity(18);
+    for i in 1..=18 {
+        let router = if i <= 6 {
+            panama
+        } else if i <= 16 {
+            gibraltar
+        } else {
+            suez
+        };
+        let m = t.add_compute_node(format!("m-{i}"), 1.0);
+        t.add_link_full(router, m, 100.0 * MBPS, 100.0 * MBPS, 1e-4);
+        machines.push(m);
+    }
+    CmuTestbed {
+        topo: t,
+        machines,
+        panama,
+        gibraltar,
+        suez,
+    }
+}
+
+/// Handles into the [`figure1`] topology.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The annotated graph.
+    pub topo: Topology,
+    /// The four workstations.
+    pub hosts: Vec<NodeId>,
+    /// The two switches.
+    pub switches: Vec<NodeId>,
+}
+
+/// The simple network of Figure 1: a Remos logical-topology graph.
+///
+/// The figure shows a small structured network — two interconnected network
+/// nodes, each serving a couple of workstations — illustrating that the
+/// logical topology captures shared intermediate links that end-to-end
+/// measurements between host pairs cannot attribute. We build exactly that
+/// shape: hosts `w1`, `w2` on switch `s1`; hosts `w3`, `w4` on switch `s2`;
+/// a 10 Mbps inter-switch link as the structural bottleneck.
+pub fn figure1() -> Figure1 {
+    let mut t = Topology::new();
+    let s1 = t.add_network_node("s1");
+    let s2 = t.add_network_node("s2");
+    t.add_link(s1, s2, 10.0 * MBPS);
+    let mut hosts = Vec::new();
+    for (name, sw) in [("w1", s1), ("w2", s1), ("w3", s2), ("w4", s2)] {
+        let h = t.add_compute_node(name, 1.0);
+        t.add_link(sw, h, 100.0 * MBPS);
+        hosts.push(h);
+    }
+    Figure1 {
+        topo: t,
+        hosts,
+        switches: vec![s1, s2],
+    }
+}
+
+/// A heterogeneous variant of the CMU testbed (§3.3, "Heterogeneous links
+/// and nodes"): the panama machines are upgraded to double-speed Alphas
+/// (`speed = 2.0`), the suez pair is connected by old 10 Mbps Ethernet,
+/// and the gibraltar–suez trunk keeps its 155 Mbps ATM. Exercises both
+/// heterogeneity mechanisms: relative node speeds (`effective_cpu`) and
+/// the reference-link bandwidth for fractional-bandwidth comparisons.
+pub fn heterogeneous_testbed() -> CmuTestbed {
+    let mut t = Topology::new();
+    let panama = t.add_network_node("panama");
+    let gibraltar = t.add_network_node("gibraltar");
+    let suez = t.add_network_node("suez");
+    t.add_link_full(panama, gibraltar, 100.0 * MBPS, 100.0 * MBPS, 2e-4);
+    t.add_link_full(gibraltar, suez, 155.0 * MBPS, 155.0 * MBPS, 2e-4);
+    let mut machines = Vec::with_capacity(18);
+    for i in 1..=18 {
+        let (router, speed, access) = if i <= 6 {
+            (panama, 2.0, 100.0 * MBPS) // upgraded fast nodes
+        } else if i <= 16 {
+            (gibraltar, 1.0, 100.0 * MBPS)
+        } else {
+            (suez, 1.0, 10.0 * MBPS) // legacy Ethernet
+        };
+        let m = t.add_compute_node(format!("m-{i}"), speed);
+        t.add_link_full(router, m, access, access, 1e-4);
+        machines.push(m);
+    }
+    CmuTestbed {
+        topo: t,
+        machines,
+        panama,
+        gibraltar,
+        suez,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper_inventory() {
+        let tb = cmu_testbed();
+        assert_eq!(tb.topo.compute_node_count(), 18);
+        assert_eq!(tb.topo.node_count(), 21);
+        assert_eq!(tb.topo.link_count(), 20);
+        assert!(tb.topo.is_connected());
+        assert!(tb.topo.is_acyclic());
+        assert_eq!(tb.topo.node(tb.m(1)).name(), "m-1");
+        assert_eq!(tb.topo.node(tb.m(18)).name(), "m-18");
+    }
+
+    #[test]
+    fn atm_link_is_faster_trunk() {
+        let tb = cmu_testbed();
+        let r = tb.topo.routes();
+        // m-17 to m-18: both on suez, no trunk crossing.
+        assert_eq!(r.path(tb.m(17), tb.m(18)).unwrap().len(), 2);
+        // m-1 to m-18 crosses both trunks: 100 Mbps bottleneck.
+        let p = r.path(tb.m(1), tb.m(18)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(r.bottleneck_bw(tb.m(1), tb.m(18)).unwrap(), 100.0 * MBPS);
+        // m-7 to m-17 crosses only the ATM trunk; the access links still
+        // bound the bottleneck at 100 Mbps.
+        assert_eq!(r.bottleneck_bw(tb.m(7), tb.m(17)).unwrap(), 100.0 * MBPS);
+    }
+
+    #[test]
+    fn scenario_stream_crosses_atm_trunk() {
+        let tb = cmu_testbed();
+        let r = tb.topo.routes();
+        let p = r.path(tb.m(16), tb.m(18)).unwrap();
+        let nodes = p.nodes(&tb.topo);
+        assert!(nodes.contains(&tb.gibraltar));
+        assert!(nodes.contains(&tb.suez));
+        assert!(!nodes.contains(&tb.panama));
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let f = figure1();
+        assert_eq!(f.topo.compute_node_count(), 4);
+        assert_eq!(f.topo.node_count(), 6);
+        assert!(f.topo.is_acyclic());
+        let r = f.topo.routes();
+        // Cross-switch pairs see the 10 Mbps structural bottleneck that
+        // pairwise end-host measurements could not localize.
+        assert_eq!(
+            r.bottleneck_bw(f.hosts[0], f.hosts[2]).unwrap(),
+            10.0 * MBPS
+        );
+        assert_eq!(
+            r.bottleneck_bw(f.hosts[0], f.hosts[1]).unwrap(),
+            100.0 * MBPS
+        );
+    }
+
+    #[test]
+    fn heterogeneous_testbed_shape() {
+        let tb = heterogeneous_testbed();
+        assert_eq!(tb.topo.compute_node_count(), 18);
+        assert_eq!(tb.topo.node(tb.m(1)).speed(), 2.0);
+        assert_eq!(tb.topo.node(tb.m(7)).speed(), 1.0);
+        // A loaded fast node equals an idle reference node.
+        let mut t = tb.topo.clone();
+        t.set_load_avg(tb.m(1), 1.0);
+        assert_eq!(t.node(tb.m(1)).effective_cpu(), 1.0);
+        // Legacy access links bound the suez machines.
+        let r = tb.topo.routes();
+        assert_eq!(r.bottleneck_bw(tb.m(17), tb.m(18)).unwrap(), 10.0 * MBPS);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end placement of the Airshed pollution model on the simulated
+//! CMU testbed (the paper's motivating scenario): background load and
+//! traffic run, Remos measures, and we compare a random placement against
+//! the automatic one on the *same* network history.
+//!
+//! Run with: `cargo run --release -p nodesel-experiments --example airshed_placement`
+
+use nodesel_apps::{airshed::airshed, AppModel};
+use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+
+fn main() {
+    let app = AppModel::Phased(airshed());
+    let config = TrialConfig::default();
+    let seed = 2024;
+
+    println!("Airshed (6-hour simulation) on 5 nodes of the simulated CMU testbed");
+    println!("background: Harchol-Balter load + Poisson/LogNormal traffic (seed {seed})\n");
+
+    let reference = run_trial(&app, 5, Strategy::Random, Condition::None, &config, seed);
+    println!(
+        "unloaded reference : {:>7.1} s  on [{}]",
+        reference.elapsed,
+        reference.nodes.join(", ")
+    );
+
+    let random = run_trial(&app, 5, Strategy::Random, Condition::Both, &config, seed);
+    println!(
+        "random placement   : {:>7.1} s  on [{}]",
+        random.elapsed,
+        random.nodes.join(", ")
+    );
+
+    let auto = run_trial(&app, 5, Strategy::Automatic, Condition::Both, &config, seed);
+    println!(
+        "automatic placement: {:>7.1} s  on [{}]",
+        auto.elapsed,
+        auto.nodes.join(", ")
+    );
+
+    let random_increase = random.elapsed - reference.elapsed;
+    let auto_increase = auto.elapsed - reference.elapsed;
+    println!(
+        "\nload/traffic cost: random +{:.1} s, automatic +{:.1} s ({}% of the increase avoided)",
+        random_increase,
+        auto_increase,
+        ((1.0 - auto_increase / random_increase) * 100.0).round()
+    );
+}

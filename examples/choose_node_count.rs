@@ -1,0 +1,45 @@
+//! Choosing how many nodes to run on (§3.4, "Variable number of execution
+//! nodes"): couple the balanced selection with a performance model of the
+//! FFT and sweep the node count on a partially loaded testbed.
+//!
+//! Run with: `cargo run -p nodesel-experiments --example choose_node_count`
+
+use nodesel_apps::fft::fft_1k;
+use nodesel_core::sizing::select_node_count;
+use nodesel_core::{Constraints, Quality, Weights};
+use nodesel_topology::testbeds::cmu_testbed;
+
+fn main() {
+    let tb = cmu_testbed();
+    let mut topo = tb.topo.clone();
+    // Half the testbed is busy: machines m-10..m-18 carry 1-3 jobs each.
+    for i in 10..=18 {
+        topo.set_load_avg(tb.m(i), 1.0 + ((i - 10) % 3) as f64);
+    }
+
+    let program = fft_1k();
+    let model = |m: usize, q: &Quality| program.estimated_runtime(m, q.min_cpu, q.min_bw);
+
+    let sized = select_node_count(&topo, 2..=12, &model, &Constraints::none(), Weights::EQUAL)
+        .expect("testbed has nodes");
+
+    println!("FFT (1K) node-count sweep on the half-loaded testbed:");
+    println!("{:>3}  {:>14}", "m", "predicted (s)");
+    for (m, t) in &sized.sweep {
+        let marker = if *m == sized.count { "  <= chosen" } else { "" };
+        println!("{m:>3}  {t:>14.1}{marker}");
+    }
+    let names: Vec<_> = sized
+        .selection
+        .nodes
+        .iter()
+        .map(|&n| topo.node(n).name().to_string())
+        .collect();
+    println!(
+        "\nchosen m = {} on {:?} (min cpu {:.2}, min bw {:.0} Mbps)",
+        sized.count,
+        names,
+        sized.selection.quality.min_cpu,
+        sized.selection.quality.min_bw / 1e6
+    );
+}

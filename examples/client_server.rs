@@ -1,0 +1,73 @@
+//! Constrained placement for a client–server application (§2.1 / §3.3):
+//! the server is pinned to a specific machine, the clients must come from
+//! an approved pool, and every client needs a minimum-bandwidth path to
+//! the rest of the set.
+//!
+//! Run with: `cargo run -p nodesel-experiments --example client_server`
+
+use nodesel_core::{select, Constraints, GreedyPolicy, Objective, SelectionRequest, Weights};
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::units::MBPS;
+use std::collections::HashSet;
+
+fn main() {
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+
+    // Background activity: load near the pinned server and a stream over
+    // the panama-gibraltar trunk.
+    for _ in 0..2 {
+        sim.start_compute(tb.m(8), 1e9, |_| {});
+    }
+    sim.start_transfer(tb.m(2), tb.m(12), 1e15, |_| {});
+    sim.run_for(120.0);
+    let snapshot = remos.logical_topology(Estimator::Latest);
+
+    // The server must run on m-7 (say, the only machine with the right
+    // binaries); clients may only use the gibraltar pool m-7..m-16.
+    let server = tb.m(7);
+    let pool: HashSet<_> = (7..=16).map(|i| tb.m(i)).collect();
+    let request = SelectionRequest {
+        count: 4,
+        objective: Objective::Balanced(Weights::comm_priority(2.0)),
+        constraints: Constraints {
+            allowed: Some(pool),
+            required: vec![server],
+            min_cpu: None,
+            min_bandwidth: Some(40.0 * MBPS),
+        },
+        reference_bandwidth: Some(100.0 * MBPS),
+        policy: GreedyPolicy::Sweep,
+    };
+
+    match select(&snapshot, &request) {
+        Ok(sel) => {
+            let names: Vec<_> = sel
+                .nodes
+                .iter()
+                .map(|&n| tb.topo.node(n).name().to_string())
+                .collect();
+            println!("selected (server pinned to m-7): {names:?}");
+            println!(
+                "min cpu {:.2}, min pairwise bandwidth {:.1} Mbps (floor 40), score {:.2}",
+                sel.quality.min_cpu,
+                sel.quality.min_bw / MBPS,
+                sel.score
+            );
+            assert!(sel.quality.min_bw >= 40.0 * MBPS);
+        }
+        Err(e) => println!("no feasible placement: {e}"),
+    }
+
+    // Tighten the floor beyond what the network can offer to show the
+    // failure mode.
+    let mut impossible = request.clone();
+    impossible.constraints.min_bandwidth = Some(120.0 * MBPS);
+    match select(&snapshot, &impossible) {
+        Ok(_) => println!("unexpectedly feasible"),
+        Err(e) => println!("floor 120 Mbps: {e} (access links are 100 Mbps)"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: annotate a topology with measured conditions and ask the
+//! three fundamental algorithms (§3.2) for a node set.
+//!
+//! Run with: `cargo run -p nodesel-experiments --example quickstart`
+
+use nodesel_core::{max_bandwidth, max_compute, select, Constraints, SelectionRequest};
+use nodesel_topology::builders::dumbbell;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::Direction;
+
+fn main() {
+    // Two 4-node clusters joined by a 100 Mbps backbone.
+    let (mut topo, ids) = dumbbell(4, 100.0 * MBPS, 100.0 * MBPS);
+
+    // Suppose the measurement layer reported: the left cluster is idle but
+    // its uplink is congested; the right cluster carries some CPU load.
+    let trunk = topo.edge_ids().next().unwrap();
+    topo.set_link_used(trunk, Direction::AtoB, 85.0 * MBPS);
+    topo.set_link_used(trunk, Direction::BtoA, 85.0 * MBPS);
+    for &n in &ids[4..] {
+        topo.set_load_avg(n, 0.6); // cpu = 1/1.6 = 0.63
+    }
+
+    let names = |nodes: &[nodesel_topology::NodeId]| {
+        nodes
+            .iter()
+            .map(|&n| topo.node(n).name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    // 1. Maximize computation: picks the idle left-cluster nodes, ignoring
+    //    the congested trunk (fine for embarrassingly parallel work).
+    let c = max_compute(&topo, 4, &Constraints::none()).unwrap();
+    println!(
+        "max-compute    -> [{}]  (min cpu {:.2}, min bw {:.0} Mbps)",
+        names(&c.nodes),
+        c.quality.min_cpu,
+        c.quality.min_bw / MBPS
+    );
+
+    // 2. Maximize communication (Figure 2): keeps all traffic inside one
+    //    cluster, whichever keeps the fattest pairwise paths.
+    let b = max_bandwidth(&topo, 4, &Constraints::none()).unwrap();
+    println!(
+        "max-bandwidth  -> [{}]  (min cpu {:.2}, min bw {:.0} Mbps)",
+        names(&b.nodes),
+        b.quality.min_cpu,
+        b.quality.min_bw / MBPS
+    );
+
+    // 3. Balanced (Figure 3): the default for parallel applications that
+    //    both compute and communicate.
+    let bal = select(&topo, &SelectionRequest::balanced(4)).unwrap();
+    println!(
+        "balanced       -> [{}]  (min cpu {:.2}, min bw fraction {:.2}, score {:.2})",
+        names(&bal.nodes),
+        bal.quality.min_cpu,
+        bal.quality.min_bwfraction,
+        bal.score
+    );
+
+    // A 5-node request must span the congested trunk; the balanced score
+    // reports the price.
+    let spanning = select(&topo, &SelectionRequest::balanced(5)).unwrap();
+    println!(
+        "balanced (m=5) -> [{}]  (score {:.2} — forced across the congested trunk)",
+        names(&spanning.nodes),
+        spanning.score
+    );
+}

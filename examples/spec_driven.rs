@@ -1,0 +1,89 @@
+//! Specification-driven selection (§2.1): applications describe their
+//! pattern and requirements declaratively; the framework compiles that to
+//! the right algorithm, and the returned node order feeds the launcher
+//! positionally (master first, pipeline stage order).
+//!
+//! Run with: `cargo run -p nodesel-experiments --example spec_driven`
+
+use nodesel_core::spec::{select_for_spec, AppSpec, CommPattern};
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use std::collections::HashSet;
+
+fn main() {
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    // Some background state: load on panama machines, a stream over the
+    // ATM trunk.
+    for i in 1..=4 {
+        sim.start_compute(tb.m(i), 1e9, |_| {});
+    }
+    sim.start_transfer(tb.m(9), tb.m(17), 1e15, |_| {});
+    sim.run_for(120.0);
+    let snapshot = remos.logical_topology(Estimator::Latest);
+    let names = |nodes: &[nodesel_topology::NodeId]| {
+        nodes
+            .iter()
+            .map(|&n| tb.topo.node(n).name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    // 1. A communication-heavy all-to-all solver.
+    let spec = AppSpec {
+        comm_fraction: 0.7,
+        ..AppSpec::new("spectral solver", 4, CommPattern::AllToAll)
+    };
+    let sel = select_for_spec(&snapshot, &spec).unwrap();
+    println!(
+        "{:<18} -> [{}] (score {:.2})",
+        spec.name,
+        names(&sel.ordered_nodes),
+        sel.selection.score
+    );
+
+    // 2. A master–slave reconstruction job: master goes first.
+    let spec = AppSpec::new("mri reconstruction", 4, CommPattern::MasterSlave);
+    let sel = select_for_spec(&snapshot, &spec).unwrap();
+    println!(
+        "{:<18} -> master {} | slaves [{}]",
+        spec.name,
+        tb.topo.node(sel.ordered_nodes[0]).name(),
+        names(&sel.ordered_nodes[1..])
+    );
+
+    // 3. A client-server service whose servers must run on the suez pair.
+    let pool: HashSet<_> = [tb.m(17), tb.m(18)].into_iter().collect();
+    let spec = AppSpec::new(
+        "render service",
+        5,
+        CommPattern::ClientServer {
+            servers: 1,
+            server_pool: Some(pool),
+        },
+    );
+    let sel = select_for_spec(&snapshot, &spec).unwrap();
+    let groups = sel.groups.as_ref().unwrap();
+    println!(
+        "{:<18} -> servers [{}] clients [{}]",
+        spec.name,
+        names(groups.group("servers").unwrap()),
+        names(groups.group("clients").unwrap())
+    );
+
+    // 4. A latency-sensitive coupled code: everything within 0.25 ms.
+    let spec = AppSpec {
+        max_latency: Some(0.25e-3),
+        ..AppSpec::new("tight coupling", 4, CommPattern::AllToAll)
+    };
+    let sel = select_for_spec(&snapshot, &spec).unwrap();
+    let routes = tb.topo.routes();
+    println!(
+        "{:<18} -> [{}] (max pairwise latency {:.3} ms)",
+        spec.name,
+        names(&sel.ordered_nodes),
+        nodesel_core::pairwise_latency(&routes, &sel.selection.nodes) * 1e3
+    );
+}

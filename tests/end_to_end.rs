@@ -1,0 +1,169 @@
+//! End-to-end integration: the full pipeline (testbed simulation →
+//! generators → Remos measurement → selection → application execution)
+//! reproduces the paper's qualitative claims on a reduced workload.
+
+use nodesel_apps::{fft::fft_program, mri::mri_program, AppModel};
+use nodesel_experiments::{mean, run_trials, Condition, Strategy, TrialConfig};
+
+fn small_fft() -> AppModel {
+    AppModel::Phased(fft_program(16))
+}
+
+fn small_mri() -> AppModel {
+    AppModel::MasterSlave(mri_program(200))
+}
+
+#[test]
+fn generators_slow_applications_down() {
+    let cfg = TrialConfig::default();
+    let app = small_fft();
+    let reference = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Random,
+        Condition::None,
+        &cfg,
+        1,
+        6,
+    ));
+    let both = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Random,
+        Condition::Both,
+        &cfg,
+        1,
+        6,
+    ));
+    assert!(
+        both > reference * 1.2,
+        "load+traffic must visibly slow random placement: {both} vs {reference}"
+    );
+}
+
+#[test]
+fn automatic_selection_recovers_most_of_the_increase() {
+    // The paper's headline: the load/traffic-induced increase is roughly
+    // halved (or better) by automatic selection.
+    let cfg = TrialConfig::default();
+    let app = small_fft();
+    let reps = 10;
+    let reference = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Random,
+        Condition::None,
+        &cfg,
+        5,
+        reps,
+    ));
+    let random = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Random,
+        Condition::Both,
+        &cfg,
+        5,
+        reps,
+    ));
+    let auto = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Automatic,
+        Condition::Both,
+        &cfg,
+        5,
+        reps,
+    ));
+    assert!(auto < random, "auto {auto} must beat random {random}");
+    let ratio = (auto - reference).max(0.0) / (random - reference);
+    assert!(
+        ratio < 0.75,
+        "automatic selection should remove a large part of the increase (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
+    // Table 1's structural contrast: relative increase under load+traffic
+    // is far smaller for the adaptive MRI than for the barrier-style FFT.
+    let cfg = TrialConfig::default();
+    let reps = 8;
+    let fft = small_fft();
+    let mri = small_mri();
+    let fft_ref = mean(&run_trials(
+        &fft,
+        4,
+        Strategy::Random,
+        Condition::None,
+        &cfg,
+        9,
+        reps,
+    ));
+    let fft_both = mean(&run_trials(
+        &fft,
+        4,
+        Strategy::Random,
+        Condition::Both,
+        &cfg,
+        9,
+        reps,
+    ));
+    let mri_ref = mean(&run_trials(
+        &mri,
+        4,
+        Strategy::Random,
+        Condition::None,
+        &cfg,
+        9,
+        reps,
+    ));
+    let mri_both = mean(&run_trials(
+        &mri,
+        4,
+        Strategy::Random,
+        Condition::Both,
+        &cfg,
+        9,
+        reps,
+    ));
+    let fft_rel = fft_both / fft_ref;
+    let mri_rel = mri_both / mri_ref;
+    assert!(
+        fft_rel > mri_rel,
+        "FFT relative slowdown {fft_rel:.2} must exceed MRI's {mri_rel:.2}"
+    );
+}
+
+#[test]
+fn oracle_is_at_least_as_good_as_measured_automatic() {
+    // Ground-truth selection can only help (on average); this pins the
+    // measurement layer's staleness as the gap.
+    let cfg = TrialConfig::default();
+    let app = small_fft();
+    let reps = 10;
+    let auto = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Automatic,
+        Condition::Both,
+        &cfg,
+        21,
+        reps,
+    ));
+    let oracle = mean(&run_trials(
+        &app,
+        4,
+        Strategy::Oracle,
+        Condition::Both,
+        &cfg,
+        21,
+        reps,
+    ));
+    // Allow a small tolerance: staleness can accidentally help on a finite
+    // sample.
+    assert!(
+        oracle < auto * 1.15,
+        "oracle {oracle} should not lose badly to measured auto {auto}"
+    );
+}

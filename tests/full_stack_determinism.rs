@@ -1,0 +1,39 @@
+//! Full-stack determinism: an entire Table 1 cell — simulator, generators,
+//! measurement, selection, application — is a pure function of its seed.
+
+use nodesel_apps::{fft::fft_program, AppModel};
+use nodesel_experiments::{run_trial, run_trials, Condition, Strategy, TrialConfig};
+
+#[test]
+fn identical_seeds_give_identical_trials() {
+    let app = AppModel::Phased(fft_program(8));
+    let cfg = TrialConfig::default();
+    for strategy in [Strategy::Random, Strategy::Automatic, Strategy::Oracle] {
+        for condition in [Condition::Load, Condition::Traffic, Condition::Both] {
+            let a = run_trial(&app, 4, strategy, condition, &cfg, 1234);
+            let b = run_trial(&app, 4, strategy, condition, &cfg, 1234);
+            assert_eq!(a.elapsed, b.elapsed, "{strategy:?}/{condition:?}");
+            assert_eq!(a.nodes, b.nodes, "{strategy:?}/{condition:?}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let app = AppModel::Phased(fft_program(8));
+    let cfg = TrialConfig::default();
+    let a = run_trial(&app, 4, Strategy::Random, Condition::Both, &cfg, 1);
+    let b = run_trial(&app, 4, Strategy::Random, Condition::Both, &cfg, 2);
+    assert!(a.elapsed != b.elapsed || a.nodes != b.nodes);
+}
+
+#[test]
+fn parallel_fanout_matches_itself() {
+    // run_trials spreads repetitions across threads; the result must be
+    // independent of the thread schedule.
+    let app = AppModel::Phased(fft_program(4));
+    let cfg = TrialConfig::default();
+    let a = run_trials(&app, 4, Strategy::Automatic, Condition::Both, &cfg, 9, 8);
+    let b = run_trials(&app, 4, Strategy::Automatic, Condition::Both, &cfg, 9, 8);
+    assert_eq!(a, b);
+}

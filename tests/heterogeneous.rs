@@ -1,0 +1,91 @@
+//! Integration tests of the §3.3 heterogeneity mechanisms on the mixed
+//! testbed: node speeds and the reference-link rule must change decisions
+//! exactly as the paper describes.
+
+use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
+use nodesel_topology::testbeds::heterogeneous_testbed;
+use nodesel_topology::units::MBPS;
+
+#[test]
+fn reference_link_flips_the_selection() {
+    let tb = heterogeneous_testbed();
+    let mut topo = tb.topo.clone();
+    for i in 1..=6 {
+        topo.set_load_avg(tb.m(i), 1.2);
+    }
+    for i in 7..=16 {
+        topo.set_load_avg(tb.m(i), 0.5);
+    }
+    // Per-link fractions: the idle legacy pair looks perfect.
+    let per_link = balanced(
+        &topo,
+        2,
+        Weights::EQUAL,
+        &Constraints::none(),
+        None,
+        GreedyPolicy::Sweep,
+    )
+    .unwrap();
+    assert_eq!(per_link.nodes, vec![tb.m(17), tb.m(18)]);
+    // Against a 100 Mbps reference, 10 Mbps is only 10% availability: the
+    // fast panama machines win despite their load.
+    let referenced = balanced(
+        &topo,
+        2,
+        Weights::EQUAL,
+        &Constraints::none(),
+        Some(100.0 * MBPS),
+        GreedyPolicy::Sweep,
+    )
+    .unwrap();
+    assert_eq!(referenced.nodes, vec![tb.m(1), tb.m(2)]);
+    assert!(referenced.quality.min_cpu > 0.9);
+}
+
+#[test]
+fn fast_nodes_absorb_load() {
+    // The paper's heterogeneous-node rule: capacities are relative to a
+    // reference node type. A double-speed node with one competitor offers
+    // exactly one reference node's worth of compute.
+    let tb = heterogeneous_testbed();
+    let mut topo = tb.topo.clone();
+    for i in 1..=6 {
+        topo.set_load_avg(tb.m(i), 1.0); // effective cpu = 2.0 / 2 = 1.0
+    }
+    for i in 7..=16 {
+        topo.set_load_avg(tb.m(i), 0.05); // effective cpu ≈ 0.95
+    }
+    let sel = balanced(
+        &topo,
+        4,
+        Weights::EQUAL,
+        &Constraints::none(),
+        Some(100.0 * MBPS),
+        GreedyPolicy::Sweep,
+    )
+    .unwrap();
+    // The loaded fast nodes still beat the nearly idle reference nodes.
+    assert_eq!(
+        sel.nodes,
+        vec![tb.m(1), tb.m(2), tb.m(3), tb.m(4)],
+        "effective cpu must rank 2x-speed loaded nodes above 1x idle ones"
+    );
+    assert_eq!(sel.quality.min_cpu, 1.0);
+}
+
+#[test]
+fn legacy_links_bound_simulated_transfers() {
+    // The heterogeneous capacities are physical in the simulator too.
+    use nodesel_simnet::Sim;
+    use std::{cell::RefCell, rc::Rc};
+    let tb = heterogeneous_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let done = Rc::new(RefCell::new(0.0));
+    let d = done.clone();
+    // 10 Mbit from m-17 to m-18 over two 10 Mbps access links: 1 s.
+    sim.start_transfer(tb.m(17), tb.m(18), 10.0 * MBPS, move |s| {
+        *d.borrow_mut() = s.now().as_secs_f64();
+    });
+    sim.run();
+    assert!((*done.borrow() - 1.0).abs() < 1e-3, "{}", done.borrow());
+}

@@ -1,0 +1,121 @@
+//! Integration of the measurement layer with live generators: Remos
+//! snapshots must track the simulator's ground truth closely enough for
+//! selection, while exhibiting the staleness the collector period implies.
+
+use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::Direction;
+
+#[test]
+fn measured_topology_tracks_oracle_under_generators() {
+    let tb = cmu_testbed();
+    let machines = tb.machines.clone();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    install_load(&mut sim, &machines, LoadConfig::paper_defaults(), 42);
+    install_traffic(&mut sim, &machines, TrafficConfig::paper_defaults(), 43);
+    sim.run_for(1_500.0);
+
+    let measured = remos.logical_topology(Estimator::Latest);
+    let oracle = sim.oracle_snapshot();
+
+    // Load averages: within an absolute band (the collector samples the
+    // same damped quantity, so only inter-sample drift separates them).
+    for n in oracle.compute_nodes() {
+        let diff = (measured.node(n).load_avg() - oracle.node(n).load_avg()).abs();
+        assert!(
+            diff < 0.75,
+            "load mismatch on {}: measured {}, oracle {}",
+            oracle.node(n).name(),
+            measured.node(n).load_avg(),
+            oracle.node(n).load_avg()
+        );
+    }
+
+    // Link utilization: measured values are bounded by capacity and
+    // correlate with the oracle's currently allocated rates.
+    for e in oracle.edge_ids() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            let cap = oracle.link(e).capacity(dir);
+            assert!(measured.link(e).used(dir) <= cap * (1.0 + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn longer_periods_mean_staler_views() {
+    let build = |period: f64| {
+        let tb = cmu_testbed();
+        let mut sim = Sim::new(tb.topo.clone());
+        let remos = Remos::install(
+            &mut sim,
+            CollectorConfig {
+                period,
+                ..CollectorConfig::default()
+            },
+        );
+        // Quiet for a while, then a sudden burst of load on m-1.
+        sim.run_for(600.0);
+        for _ in 0..4 {
+            sim.start_compute(tb.m(1), 1e9, |_| {});
+        }
+        sim.run_for(30.0);
+        remos
+            .logical_topology(Estimator::Latest)
+            .node(tb.m(1))
+            .load_avg()
+    };
+    // A 5 s collector has seen the burst; a 600 s collector has not.
+    let fresh = build(5.0);
+    let stale = build(600.0);
+    assert!(fresh > 0.5, "fresh collector saw the burst: {fresh}");
+    assert!(stale < 0.1, "stale collector still reports idle: {stale}");
+}
+
+#[test]
+fn window_mean_smooths_but_lags() {
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    // Load appears at t=300 and persists.
+    sim.run_for(300.0);
+    for _ in 0..3 {
+        sim.start_compute(tb.m(5), 1e9, |_| {});
+    }
+    sim.run_for(45.0);
+    let latest = remos.logical_topology(Estimator::Latest);
+    let meaned = remos.logical_topology(Estimator::WindowMean);
+    // Both see load, but the windowed view lags the step change.
+    assert!(latest.node(tb.m(5)).load_avg() > meaned.node(tb.m(5)).load_avg());
+    assert!(meaned.node(tb.m(5)).load_avg() > 0.0);
+}
+
+#[test]
+fn flow_queries_account_for_background_traffic() {
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    // Persistent stream congesting the panama-gibraltar trunk.
+    sim.start_transfer(tb.m(1), tb.m(8), 1e15, |_| {});
+    sim.run_for(60.0);
+    let infos = remos
+        .flow_query(
+            &[(tb.m(2), tb.m(9)), (tb.m(9), tb.m(10))],
+            Estimator::Latest,
+        )
+        .unwrap();
+    // The cross-trunk pair sees the stream; the intra-gibraltar pair does
+    // not.
+    assert!(
+        infos[0].available_bw < 20e6,
+        "trunk path should look congested: {}",
+        infos[0].available_bw
+    );
+    assert!(
+        infos[1].available_bw > 90e6,
+        "local path should look clean: {}",
+        infos[1].available_bw
+    );
+}

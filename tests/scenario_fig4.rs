@@ -1,0 +1,81 @@
+//! Integration test of the Figure 4 scenario and its variations: automatic
+//! selection must steer around congestion wherever the stream is placed.
+
+use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
+use nodesel_experiments::run_fig4_scenario;
+use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+
+#[test]
+fn published_scenario_avoids_the_stream() {
+    let outcome = run_fig4_scenario();
+    assert!(outcome.avoids_stream, "selected {:?}", outcome.selected);
+    assert_eq!(outcome.selected.len(), 4);
+}
+
+/// Generalization: for several stream placements, the automatically
+/// selected set's pairwise routes never cross a link the stream uses.
+#[test]
+fn selection_avoids_streams_everywhere() {
+    for (src, dst) in [(1usize, 7usize), (2, 17), (7, 18), (3, 5)] {
+        let tb = cmu_testbed();
+        let routes = tb.topo.routes();
+        let stream_links: Vec<_> = routes
+            .path(tb.m(src), tb.m(dst))
+            .unwrap()
+            .hops
+            .iter()
+            .map(|&(e, _)| e)
+            .collect();
+        let mut sim = Sim::new(tb.topo.clone());
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.start_transfer(tb.m(src), tb.m(dst), 1e15, |_| {});
+        sim.run_for(60.0);
+        let snapshot = remos.logical_topology(Estimator::Latest);
+        let sel = balanced(
+            &snapshot,
+            4,
+            Weights::EQUAL,
+            &Constraints::none(),
+            None,
+            GreedyPolicy::Sweep,
+        )
+        .unwrap();
+        for (i, &a) in sel.nodes.iter().enumerate() {
+            for &b in sel.nodes.iter().skip(i + 1) {
+                let p = routes.path(a, b).unwrap();
+                assert!(
+                    !p.hops.iter().any(|&(e, _)| stream_links.contains(&e)),
+                    "stream m-{src}->m-{dst}: pair {:?}-{:?} crosses a congested link",
+                    tb.topo.node(a).name(),
+                    tb.topo.node(b).name()
+                );
+            }
+        }
+    }
+}
+
+/// When the request is too large to dodge the congestion entirely, the
+/// balanced selection still returns a set — it degrades, not fails.
+#[test]
+fn oversized_requests_still_succeed() {
+    let tb = cmu_testbed();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
+    sim.run_for(60.0);
+    let snapshot = remos.logical_topology(Estimator::Latest);
+    let sel = balanced(
+        &snapshot,
+        17,
+        Weights::EQUAL,
+        &Constraints::none(),
+        None,
+        GreedyPolicy::Sweep,
+    )
+    .unwrap();
+    assert_eq!(sel.nodes.len(), 17);
+    // With 17 of 18 nodes the congested trunk is unavoidable.
+    assert!(sel.quality.min_bwfraction < 1.0);
+}
