@@ -16,13 +16,38 @@
 //!   [`GreedyPolicy::Faithful`] stops at the first non-improving round as
 //!   printed in the paper; [`GreedyPolicy::Sweep`] runs the deletion to
 //!   exhaustion and keeps the best round, which is provably optimal on
-//!   acyclic graphs (same `O(n²)` bound).
+//!   acyclic graphs.
+//!
+//! # Fast paths
+//!
+//! The paper spells the loops out literally — rescan every edge for the
+//! minimum, then rebuild every component — which is O(E²). This module
+//! keeps those literal loops as *references*
+//! ([`max_bandwidth_reference`], [`balanced_reference`]) and routes the
+//! public entry points through observably equivalent near-linear engines:
+//!
+//! * `max_bandwidth` runs reverse-deletion Kruskal on a
+//!   [`nodesel_topology::UnionFind`]: edges are sorted once by descending
+//!   available bandwidth and unioned until a component holds `m` eligible
+//!   nodes — O(E log E), and provably the same bottleneck optimum (the
+//!   state reached is exactly the last state of the deletion loop that
+//!   still hosts the application).
+//! * `balanced` walks the same sorted-edge order forward with incremental
+//!   component bookkeeping: deleting an edge touches only the component it
+//!   belonged to, splits are detected by one flood fill
+//!   ([`GraphView::flood_component`], reusing scratch buffers so
+//!   steady-state rounds allocate nothing), and the untouched components
+//!   keep their cached candidate sets and scores.
+//!
+//! Debug builds re-run the references after every fast-path call and
+//! assert byte-identical [`Selection`]s; the property tests in
+//! `tests/fastpath_parity.rs` do the same over random topologies.
 
 use crate::quality::{evaluate, Quality};
 use crate::request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 use crate::weights::Weights;
 use crate::SelectError;
-use nodesel_topology::{Component, GraphView, NodeId, Topology};
+use nodesel_topology::{Component, EdgeId, GraphView, NodeId, Routes, Topology, UnionFind};
 
 /// The result of a selection.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,11 +154,20 @@ impl<'a> Context<'a> {
     /// required nodes. Returns the (sorted) set and its minimum effective
     /// CPU, or `None` when the component cannot host the application.
     fn pick_from(&self, comp: &Component) -> Option<(Vec<NodeId>, f64)> {
+        self.pick_from_parts(&comp.nodes, &comp.compute_nodes)
+    }
+
+    /// [`Context::pick_from`] over raw (sorted) member lists, so the
+    /// incremental engines can evaluate components they track themselves.
+    fn pick_from_parts(
+        &self,
+        nodes: &[NodeId],
+        compute_nodes: &[NodeId],
+    ) -> Option<(Vec<NodeId>, f64)> {
         for &r in &self.required {
-            comp.nodes.binary_search(&r).ok()?;
+            nodes.binary_search(&r).ok()?;
         }
-        let mut candidates: Vec<NodeId> = comp
-            .compute_nodes
+        let mut candidates: Vec<NodeId> = compute_nodes
             .iter()
             .copied()
             .filter(|&n| self.eligible[n.index()])
@@ -175,7 +209,9 @@ impl<'a> Context<'a> {
     }
 
     fn finish(&self, nodes: Vec<NodeId>, weights: Weights, iterations: usize) -> Selection {
-        let routes = self.topo.routes();
+        // Quality only queries routes among the chosen nodes, so build just
+        // those BFS rows instead of the all-pairs table.
+        let routes = Routes::for_sources(self.topo, nodes.iter().copied());
         let quality = evaluate(self.topo, &routes, &nodes, self.reference_bw);
         Selection {
             score: quality.score(weights),
@@ -215,12 +251,45 @@ pub fn max_compute(
 /// Within the winning component, nodes are chosen by highest CPU — the
 /// paper allows "any m compute nodes", so this refinement never hurts the
 /// bandwidth objective and helps the secondary one.
+///
+/// Runs as reverse-deletion Kruskal in O(E log E) (see the module docs);
+/// requests with `required` nodes take the faithful
+/// [`max_bandwidth_reference`] loop, whose stopping rule inspects a
+/// specific component each round and is not expressible as a single
+/// union-find sweep.
 pub fn max_bandwidth(
     topo: &Topology,
     m: usize,
     constraints: &Constraints,
 ) -> Result<Selection, SelectError> {
     let ctx = Context::new(topo, m, constraints, None)?;
+    if !ctx.required.is_empty() {
+        return max_bandwidth_loop(&ctx, constraints);
+    }
+    let fast = max_bandwidth_fast(&ctx, constraints);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        fast,
+        max_bandwidth_loop(&ctx, constraints),
+        "max_bandwidth fast path diverged from the Figure 2 deletion loop"
+    );
+    fast
+}
+
+/// The faithful Figure 2 deletion loop, kept as the O(E²) reference the
+/// fast path is asserted against (debug builds and the parity property
+/// tests compare full [`Selection`]s).
+pub fn max_bandwidth_reference(
+    topo: &Topology,
+    m: usize,
+    constraints: &Constraints,
+) -> Result<Selection, SelectError> {
+    let ctx = Context::new(topo, m, constraints, None)?;
+    max_bandwidth_loop(&ctx, constraints)
+}
+
+fn max_bandwidth_loop(ctx: &Context, constraints: &Constraints) -> Result<Selection, SelectError> {
+    let topo = ctx.topo;
     let mut view = ctx.base_view(constraints);
     let mut current: Option<Vec<NodeId>> = None;
     let mut iterations = 0usize;
@@ -231,7 +300,7 @@ pub fn max_bandwidth(
         let candidate = view
             .components()
             .into_iter()
-            .filter(|c| ctx.eligible_count(c) >= m)
+            .filter(|c| ctx.eligible_count(c) >= ctx.m)
             .max_by_key(|c| ctx.eligible_count(c))
             .and_then(|c| ctx.pick_from(&c));
         match candidate {
@@ -246,6 +315,73 @@ pub fn max_bandwidth(
     }
     let nodes = current.ok_or(SelectError::Unsatisfiable)?;
     Ok(ctx.finish(nodes, Weights::EQUAL, iterations))
+}
+
+/// Reverse-deletion Kruskal: union edges in descending available-bandwidth
+/// order until a component holds `m` eligible nodes. That state is exactly
+/// the last state of the deletion loop that still hosts the application
+/// (deleting edges in ascending order and adding them in descending order
+/// walk the same chain of graphs), so the returned `Selection` — including
+/// its `iterations` count — is byte-identical to the reference's.
+fn max_bandwidth_fast(ctx: &Context, constraints: &Constraints) -> Result<Selection, SelectError> {
+    let topo = ctx.topo;
+    let view = ctx.base_view(constraints);
+    // Deletion order: ascending (bw, id), matching `min_live_edge_by`'s
+    // tie-breaking. The loop below walks it backwards.
+    let mut order: Vec<EdgeId> = view.live_edges().collect();
+    order.sort_unstable_by(|&x, &y| {
+        topo.link(x)
+            .bw()
+            .total_cmp(&topo.link(y).bw())
+            .then(x.cmp(&y))
+    });
+    let live = order.len();
+    if ctx.m == 1 {
+        // The deletion loop runs to exhaustion and reads its answer off the
+        // fully-deleted graph: every eligible node is then a singleton
+        // component of count 1, and the loop's max-by keeps the last one.
+        let node = (0..topo.node_count())
+            .rev()
+            .map(NodeId::from_index)
+            .find(|n| ctx.eligible[n.index()])
+            .expect("Context guarantees an eligible node");
+        return Ok(ctx.finish(vec![node], Weights::EQUAL, live + 1));
+    }
+    let mut uf = UnionFind::new(topo.node_count());
+    for n in topo.node_ids() {
+        if ctx.eligible[n.index()] {
+            uf.seed_eligible(n.index(), topo.node(n).effective_cpu());
+        }
+    }
+    let mut stop: Option<(usize, usize)> = None;
+    for (i, &e) in order.iter().rev().enumerate() {
+        let l = topo.link(e);
+        if let Some(root) = uf.union(l.a().index(), l.b().index()) {
+            if uf.eligible_count(root) >= ctx.m {
+                stop = Some((root, i + 1));
+                break;
+            }
+        }
+    }
+    // Never reaching `m` while adding edges means even the full graph has
+    // no qualifying component: round one of the reference loop fails.
+    let (root, added) = stop.ok_or(SelectError::Unsatisfiable)?;
+    let mut nodes = Vec::new();
+    let mut compute_nodes = Vec::new();
+    for n in topo.node_ids() {
+        if uf.find(n.index()) == root {
+            nodes.push(n);
+            if topo.node(n).is_compute() {
+                compute_nodes.push(n);
+            }
+        }
+    }
+    let (chosen, _) = ctx
+        .pick_from_parts(&nodes, &compute_nodes)
+        .expect("stop component holds at least m eligible nodes");
+    // The reference runs one round per deleted edge plus the failing round:
+    // `live - added` deletions succeed before the stop state is destroyed.
+    Ok(ctx.finish(chosen, Weights::EQUAL, live - added + 2))
 }
 
 /// Balanced computation/communication optimization (Figure 3): maximize
@@ -275,6 +411,38 @@ pub fn balanced(
 ) -> Result<Selection, SelectError> {
     assert!(weights.validate(), "invalid priority weights");
     let ctx = Context::new(topo, m, constraints, reference_bandwidth)?;
+    let fast = balanced_fast(&ctx, weights, constraints, policy);
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        fast,
+        balanced_loop(&ctx, weights, constraints, policy),
+        "balanced fast path diverged from the Figure 3 deletion loop"
+    );
+    fast
+}
+
+/// The faithful Figure 3 deletion loop — rescan every edge, rebuild every
+/// component, re-pick every candidate set, each round — kept as the O(E²)
+/// reference the incremental engine is asserted against.
+pub fn balanced_reference(
+    topo: &Topology,
+    m: usize,
+    weights: Weights,
+    constraints: &Constraints,
+    reference_bandwidth: Option<f64>,
+    policy: GreedyPolicy,
+) -> Result<Selection, SelectError> {
+    assert!(weights.validate(), "invalid priority weights");
+    let ctx = Context::new(topo, m, constraints, reference_bandwidth)?;
+    balanced_loop(&ctx, weights, constraints, policy)
+}
+
+fn balanced_loop(
+    ctx: &Context,
+    weights: Weights,
+    constraints: &Constraints,
+    policy: GreedyPolicy,
+) -> Result<Selection, SelectError> {
     let mut view = ctx.base_view(constraints);
     let mut best: Option<(f64, Vec<NodeId>)> = None;
     let mut iterations = 0usize;
@@ -323,6 +491,182 @@ pub fn balanced(
             Some(e) => view.remove_edge(e),
             None => break,
         }
+    }
+    let (_, nodes) = best.ok_or(SelectError::Unsatisfiable)?;
+    Ok(ctx.finish(nodes, weights, iterations))
+}
+
+/// Incrementally maintained component state for [`balanced_fast`].
+///
+/// A component is *dead* (`cand == None`) when it cannot host the
+/// application — too few eligible nodes or a missing required node. Both
+/// conditions are monotone under edge deletion, so dead components are
+/// never floodfilled or split again; their edges are skipped when the
+/// cursor reaches them.
+struct CompState {
+    /// Members, ascending.
+    nodes: Vec<NodeId>,
+    /// Compute-node members, ascending.
+    compute_nodes: Vec<NodeId>,
+    /// Live edges, *descending* by `(edge_fraction, id)`: the tail is the
+    /// component's minimum — and, because edges are deleted in ascending
+    /// global fraction order, it is always the next one deleted here.
+    edges: Vec<EdgeId>,
+    /// Cached `pick_from_parts` result; `None` marks the component dead.
+    cand: Option<(Vec<NodeId>, f64)>,
+    /// Cached `min(min_cpu/w_compute, min_frac/w_comm)`.
+    score: f64,
+}
+
+impl CompState {
+    fn rescore(&mut self, ctx: &Context, weights: Weights) {
+        if let Some((_, min_cpu)) = self.cand {
+            let min_frac = match self.edges.last() {
+                Some(&e) => ctx.edge_fraction(e),
+                None => 1.0,
+            };
+            self.score = (min_cpu / weights.compute).min(min_frac / weights.comm);
+        }
+    }
+}
+
+/// The incremental Figure 3 engine.
+///
+/// Edge fractions are static per link, so the per-round "find the minimum
+/// fractional edge" scan collapses into one sort plus a cursor; deleting an
+/// edge touches only the component that owned it, with a single flood fill
+/// deciding split vs. no-split. Untouched components keep their cached
+/// candidate sets and scores, so a steady-state round costs one slab scan
+/// of float comparisons and allocates nothing.
+fn balanced_fast(
+    ctx: &Context,
+    weights: Weights,
+    constraints: &Constraints,
+    policy: GreedyPolicy,
+) -> Result<Selection, SelectError> {
+    let topo = ctx.topo;
+    let mut view = ctx.base_view(constraints);
+    // Global deletion order: ascending (fraction, id), exactly the sequence
+    // `min_live_edge_by(edge_fraction)` produces round by round.
+    let mut order: Vec<EdgeId> = view.live_edges().collect();
+    order.sort_unstable_by(|&x, &y| {
+        ctx.edge_fraction(x)
+            .total_cmp(&ctx.edge_fraction(y))
+            .then(x.cmp(&y))
+    });
+    let mut edge_comp = vec![u32::MAX; topo.link_count()];
+    let mut comps: Vec<CompState> = Vec::new();
+    for comp in view.components() {
+        let mut edges = comp.edges;
+        edges.sort_unstable_by(|&x, &y| {
+            ctx.edge_fraction(y)
+                .total_cmp(&ctx.edge_fraction(x))
+                .then(y.cmp(&x))
+        });
+        let slot = comps.len() as u32;
+        for &e in &edges {
+            edge_comp[e.index()] = slot;
+        }
+        let mut state = CompState {
+            cand: ctx.pick_from_parts(&comp.nodes, &comp.compute_nodes),
+            nodes: comp.nodes,
+            compute_nodes: comp.compute_nodes,
+            edges,
+            score: 0.0,
+        };
+        state.rescore(ctx, weights);
+        comps.push(state);
+    }
+    let mut flood: Vec<NodeId> = Vec::new();
+    let mut best: Option<(f64, Vec<NodeId>)> = None;
+    let mut cursor = 0usize;
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // The reference evaluates components in ascending minimum-node-id
+        // order and keeps the first maximum; slab order differs (split
+        // halves are appended), so the tie-break is made explicit.
+        let mut round_best: Option<(f64, NodeId, usize)> = None;
+        for (i, c) in comps.iter().enumerate() {
+            if c.cand.is_none() {
+                continue;
+            }
+            let first = c.nodes[0];
+            match round_best {
+                Some((b, bn, _)) if b > c.score || (b == c.score && bn < first) => {}
+                _ => round_best = Some((c.score, first, i)),
+            }
+        }
+        let Some((round_score, _, round_slot)) = round_best else {
+            break; // no component can host the application
+        };
+        let improved = match &best {
+            Some((b, _)) => round_score > *b,
+            None => true,
+        };
+        if improved {
+            let (nodes, _) = comps[round_slot].cand.as_ref().expect("live round best");
+            best = Some((round_score, nodes.clone()));
+        } else if policy == GreedyPolicy::Faithful && iterations > 1 {
+            break;
+        }
+        let Some(&e) = order.get(cursor) else {
+            break;
+        };
+        cursor += 1;
+        view.remove_edge(e);
+        let slot = edge_comp[e.index()] as usize;
+        if comps[slot].cand.is_none() {
+            continue; // dead component: splitting it cannot matter
+        }
+        let popped = comps[slot].edges.pop();
+        debug_assert_eq!(
+            popped,
+            Some(e),
+            "cursor edge must be its component's minimum"
+        );
+        let link = topo.link(e);
+        view.flood_component(link.a(), &mut flood);
+        if view.last_flood_contains(link.b()) {
+            // Still connected: only the cached minimum fraction changed.
+            comps[slot].rescore(ctx, weights);
+            continue;
+        }
+        // Split: the flooded side moves to a fresh slot, the remainder
+        // keeps this one (so only the flooded side's edges remap).
+        flood.sort_unstable();
+        let a_compute: Vec<NodeId> = comps[slot]
+            .compute_nodes
+            .iter()
+            .copied()
+            .filter(|&n| view.last_flood_contains(n))
+            .collect();
+        let a_edges: Vec<EdgeId> = comps[slot]
+            .edges
+            .iter()
+            .copied()
+            .filter(|&x| view.last_flood_contains(topo.link(x).a()))
+            .collect();
+        let new_slot = comps.len() as u32;
+        for &x in &a_edges {
+            edge_comp[x.index()] = new_slot;
+        }
+        let old = &mut comps[slot];
+        old.nodes.retain(|&n| !view.last_flood_contains(n));
+        old.compute_nodes.retain(|&n| !view.last_flood_contains(n));
+        old.edges
+            .retain(|&x| !view.last_flood_contains(topo.link(x).a()));
+        old.cand = ctx.pick_from_parts(&old.nodes, &old.compute_nodes);
+        old.rescore(ctx, weights);
+        let mut side = CompState {
+            cand: ctx.pick_from_parts(&flood, &a_compute),
+            nodes: flood.clone(),
+            compute_nodes: a_compute,
+            edges: a_edges,
+            score: 0.0,
+        };
+        side.rescore(ctx, weights);
+        comps.push(side);
     }
     let (_, nodes) = best.ok_or(SelectError::Unsatisfiable)?;
     Ok(ctx.finish(nodes, weights, iterations))

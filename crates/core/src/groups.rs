@@ -237,6 +237,19 @@ pub fn select_groups(
         }
     }
 
+    // Edge fractions are static per link, so the per-round "find the
+    // minimum live edge" scan collapses into one sort plus a cursor —
+    // the deletion sequence is identical to repeated `min_live_edge_by`
+    // calls (same `(fraction, id)` tie-breaking), one O(E) scan cheaper
+    // per round.
+    let mut order: Vec<_> = view.live_edges().collect();
+    order.sort_unstable_by(|&x, &y| {
+        edge_fraction(x)
+            .total_cmp(&edge_fraction(y))
+            .then(x.cmp(&y))
+    });
+    let mut cursor = 0usize;
+
     let mut best: Option<(f64, Vec<Vec<NodeId>>)> = None;
     let mut iterations = 0usize;
     loop {
@@ -275,8 +288,11 @@ pub fn select_groups(
         } else if request.policy == GreedyPolicy::Faithful && iterations > 1 {
             break;
         }
-        match view.min_live_edge_by(&edge_fraction) {
-            Some(e) => view.remove_edge(e),
+        match order.get(cursor) {
+            Some(&e) => {
+                cursor += 1;
+                view.remove_edge(e);
+            }
             None => break,
         }
     }

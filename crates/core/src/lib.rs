@@ -36,6 +36,16 @@
 //! [`GreedyPolicy::Sweep`]) match it exactly on acyclic topologies, where
 //! the paper's arguments are tight.
 //!
+//! # Performance
+//!
+//! The public greedy entry points run near-linear sorted-edge/union-find
+//! engines instead of the paper's literal O(E²) loops; the literal loops
+//! survive as [`max_bandwidth_reference`] and [`balanced_reference`] and
+//! are asserted byte-identical in debug builds and in the
+//! `fastpath_parity` property tests. [`exhaustive_select`] prunes and
+//! parallelizes the subset search, with
+//! [`exhaustive_select_reference`] as the unpruned baseline.
+//!
 //! # Example
 //!
 //! ```
@@ -65,12 +75,17 @@ pub mod sizing;
 pub mod spec;
 mod weights;
 
-pub use algorithms::{balanced, max_bandwidth, max_compute, select, Selection};
+pub use algorithms::{
+    balanced, balanced_reference, max_bandwidth, max_bandwidth_reference, max_compute, select,
+    Selection,
+};
 pub use baseline::{random_selection, static_selection};
-pub use exhaustive::{exhaustive_select, Combinations, ExhaustiveObjective};
+pub use exhaustive::{
+    exhaustive_select, exhaustive_select_reference, Combinations, ExhaustiveObjective,
+};
 pub use groups::{select_groups, GroupSpec, GroupedRequest, GroupedSelection};
 pub use latency::{pairwise_latency, select_within_latency};
-pub use quality::{evaluate, Quality};
+pub use quality::{evaluate, PairwiseCache, Quality};
 pub use request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
 pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};

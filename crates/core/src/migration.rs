@@ -112,15 +112,24 @@ pub fn advise(
         request.count,
         "request count must match the current placement size"
     );
-    let discounted = discount_own_usage(snapshot, own);
+    // An empty footprint would clone the whole snapshot only to change
+    // nothing; borrow it instead (periodic advisors often poll with no
+    // attributed traffic).
+    let storage;
+    let discounted: &Topology = if own.load.is_empty() && own.traffic.is_empty() {
+        snapshot
+    } else {
+        storage = discount_own_usage(snapshot, own);
+        &storage
+    };
     let routes = discounted.routes();
-    let current_quality = evaluate(&discounted, &routes, current, request.reference_bandwidth);
+    let current_quality = evaluate(discounted, &routes, current, request.reference_bandwidth);
     let weights = match request.objective {
         Objective::Balanced(w) => w,
         _ => Weights::EQUAL,
     };
     let current_score = current_quality.score(weights);
-    let best = select(&discounted, request)?;
+    let best = select(discounted, request)?;
     let recommended = best.score > current_score * (1.0 + improvement_threshold)
         && best.nodes != current.to_vec();
     Ok(MigrationAdvice {
@@ -198,6 +207,23 @@ mod tests {
         assert_eq!(advice.vacated(&[ids[0], ids[1]]), vec![ids[0]]);
         assert!(!advice.occupied(&[ids[0], ids[1]]).is_empty());
         assert!(advice.best.score > advice.current_score);
+    }
+
+    #[test]
+    fn empty_footprint_skips_discounting() {
+        let (mut topo, ids) = star(4, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 3.0);
+        // No attributed load or traffic: the snapshot is used as measured.
+        let advice = advise(
+            &topo,
+            &[ids[0], ids[1]],
+            &OwnUsage::default(),
+            &SelectionRequest::balanced(2),
+            0.1,
+        )
+        .unwrap();
+        assert_eq!(advice.current_quality.min_cpu, 0.25);
+        assert!(advice.recommended);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Byte-identical parity between the fast selection engines and the
+//! paper-faithful reference loops.
+//!
+//! Random connected topologies (trees plus random chord links, 4–24
+//! nodes — chords create cycles, exercising the engines' no-split
+//! deletion paths) with random loads, utilizations, and constraint sets.
+//! Every comparison is on the full `Result<Selection, SelectError>`:
+//! nodes, quality, score, *and* iteration counts must agree exactly, and
+//! so must error cases.
+
+use std::collections::HashSet;
+
+use nodesel_core::{
+    balanced, balanced_reference, exhaustive_select, exhaustive_select_reference, max_bandwidth,
+    max_bandwidth_reference, Constraints, ExhaustiveObjective, GreedyPolicy, Weights,
+};
+use nodesel_topology::builders::random_tree;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{Direction, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random connected topology: a random tree plus up to four chords, with
+/// random loads and per-direction link utilization.
+fn random_topology(
+    seed: u64,
+    computes: usize,
+    networks: usize,
+    chords: usize,
+) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut topo, compute_ids) = random_tree(&mut rng, computes, networks, 100.0 * MBPS);
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    for _ in 0..chords {
+        let a = all[rng.random_range(0..all.len())];
+        let b = all[rng.random_range(0..all.len())];
+        if a != b {
+            topo.add_link(a, b, 100.0 * MBPS);
+        }
+    }
+    for n in compute_ids.iter().copied() {
+        topo.set_load_avg(n, rng.random_range(0.0..4.0));
+    }
+    for e in topo.edge_ids().collect::<Vec<_>>() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            let cap = topo.link(e).capacity(dir);
+            topo.set_link_used(e, dir, cap * rng.random_range(0.0..0.95));
+        }
+    }
+    (topo, compute_ids)
+}
+
+/// Random constraint set: sometimes empty, sometimes with a required
+/// node, a CPU floor, a bandwidth floor, or an allowed subset — the
+/// corners where the fast paths must fall back or specialize.
+fn random_constraints(seed: u64, ids: &[NodeId]) -> Constraints {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut c = Constraints::none();
+    if rng.random_range(0..3) == 0 {
+        c.required = vec![ids[rng.random_range(0..ids.len())]];
+    }
+    if rng.random_range(0..3) == 0 {
+        c.min_cpu = Some(rng.random_range(0.1..0.6));
+    }
+    if rng.random_range(0..3) == 0 {
+        c.min_bandwidth = Some(rng.random_range(1.0..40.0) * MBPS);
+    }
+    if rng.random_range(0..4) == 0 {
+        let keep = 1 + rng.random_range(0..ids.len());
+        c.allowed = Some(ids.iter().copied().take(keep).collect::<HashSet<_>>());
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn max_bandwidth_fast_path_is_byte_identical(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks, chords);
+        let constraints = random_constraints(seed, &ids);
+        let m = 1 + (seed as usize) % ids.len().min(5);
+        prop_assert_eq!(
+            max_bandwidth(&topo, m, &constraints),
+            max_bandwidth_reference(&topo, m, &constraints)
+        );
+    }
+
+    #[test]
+    fn balanced_fast_path_is_byte_identical(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks, chords);
+        let constraints = random_constraints(seed, &ids);
+        let m = 1 + (seed as usize) % ids.len().min(5);
+        let weights = if seed % 2 == 0 {
+            Weights::EQUAL
+        } else {
+            Weights::comm_priority(2.0)
+        };
+        let reference = if seed % 3 == 0 { Some(155.0 * MBPS) } else { None };
+        for policy in [GreedyPolicy::Faithful, GreedyPolicy::Sweep] {
+            prop_assert_eq!(
+                balanced(&topo, m, weights, &constraints, reference, policy),
+                balanced_reference(&topo, m, weights, &constraints, reference, policy),
+                "policy {:?}", policy
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_parallel_oracle_matches_serial_unpruned(
+        seed in 0u64..100_000,
+        computes in 2usize..9,
+        networks in 0usize..5,
+        chords in 0usize..3,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks, chords);
+        let constraints = random_constraints(seed, &ids);
+        let m = 1 + (seed as usize) % ids.len().min(4);
+        let reference = if seed % 3 == 0 { Some(155.0 * MBPS) } else { None };
+        for objective in [
+            ExhaustiveObjective::MinCpu,
+            ExhaustiveObjective::MinBandwidth,
+            ExhaustiveObjective::Balanced(Weights::compute_priority(2.0)),
+        ] {
+            prop_assert_eq!(
+                exhaustive_select(&topo, m, objective, &constraints, reference),
+                exhaustive_select_reference(&topo, m, objective, &constraints, reference),
+                "objective {:?}", objective
+            );
+        }
+    }
+}

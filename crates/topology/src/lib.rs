@@ -20,6 +20,9 @@
 //! * [`GraphView`] — a cheap overlay that supports the edge-deletion loops
 //!   at the heart of the paper's algorithms (Figures 2 and 3) without
 //!   mutating the underlying graph;
+//! * [`UnionFind`] — near-linear incremental connectivity with
+//!   per-component aggregates, powering the sorted-edge fast paths in
+//!   `nodesel-core`;
 //! * [`route`] — static routing (unique tree paths, shortest-path tables for
 //!   cyclic graphs) and bottleneck-bandwidth queries;
 //! * [`builders`] and [`testbeds`] — canonical topologies, including the
@@ -58,6 +61,7 @@ pub mod metrics;
 mod node;
 pub mod route;
 pub mod testbeds;
+pub mod unionfind;
 pub mod units;
 mod view;
 
@@ -66,6 +70,7 @@ pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
 pub use route::{Path, RouteTable, Routes};
+pub use unionfind::UnionFind;
 pub use view::{Component, GraphView};
 
 /// Errors produced by topology construction and queries.

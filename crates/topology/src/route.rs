@@ -50,41 +50,75 @@ impl Path {
     }
 }
 
-/// Precomputed static routes for every ordered pair of nodes.
+/// Precomputed static routes from a set of source nodes.
 ///
-/// Built once per topology snapshot in O(n · (n + e)) by running BFS from
-/// each node. Queries are O(path length).
+/// [`RouteTable::build`] runs BFS from every node — O(n · (n + e)) — and
+/// answers queries for every ordered pair. When only a small node set will
+/// ever be queried (e.g. scoring one selection of `m` nodes),
+/// [`RouteTable::build_for_sources`] builds just those BFS rows in
+/// O(|sources| · (n + e)). Queries are O(path length).
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     n: usize,
-    /// `parent[s * n + v]` = edge by which BFS from `s` first reached `v`.
+    /// `row_of[v]` = BFS row index for source `v`, or `u32::MAX` when the
+    /// row was not built (partial table).
+    row_of: Vec<u32>,
+    /// `parent[row_of[s] * n + v]` = edge by which BFS from `s` first
+    /// reached `v`.
     parent: Vec<Option<EdgeId>>,
 }
 
 impl RouteTable {
-    /// Builds the table for a topology.
+    /// Builds the full table: one BFS row per node.
     pub fn build(topo: &Topology) -> Self {
+        Self::build_for_sources(topo, topo.node_ids())
+    }
+
+    /// Builds BFS rows only for `sources` (duplicates are ignored).
+    ///
+    /// The resulting table answers queries whose `src` is one of the
+    /// sources exactly as the full table would — including paths through
+    /// arbitrary intermediate nodes — and panics on any other `src`.
+    pub fn build_for_sources(topo: &Topology, sources: impl IntoIterator<Item = NodeId>) -> Self {
         let n = topo.node_count();
-        let mut parent = vec![None; n * n];
+        let mut row_of = vec![u32::MAX; n];
+        let mut srcs: Vec<NodeId> = Vec::new();
+        for s in sources {
+            if row_of[s.index()] == u32::MAX {
+                row_of[s.index()] = srcs.len() as u32;
+                srcs.push(s);
+            }
+        }
+        let mut parent = vec![None; srcs.len() * n];
         let mut dist = vec![u32::MAX; n];
-        for s in 0..n {
+        for (row, &s) in srcs.iter().enumerate() {
             for d in dist.iter_mut() {
                 *d = u32::MAX;
             }
-            dist[s] = 0;
+            dist[s.index()] = 0;
             let mut queue = VecDeque::new();
-            queue.push_back(NodeId(s as u32));
+            queue.push_back(s);
             while let Some(v) = queue.pop_front() {
                 for &(e, w) in topo.neighbors(v) {
                     if dist[w.index()] == u32::MAX {
                         dist[w.index()] = dist[v.index()] + 1;
-                        parent[s * n + w.index()] = Some(e);
+                        parent[row * n + w.index()] = Some(e);
                         queue.push_back(w);
                     }
                 }
             }
         }
-        RouteTable { n, parent }
+        RouteTable { n, row_of, parent }
+    }
+
+    /// The BFS row for `src`; panics when the row was not built.
+    fn row(&self, src: NodeId) -> usize {
+        let row = self.row_of[src.index()];
+        assert!(
+            row != u32::MAX,
+            "no BFS row for {src:?}: it was not listed as a source of this partial route table"
+        );
+        row as usize
     }
 
     /// Resolves the path from `src` to `dst` against `topo` (directions and
@@ -102,10 +136,11 @@ impl RouteTable {
                 hops: Vec::new(),
             });
         }
+        let row = self.row(src);
         let mut rev: Vec<(EdgeId, Direction)> = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let Some(e) = self.parent[src.index() * self.n + cur.index()] else {
+            let Some(e) = self.parent[row * self.n + cur.index()] else {
                 return Err(TopologyError::Disconnected(src, dst));
             };
             let prev = topo.link(e).opposite(cur);
@@ -122,7 +157,7 @@ impl RouteTable {
 
     /// True when a route exists from `src` to `dst`.
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
-        src == dst || self.parent[src.index() * self.n + dst.index()].is_some()
+        src == dst || self.parent[self.row(src) * self.n + dst.index()].is_some()
     }
 }
 
@@ -142,6 +177,17 @@ impl<'a> Routes<'a> {
         Routes {
             topo,
             table: RouteTable::build(topo),
+        }
+    }
+
+    /// Builds routes only from the given `sources`
+    /// ([`RouteTable::build_for_sources`]): enough for queries *from* that
+    /// set — e.g. pairwise metrics of one selection — at a fraction of the
+    /// all-pairs build cost.
+    pub fn for_sources(topo: &'a Topology, sources: impl IntoIterator<Item = NodeId>) -> Self {
+        Routes {
+            topo,
+            table: RouteTable::build_for_sources(topo, sources),
         }
     }
 
@@ -310,6 +356,33 @@ mod tests {
         assert_eq!(p.hops[0].0, diag);
         // Routes are stable: asking twice gives the identical path.
         assert_eq!(r.path(a, c).unwrap(), p);
+    }
+
+    #[test]
+    fn partial_table_matches_full_table_for_its_sources() {
+        let (t, n, _) = chain();
+        let full = t.routes();
+        let partial = Routes::for_sources(&t, [n[0], n[3], n[0]]); // dup ignored
+        for src in [n[0], n[3]] {
+            for dst in n {
+                assert_eq!(
+                    partial.path(src, dst).unwrap(),
+                    full.path(src, dst).unwrap()
+                );
+                assert_eq!(
+                    partial.bottleneck_bw(src, dst).unwrap(),
+                    full.bottleneck_bw(src, dst).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not listed as a source")]
+    fn partial_table_rejects_foreign_sources() {
+        let (t, n, _) = chain();
+        let partial = Routes::for_sources(&t, [n[0]]);
+        let _ = partial.path(n[3], n[0]);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Disjoint-set forest (union-find) with per-component aggregates.
+//!
+//! The selection fast paths in `nodesel-core` replace the paper's literal
+//! "delete an edge, recompute every component" loops with the equivalent
+//! incremental formulation: process edges in sorted order and *merge*
+//! components. This module provides the connectivity machinery for that
+//! direction: path-halving `find`, union-by-size `union`, and two
+//! aggregates maintained at union time that the algorithms read off the
+//! component root in O(α(n)):
+//!
+//! * the number of **eligible** nodes in each component (an eligible node
+//!   is whatever the caller seeded — typically a compute node passing the
+//!   request's constraints), and
+//! * the **minimum key** over the eligible nodes of each component
+//!   (typically the effective CPU fraction).
+//!
+//! The same structure underlies communication-aware allocators at
+//! supercomputer scale; near-linear connectivity is what lets the greedy
+//! algorithms run in O(E log E) overall instead of O(E²).
+
+/// Disjoint-set forest over `0..len` with eligible-count and min-key
+/// aggregates.
+///
+/// ```
+/// use nodesel_topology::unionfind::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.seed_eligible(0, 0.5);
+/// uf.seed_eligible(2, 0.25);
+/// assert!(uf.union(0, 1).is_some());
+/// assert!(uf.union(1, 2).is_some());
+/// assert!(uf.union(0, 2).is_none()); // already joined
+/// let root = uf.find(2);
+/// assert_eq!(uf.eligible_count(root), 2);
+/// assert_eq!(uf.min_key(root), 0.25);
+/// assert_eq!(uf.component_count(), 2); // {0,1,2} and {3}
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    eligible: Vec<u32>,
+    min_key: Vec<f64>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates a forest of `len` singleton components with zero eligible
+    /// nodes each.
+    pub fn new(len: usize) -> Self {
+        assert!(u32::try_from(len).is_ok(), "too many elements");
+        let mut uf = UnionFind {
+            parent: Vec::new(),
+            size: Vec::new(),
+            eligible: Vec::new(),
+            min_key: Vec::new(),
+            components: 0,
+        };
+        uf.reset(len);
+        uf
+    }
+
+    /// Resets to `len` singletons, reusing the existing allocations.
+    pub fn reset(&mut self, len: usize) {
+        self.parent.clear();
+        self.parent.extend(0..len as u32);
+        self.size.clear();
+        self.size.resize(len, 1);
+        self.eligible.clear();
+        self.eligible.resize(len, 0);
+        self.min_key.clear();
+        self.min_key.resize(len, f64::INFINITY);
+        self.components = len;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for a zero-element forest.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Marks singleton `i` as eligible with aggregate key `key` (e.g. its
+    /// effective CPU). Call before any unions involving `i`.
+    pub fn seed_eligible(&mut self, i: usize, key: f64) {
+        debug_assert_eq!(self.parent[i], i as u32, "seed before unions");
+        self.eligible[i] = 1;
+        self.min_key[i] = key;
+    }
+
+    /// Root of the component containing `i`, with path halving.
+    pub fn find(&mut self, i: usize) -> usize {
+        let mut x = i as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x as usize
+    }
+
+    /// Merges the components of `a` and `b` by size. Returns the surviving
+    /// root when the two were distinct, `None` when already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        if self.size[ra] < self.size[rb] {
+            core::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.eligible[ra] += self.eligible[rb];
+        self.min_key[ra] = self.min_key[ra].min(self.min_key[rb]);
+        self.components -= 1;
+        Some(ra)
+    }
+
+    /// True when `a` and `b` are in the same component.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Total number of nodes in the component containing `i`.
+    pub fn component_size(&mut self, i: usize) -> usize {
+        let r = self.find(i);
+        self.size[r] as usize
+    }
+
+    /// Number of eligible nodes in the component containing `i`.
+    ///
+    /// `i` may be any member; pass a root (e.g. the return value of
+    /// [`UnionFind::union`]) to skip the find.
+    pub fn eligible_count(&mut self, i: usize) -> usize {
+        let r = self.find(i);
+        self.eligible[r] as usize
+    }
+
+    /// Minimum key over the eligible nodes of the component containing
+    /// `i`; `+∞` when the component has none.
+    pub fn min_key(&mut self, i: usize) -> f64 {
+        let r = self.find(i);
+        self.min_key[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_separate() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.component_size(2), 1);
+        assert_eq!(uf.eligible_count(0), 0);
+        assert_eq!(uf.min_key(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn union_merges_and_aggregates() {
+        let mut uf = UnionFind::new(5);
+        for (i, k) in [(0, 0.9), (1, 0.5), (3, 0.7)] {
+            uf.seed_eligible(i, k);
+        }
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(2, 3).is_some());
+        assert_eq!(uf.eligible_count(1), 2);
+        assert_eq!(uf.min_key(0), 0.5);
+        assert_eq!(uf.eligible_count(2), 1);
+        let root = uf.union(1, 2).unwrap();
+        assert_eq!(uf.eligible_count(root), 3);
+        assert_eq!(uf.min_key(root), 0.5);
+        assert_eq!(uf.component_size(3), 4);
+        assert_eq!(uf.component_count(), 2); // merged set and {4}
+        assert!(uf.union(0, 3).is_none());
+    }
+
+    #[test]
+    fn union_by_size_keeps_larger_root() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(0, 2);
+        // {0,1,2} (size 3) absorbs {3}.
+        let root = uf.union(3, 0).unwrap();
+        assert_eq!(root, uf.find(1));
+        assert_eq!(uf.component_size(3), 4);
+    }
+
+    #[test]
+    fn reset_reuses_allocations() {
+        let mut uf = UnionFind::new(4);
+        uf.seed_eligible(0, 0.1);
+        uf.union(0, 1);
+        uf.reset(6);
+        assert_eq!(uf.len(), 6);
+        assert_eq!(uf.component_count(), 6);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.eligible_count(0), 0);
+    }
+
+    #[test]
+    fn find_uses_path_halving() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..8 {
+            assert_eq!(uf.find(i), root);
+        }
+        assert_eq!(uf.component_count(), 1);
+    }
+}

@@ -6,14 +6,31 @@ use crate::{EdgeId, NodeId, Topology};
 ///
 /// The paper's algorithms (Figures 2 and 3) repeatedly "remove the edge with
 /// the minimum available bandwidth" and recompute connected components.
-/// `GraphView` supports that loop in O(E) per iteration without cloning or
-/// mutating the underlying snapshot: removal flips a bit, and component
-/// computation skips removed edges.
+/// `GraphView` supports that loop without cloning or mutating the underlying
+/// snapshot: removal flips a bit, and component computation skips removed
+/// edges. Two additions serve the fast-path engines in `nodesel-core`:
+///
+/// * a **compact live-edge list** maintained under removal/restore, so that
+///   repeated scans ([`GraphView::live_edges`],
+///   [`GraphView::min_live_edge_by`]) touch only surviving edges instead of
+///   re-filtering the full edge set every round;
+/// * **reusable flood scratch** ([`GraphView::flood_component`]), so the
+///   incremental split bookkeeping of the balanced engine allocates nothing
+///   in steady state.
 #[derive(Debug, Clone)]
 pub struct GraphView<'a> {
     topo: &'a Topology,
     removed: Vec<bool>,
     removed_count: usize,
+    /// Live edges in unspecified order; `live_pos[e]` is `e`'s slot in
+    /// `live`, or `usize::MAX` while removed.
+    live: Vec<EdgeId>,
+    live_pos: Vec<usize>,
+    /// Flood-fill scratch: `mark[n] == mark_stamp` iff `n` was reached by
+    /// the most recent [`GraphView::flood_component`].
+    mark: Vec<u32>,
+    mark_stamp: u32,
+    stack: Vec<NodeId>,
 }
 
 /// One connected component of a [`GraphView`].
@@ -41,6 +58,11 @@ impl<'a> GraphView<'a> {
             topo,
             removed: vec![false; topo.link_count()],
             removed_count: 0,
+            live: topo.edge_ids().collect(),
+            live_pos: (0..topo.link_count()).collect(),
+            mark: vec![0; topo.node_count()],
+            mark_stamp: 0,
+            stack: Vec::new(),
         }
     }
 
@@ -55,6 +77,12 @@ impl<'a> GraphView<'a> {
         if !self.removed[e.index()] {
             self.removed[e.index()] = true;
             self.removed_count += 1;
+            let slot = self.live_pos[e.index()];
+            self.live.swap_remove(slot);
+            if let Some(&moved) = self.live.get(slot) {
+                self.live_pos[moved.index()] = slot;
+            }
+            self.live_pos[e.index()] = usize::MAX;
         }
     }
 
@@ -63,6 +91,8 @@ impl<'a> GraphView<'a> {
         if self.removed[e.index()] {
             self.removed[e.index()] = false;
             self.removed_count -= 1;
+            self.live_pos[e.index()] = self.live.len();
+            self.live.push(e);
         }
     }
 
@@ -76,11 +106,11 @@ impl<'a> GraphView<'a> {
         self.topo.link_count() - self.removed_count
     }
 
-    /// Iterates over live edge ids in insertion order.
+    /// Iterates over live edge ids in unspecified (but deterministic)
+    /// order. The scan is over a compact list that only contains surviving
+    /// edges, so its cost is O(live), not O(total).
     pub fn live_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.topo
-            .edge_ids()
-            .filter(move |e| !self.removed[e.index()])
+        self.live.iter().copied()
     }
 
     /// Live edge with the minimum key according to `key`, breaking ties by
@@ -90,7 +120,7 @@ impl<'a> GraphView<'a> {
         for e in self.live_edges() {
             let k = key(e);
             match best {
-                Some((bk, _)) if bk <= k => {}
+                Some((bk, be)) if (bk, be) <= (k, e) => {}
                 _ => best = Some((k, e)),
             }
         }
@@ -133,7 +163,9 @@ impl<'a> GraphView<'a> {
                 }
             }
         }
-        for e in self.live_edges() {
+        // Ascending edge id, so `Component::edges` stays deterministic
+        // regardless of the compact live list's internal order.
+        for e in self.topo.edge_ids().filter(|e| !self.removed[e.index()]) {
             let l = self.topo.link(e);
             let ca = label[l.a().index()];
             if ca == label[l.b().index()] {
@@ -176,6 +208,42 @@ impl<'a> GraphView<'a> {
             }
         }
         false
+    }
+
+    /// Collects the nodes of the live component containing `start` into
+    /// `out` (cleared first, unsorted discovery order) using internal
+    /// scratch buffers — no allocation in steady state.
+    ///
+    /// After the call, [`GraphView::last_flood_contains`] answers membership
+    /// queries against this flood in O(1). This is the primitive behind the
+    /// incremental split bookkeeping of the balanced fast path: when an
+    /// edge `(a, b)` is deleted, one flood from `a` both detects whether the
+    /// component split and, if so, yields the `a`-side node set.
+    pub fn flood_component(&mut self, start: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        if self.mark_stamp == u32::MAX {
+            self.mark.fill(0);
+            self.mark_stamp = 0;
+        }
+        self.mark_stamp += 1;
+        let stamp = self.mark_stamp;
+        self.mark[start.index()] = stamp;
+        self.stack.push(start);
+        while let Some(v) = self.stack.pop() {
+            out.push(v);
+            for &(e, w) in self.topo.neighbors(v) {
+                if !self.removed[e.index()] && self.mark[w.index()] != stamp {
+                    self.mark[w.index()] = stamp;
+                    self.stack.push(w);
+                }
+            }
+        }
+    }
+
+    /// True when `n` was reached by the most recent
+    /// [`GraphView::flood_component`] call.
+    pub fn last_flood_contains(&self, n: NodeId) -> bool {
+        self.mark_stamp != 0 && self.mark[n.index()] == self.mark_stamp
     }
 
     /// Size (in compute nodes) of the largest component, together with that
@@ -282,6 +350,39 @@ mod tests {
             v.min_live_edge_by(|e| if e == edges[1] { 0.5 } else { 1.0 }),
             Some(edges[1])
         );
+    }
+
+    #[test]
+    fn live_list_stays_compact_under_removal_and_restore() {
+        let (t, _, edges) = star();
+        let mut v = GraphView::new(&t);
+        v.remove_edge(edges[1]);
+        let mut live: Vec<_> = v.live_edges().collect();
+        live.sort_unstable();
+        assert_eq!(live, vec![edges[0], edges[2]]);
+        v.restore_edge(edges[1]);
+        v.remove_edge(edges[0]);
+        v.remove_edge(edges[2]);
+        assert_eq!(v.live_edges().collect::<Vec<_>>(), vec![edges[1]]);
+        // min_live_edge_by agrees with a brute-force scan after churn.
+        assert_eq!(v.min_live_edge_by(|_| 1.0), Some(edges[1]));
+    }
+
+    #[test]
+    fn flood_component_matches_components() {
+        let (t, nodes, edges) = star();
+        let mut v = GraphView::new(&t);
+        v.remove_edge(edges[0]);
+        let mut out = Vec::new();
+        v.flood_component(nodes[0], &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![nodes[0], nodes[2], nodes[3]]);
+        assert!(v.last_flood_contains(nodes[2]));
+        assert!(!v.last_flood_contains(nodes[1]));
+        // A second flood reuses the scratch and re-stamps membership.
+        v.flood_component(nodes[1], &mut out);
+        assert_eq!(out, vec![nodes[1]]);
+        assert!(!v.last_flood_contains(nodes[0]));
     }
 
     #[test]
