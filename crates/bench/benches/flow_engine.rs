@@ -1,0 +1,203 @@
+//! Flow-engine bench: incremental max-min engine vs the full-recompute
+//! reference, measured as simulator events/sec under background traffic on
+//! the CMU testbed at three intensities (multiples of the paper's Poisson
+//! arrival rate), plus *federated* scenarios (many independent subnets in
+//! one simulator) where the sharing graph actually decomposes and
+//! cluster-scoped reallocation pays off. A speedup table is printed before
+//! measurement and a machine-readable `BENCH_simnet.json` (events/sec per
+//! setting plus a Table-1 trial wall-clock) is written to the workspace
+//! root so the perf trajectory is comparable across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nodesel_apps::AppModel;
+use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
+use nodesel_simnet::{FlowEngine, Sim};
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{NodeId, Topology};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIM_SECONDS: f64 = 600.0;
+
+/// Background-traffic settings: multiples of the paper's arrival rate.
+const INTENSITIES: [(&str, f64); 3] = [("low", 1.0), ("med", 4.0), ("high", 16.0)];
+
+/// Federated settings: (label, subnet count, arrival-rate multiple).
+const FEDERATED: [(&str, usize, f64); 2] = [("fed8", 8, 4.0), ("fed32", 32, 4.0)];
+
+fn traffic_at(mult: f64) -> TrafficConfig {
+    let mut t = TrafficConfig::paper_defaults();
+    t.arrival_rate *= mult;
+    t
+}
+
+/// One busy-testbed run; returns the number of events dispatched.
+fn run_busy(engine: FlowEngine, mult: f64) -> u64 {
+    let tb = cmu_testbed();
+    let mut sim = Sim::with_flow_engine(tb.topo.clone(), engine);
+    install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
+    install_traffic(&mut sim, &tb.machines, traffic_at(mult), 2);
+    sim.run_for(SIM_SECONDS);
+    sim.stats().events
+}
+
+/// `k` independent subnets in one simulator: a two-router backbone with
+/// eight hosts each. Flows share bandwidth within their subnet only, so
+/// the sharing graph has `k` components and the incremental engine
+/// re-solves one of them per event while the reference re-solves all.
+fn federated(k: usize) -> (Topology, Vec<Vec<NodeId>>) {
+    let mut topo = Topology::new();
+    let mut subnets = Vec::new();
+    for s in 0..k {
+        let r0 = topo.add_network_node(format!("s{s}-r0"));
+        let r1 = topo.add_network_node(format!("s{s}-r1"));
+        topo.add_link(r0, r1, 100.0 * MBPS);
+        let mut hosts = Vec::new();
+        for h in 0..8 {
+            let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
+            topo.add_link(n, if h % 2 == 0 { r0 } else { r1 }, 100.0 * MBPS);
+            hosts.push(n);
+        }
+        subnets.push(hosts);
+    }
+    (topo, subnets)
+}
+
+/// One federated run; returns the number of events dispatched.
+fn run_federated(engine: FlowEngine, k: usize, mult: f64) -> u64 {
+    let (topo, subnets) = federated(k);
+    let mut sim = Sim::with_flow_engine(topo, engine);
+    for (s, hosts) in subnets.iter().enumerate() {
+        install_traffic(&mut sim, hosts, traffic_at(mult), 100 + s as u64);
+    }
+    sim.run_for(SIM_SECONDS);
+    sim.stats().events
+}
+
+/// (events dispatched, median wall seconds over `iters` runs).
+fn measure(run: impl Fn() -> u64, iters: usize) -> (u64, f64) {
+    let mut events = 0;
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            events = run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (events, samples[samples.len() / 2])
+}
+
+fn emit_summary(c: &mut Criterion) {
+    eprintln!("\n=== simnet flow engines: busy CMU testbed, {SIM_SECONDS} simulated seconds ===");
+    eprintln!(
+        "{:<6} {:>10} {:>16} {:>16} {:>9}",
+        "load", "events", "reference ev/s", "incremental ev/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (label, mult) in INTENSITIES {
+        let (events, slow) = measure(|| run_busy(FlowEngine::Reference, mult), 3);
+        let (ev2, fast) = measure(|| run_busy(FlowEngine::Incremental, mult), 3);
+        assert_eq!(events, ev2, "engines dispatched different event counts");
+        let (ref_eps, inc_eps) = (events as f64 / slow, events as f64 / fast);
+        eprintln!(
+            "{label:<6} {events:>10} {ref_eps:>16.0} {inc_eps:>16.0} {:>8.1}x",
+            slow / fast
+        );
+        rows.push(serde_json::json!({
+            "label": label,
+            "arrival_rate_multiple": mult,
+            "events": events,
+            "reference_events_per_sec": ref_eps,
+            "incremental_events_per_sec": inc_eps,
+            "speedup": slow / fast,
+        }));
+    }
+    let mut fed_rows = Vec::new();
+    for (label, k, mult) in FEDERATED {
+        let (events, slow) = measure(|| run_federated(FlowEngine::Reference, k, mult), 3);
+        let (ev2, fast) = measure(|| run_federated(FlowEngine::Incremental, k, mult), 3);
+        assert_eq!(events, ev2, "engines dispatched different event counts");
+        let (ref_eps, inc_eps) = (events as f64 / slow, events as f64 / fast);
+        eprintln!(
+            "{label:<6} {events:>10} {ref_eps:>16.0} {inc_eps:>16.0} {:>8.1}x",
+            slow / fast
+        );
+        fed_rows.push(serde_json::json!({
+            "label": label,
+            "subnets": k,
+            "arrival_rate_multiple": mult,
+            "events": events,
+            "reference_events_per_sec": ref_eps,
+            "incremental_events_per_sec": inc_eps,
+            "speedup": slow / fast,
+        }));
+    }
+
+    // One full Table-1 trial (warmup + generators + selection + app run):
+    // the end-to-end wall-clock unit the sweeps are built from.
+    let suite = AppModel::paper_suite();
+    let (app, m) = &suite[0];
+    let t = Instant::now();
+    black_box(run_trial(
+        app,
+        *m,
+        Strategy::Automatic,
+        Condition::Both,
+        &TrialConfig::default(),
+        1,
+    ));
+    let trial_wall = t.elapsed().as_secs_f64();
+    eprintln!("table1 trial ({}): {trial_wall:.3} s wall", app.name());
+
+    let summary = serde_json::json!({
+        "bench": "flow_engine",
+        "testbed": "cmu",
+        "sim_seconds": SIM_SECONDS,
+        "intensities": rows,
+        "federated": fed_rows,
+        "table1_trial": { "app": app.name(), "wall_secs": trial_wall },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simnet.json");
+    match std::fs::write(path, format!("{:#}\n", summary)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Criterion groups: per-setting, both engines, throughput-labelled.
+    for (label, mult) in INTENSITIES {
+        let events = run_busy(FlowEngine::Incremental, mult);
+        let mut group = c.benchmark_group(format!("flow_engine/{label}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(events));
+        for (name, engine) in [
+            ("incremental", FlowEngine::Incremental),
+            ("reference", FlowEngine::Reference),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &mult, |b, &mult| {
+                b.iter(|| black_box(run_busy(engine, mult)))
+            });
+        }
+        group.finish();
+    }
+    for (label, k, mult) in FEDERATED {
+        let events = run_federated(FlowEngine::Incremental, k, mult);
+        let mut group = c.benchmark_group(format!("flow_engine/{label}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(events));
+        for (name, engine) in [
+            ("incremental", FlowEngine::Incremental),
+            ("reference", FlowEngine::Reference),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &mult, |b, &mult| {
+                b.iter(|| black_box(run_federated(engine, k, mult)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, emit_summary);
+criterion_main!(benches);

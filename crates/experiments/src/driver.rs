@@ -10,7 +10,7 @@ use nodesel_apps::AppModel;
 use nodesel_core::{balanced, random_selection, Constraints, GreedyPolicy, Weights};
 use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_remos::{CollectorConfig, Estimator, Remos};
-use nodesel_simnet::Sim;
+use nodesel_simnet::{FlowEngine, Sim};
 use nodesel_topology::testbeds::cmu_testbed;
 use nodesel_topology::NodeId;
 use rand::rngs::StdRng;
@@ -99,6 +99,10 @@ pub struct TrialConfig {
     pub estimator: Estimator,
     /// Seconds of warm-up before selection + launch.
     pub warmup: f64,
+    /// Flow engine the simulator runs on. Both engines produce
+    /// bit-identical trials; `Reference` exists for oracle checks and
+    /// benchmarking.
+    pub engine: FlowEngine,
 }
 
 impl Default for TrialConfig {
@@ -109,6 +113,7 @@ impl Default for TrialConfig {
             collector: CollectorConfig::default(),
             estimator: Estimator::Latest,
             warmup: 1800.0,
+            engine: FlowEngine::default(),
         }
     }
 }
@@ -136,7 +141,7 @@ pub fn run_trial(
 ) -> TrialResult {
     let tb = cmu_testbed();
     let machines = tb.machines.clone();
-    let mut sim = Sim::new(tb.topo);
+    let mut sim = Sim::with_flow_engine(tb.topo, config.engine);
     let remos = Remos::install(&mut sim, config.collector);
     if condition.has_load() {
         install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);

@@ -1,0 +1,38 @@
+//! Trial-level engine parity: a full `run_trial` (warm-up, generators,
+//! Remos collection, selection, application run) must produce
+//! bit-identical results for a fixed seed whichever flow engine the
+//! simulator runs on. This is the end-to-end face of the `flow_parity`
+//! suite in `nodesel-simnet`.
+
+use nodesel_apps::AppModel;
+use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_simnet::FlowEngine;
+
+#[test]
+fn trials_are_engine_independent() {
+    let suite = AppModel::paper_suite();
+    let (app, m) = &suite[0];
+    for strategy in [Strategy::Random, Strategy::Automatic] {
+        for condition in [Condition::None, Condition::Both] {
+            for seed in [1u64, 7] {
+                let run = |engine| {
+                    let cfg = TrialConfig {
+                        warmup: 300.0,
+                        engine,
+                        ..TrialConfig::default()
+                    };
+                    run_trial(app, *m, strategy, condition, &cfg, seed)
+                };
+                let a = run(FlowEngine::Incremental);
+                let b = run(FlowEngine::Reference);
+                assert_eq!(
+                    a.elapsed.to_bits(),
+                    b.elapsed.to_bits(),
+                    "elapsed diverged: {} {strategy:?} {condition:?} seed {seed}",
+                    app.name()
+                );
+                assert_eq!(a.nodes, b.nodes, "selection diverged");
+            }
+        }
+    }
+}

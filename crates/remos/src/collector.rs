@@ -120,6 +120,10 @@ impl Samples {
         for e in self.base.edge_ids().collect::<Vec<_>>() {
             for dir in [Direction::AtoB, Direction::BtoA] {
                 let slot = e.index() * 2 + dir as usize;
+                // Exact octet counter at the sample instant: the flow
+                // table accumulates bits on every rate change and
+                // extrapolates at the current rate on read, so lazy
+                // settlement is invisible to this measurement path.
                 let bits = sim.link_bits(e, dir);
                 let rate = if dt > 0.0 {
                     (bits - self.last_bits[slot]).max(0.0) / dt

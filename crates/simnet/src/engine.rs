@@ -1,6 +1,6 @@
 //! The discrete-event engine tying hosts, flows and user events together.
 
-use crate::flows::{FlowId, FlowTable};
+use crate::flows::{FlowEngine, FlowId, FlowTable};
 use crate::host::{Host, TaskId};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, Tracer};
@@ -81,6 +81,8 @@ pub struct Sim {
     next_flow: u64,
     task_done: HashMap<TaskId, Callback>,
     flow_done: HashMap<FlowId, (f64, Callback)>,
+    /// Reused drain buffer for finished flows (no per-event allocation).
+    finished_flows: Vec<FlowId>,
     stats: SimStats,
     tracer: Option<Tracer>,
 }
@@ -95,6 +97,17 @@ impl Sim {
 
     /// Like [`Sim::new`] with an explicit load-average time constant.
     pub fn with_load_avg_tau(topo: Topology, tau: f64) -> Self {
+        Self::with_config(topo, tau, FlowEngine::default())
+    }
+
+    /// Like [`Sim::new`] with an explicit flow-engine choice — used by the
+    /// parity tests and the `flow_engine` bench to pit the incremental
+    /// engine against the full-recompute reference.
+    pub fn with_flow_engine(topo: Topology, engine: FlowEngine) -> Self {
+        Self::with_config(topo, DEFAULT_LOAD_AVG_TAU, engine)
+    }
+
+    fn with_config(topo: Topology, tau: f64, engine: FlowEngine) -> Self {
         let routes = RouteTable::build(&topo);
         let hosts: Vec<Option<Host>> = topo
             .node_ids()
@@ -104,7 +117,7 @@ impl Sim {
             })
             .collect();
         let host_generation = vec![0; hosts.len()];
-        let flows = FlowTable::new(&topo);
+        let flows = FlowTable::with_engine(&topo, engine);
         Sim {
             topo,
             routes,
@@ -119,6 +132,7 @@ impl Sim {
             next_flow: 1,
             task_done: HashMap::new(),
             flow_done: HashMap::new(),
+            finished_flows: Vec::new(),
             stats: SimStats::default(),
             tracer: None,
         }
@@ -245,7 +259,9 @@ impl Sim {
     fn reschedule_net(&mut self) {
         self.net_generation += 1;
         let generation = self.net_generation;
-        let at = self.flows.next_completion();
+        // O(log heap) via the completion heap; flows starved by a
+        // zero-capacity link report NEVER and schedule nothing.
+        let at = self.flows.next_wake();
         if at != SimTime::NEVER {
             self.push(at.max(self.time), EventKind::NetWake { generation });
         }
@@ -332,18 +348,10 @@ impl Sim {
     }
 
     /// Cumulative bits carried by a directed link up to now (SNMP-style
-    /// octet counter).
+    /// octet counter). Exact at any instant: the flow table accumulates on
+    /// rate change and extrapolates to the engine clock on read.
     pub fn link_bits(&self, edge: EdgeId, dir: Direction) -> f64 {
-        let dt = self.time.seconds_since(self.flows_last_update());
-        self.flows.link_bits(edge, dir) + self.flows.link_rate(edge, dir) * dt
-    }
-
-    fn flows_last_update(&self) -> SimTime {
-        // FlowTable settles lazily; its own clock is private, so expose the
-        // counters relative to the engine clock by settling virtually.
-        // (Engine settles flows on every mutation, so the gap is just the
-        // quiet period since the last flow event.)
-        self.flows.last_update()
+        self.flows.link_bits_at(edge, dir, self.time)
     }
 
     /// Number of live flows.
@@ -423,9 +431,10 @@ impl Sim {
 
     fn on_net_wake(&mut self) {
         self.flows.settle(self.time);
-        let finished = self.flows.take_finished();
+        let mut finished = std::mem::take(&mut self.finished_flows);
+        self.flows.take_finished_into(&mut finished);
         self.reschedule_net();
-        for id in finished {
+        for &id in &finished {
             self.stats.completed_flows += 1;
             self.trace(|at| TraceEvent::FlowFinished { at, id });
             if let Some((latency, cb)) = self.flow_done.remove(&id) {
@@ -433,6 +442,8 @@ impl Sim {
                 self.schedule_in(latency, cb);
             }
         }
+        finished.clear();
+        self.finished_flows = finished;
     }
 
     /// Runs until the event queue is exhausted; returns the final time.
@@ -627,6 +638,55 @@ mod tests {
         assert!(!*fired.borrow());
         sim.run_until(t(10.0));
         assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn starved_transfer_neither_completes_nor_spins() {
+        // The a->b direction is administratively down (zero capacity):
+        // max-min allocates the crossing flow rate 0, so it must neither
+        // schedule a finite completion nor spin the net-wake loop.
+        let mut topo = nodesel_topology::Topology::new();
+        let a = topo.add_compute_node("a", 1.0);
+        let b = topo.add_compute_node("b", 1.0);
+        topo.add_link_full(a, b, 0.0, 100.0 * MBPS, 0.0);
+        let mut sim = Sim::new(topo);
+        sim.start_transfer(a, b, 1e9, |_| panic!("starved flow must not complete"));
+        sim.run_until(t(3600.0));
+        assert_eq!(sim.stats().completed_flows, 0);
+        assert_eq!(sim.flow_count(), 1);
+        assert_eq!(
+            sim.stats().events,
+            0,
+            "net-wake loop spun on a starved flow"
+        );
+        // The reverse (live) direction is unaffected.
+        let done = Rc::new(RefCell::new(None));
+        let d = done.clone();
+        sim.start_transfer(b, a, 100.0 * MBPS, move |s| {
+            *d.borrow_mut() = Some(s.now().as_secs_f64());
+        });
+        sim.run_until(t(7200.0));
+        assert!((done.borrow().unwrap() - 3601.0).abs() < 1e-6);
+        assert_eq!(sim.flow_count(), 1);
+    }
+
+    #[test]
+    fn reference_engine_runs_identically() {
+        let run = |engine| {
+            let (topo, ids) = star(4, 100.0 * MBPS);
+            let mut sim = Sim::with_flow_engine(topo, engine);
+            sim.enable_trace(usize::MAX);
+            for (i, &n) in ids.iter().enumerate() {
+                let dst = ids[(i + 1) % ids.len()];
+                sim.start_transfer(n, dst, 10.0 * MBPS * (i + 1) as f64, |_| {});
+            }
+            sim.run();
+            (sim.now(), sim.stats(), sim.take_trace().0)
+        };
+        assert_eq!(
+            run(crate::flows::FlowEngine::Incremental),
+            run(crate::flows::FlowEngine::Reference)
+        );
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //! * **Max-min fair flows** ([`FlowTable`]): bulk transfers follow their
 //!   static route and share directed-link capacity by progressive filling,
 //!   the standard fluid model of competing TCP-like transfers. Per-link
-//!   octet counters support SNMP-style measurement.
+//!   octet counters support SNMP-style measurement. Reallocation is
+//!   incremental — only the sharing cluster reachable from a changed
+//!   flow's path is re-solved, completions come from a lazy-deletion
+//!   heap, and flow progress is evaluated closed-form on read — with the
+//!   paper-style full recompute kept as a selectable reference oracle
+//!   ([`FlowEngine`]).
 //! * **A deterministic event engine** ([`Sim`]): integer-nanosecond clock,
 //!   stable tie-breaking, closure-based events. Identical inputs give
 //!   identical traces on every platform.
@@ -49,7 +54,7 @@ pub mod time;
 mod trace;
 
 pub use engine::{Callback, Sim, SimStats, DEFAULT_LOAD_AVG_TAU};
-pub use flows::{DirLink, FlowId, FlowTable};
+pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
 pub use host::{Host, TaskId};
 pub use time::SimTime;
 pub use trace::TraceEvent;

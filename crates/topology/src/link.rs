@@ -45,9 +45,11 @@ pub struct Link {
 
 impl Link {
     pub(crate) fn new(a: NodeId, b: NodeId, cap_ab: f64, cap_ba: f64, latency: f64) -> Self {
+        // Zero capacity models an administratively-down direction (the
+        // simulator starves flows routed across it); negative is invalid.
         assert!(
-            cap_ab > 0.0 && cap_ba > 0.0,
-            "link capacity must be positive"
+            cap_ab >= 0.0 && cap_ba >= 0.0,
+            "link capacity must be non-negative"
         );
         assert!(latency >= 0.0, "latency must be non-negative");
         Link {
@@ -132,8 +134,16 @@ impl Link {
     }
 
     /// `bwfactor = bw / maxbw`: fraction of the peak bandwidth available.
+    ///
+    /// An administratively-down link (zero capacity in some direction)
+    /// has factor 0: no bandwidth is available across it.
     pub fn bwfactor(&self) -> f64 {
-        self.bw() / self.maxbw()
+        let maxbw = self.maxbw();
+        if maxbw == 0.0 {
+            0.0
+        } else {
+            self.bw() / maxbw
+        }
     }
 
     pub(crate) fn set_used(&mut self, dir: Direction, bits_per_sec: f64) {

@@ -36,57 +36,174 @@ pub fn dir_slot(edge: crate::EdgeId, dir: crate::Direction) -> usize {
 /// assert_eq!(rates, vec![15.0, 15.0, 85.0]);
 /// ```
 pub fn max_min_allocate(capacity: &[f64], flow_slots: &[Vec<usize>]) -> Vec<f64> {
-    let nf = flow_slots.len();
-    let mut rate = vec![f64::INFINITY; nf];
-    if nf == 0 {
-        return rate;
+    let mut scratch = MaxMinScratch::new();
+    let mut arena = Vec::new();
+    let mut spans = Vec::with_capacity(flow_slots.len());
+    for path in flow_slots {
+        let start = arena.len();
+        arena.extend_from_slice(path);
+        spans.push((start, path.len()));
     }
-    let slots = capacity.len();
-    let mut remaining: Vec<f64> = capacity.to_vec();
-    let mut count = vec![0u32; slots];
-    let mut frozen = vec![false; nf];
+    let mut rates = Vec::new();
+    max_min_allocate_into(capacity, &arena, &spans, &mut rates, &mut scratch);
+    rates
+}
+
+/// Reusable working memory for [`max_min_allocate_into`].
+///
+/// All per-slot state is epoch-stamped, so a solve over a small
+/// sub-problem (e.g. one sharing cluster of a flow table) touches only the
+/// slots its flows cross — never the full capacity vector. After warm-up
+/// no call allocates.
+#[derive(Debug, Default)]
+pub struct MaxMinScratch {
+    /// Residual capacity per slot (valid where `stamp == epoch`).
+    remaining: Vec<f64>,
+    /// Unfrozen flows crossing each slot (valid where `stamp == epoch`).
+    count: Vec<u32>,
+    /// Epoch stamp per slot; lazily initializes `remaining`/`count`.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Touched slots, ascending (the reference scan order).
+    touched: Vec<usize>,
+    /// Per-flow frozen flag for the current call.
+    frozen: Vec<bool>,
+    /// Slot -> flows incidence for the current call (CSR over `touched`).
+    inc_start: Vec<usize>,
+    inc_cursor: Vec<usize>,
+    inc_flows: Vec<u32>,
+    /// Local index of each touched slot within `touched` (valid where
+    /// `stamp == epoch`).
+    local: Vec<u32>,
+}
+
+impl MaxMinScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, slots: usize) {
+        if self.stamp.len() < slots {
+            self.stamp.resize(slots, 0);
+            self.remaining.resize(slots, 0.0);
+            self.count.resize(slots, 0);
+            self.local.resize(slots, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+        self.frozen.clear();
+        self.inc_flows.clear();
+    }
+}
+
+/// In-place [`max_min_allocate`]: same allocation, caller-provided memory.
+///
+/// Flow paths are given in CSR form: flow `f` crosses the slots
+/// `hop_arena[spans[f].0 .. spans[f].0 + spans[f].1]`. `rates` is cleared
+/// and filled with one rate per flow. Work and touched scratch memory are
+/// proportional to the sub-problem (total hops + touched slots²), not to
+/// `capacity.len()`, which makes the function suitable for incremental
+/// cluster re-solves; results are bit-identical to [`max_min_allocate`]
+/// over the same flows.
+pub fn max_min_allocate_into(
+    capacity: &[f64],
+    hop_arena: &[usize],
+    spans: &[(usize, usize)],
+    rates: &mut Vec<f64>,
+    scratch: &mut MaxMinScratch,
+) {
+    let nf = spans.len();
+    rates.clear();
+    rates.resize(nf, f64::INFINITY);
+    if nf == 0 {
+        return;
+    }
+    scratch.begin(capacity.len());
+    let sc = scratch;
+    sc.frozen.resize(nf, false);
     let mut unfrozen = 0usize;
-    for (f, path) in flow_slots.iter().enumerate() {
+    let path_of = |&(start, len): &(usize, usize)| &hop_arena[start..start + len];
+    for (f, span) in spans.iter().enumerate() {
+        let path = path_of(span);
         if path.is_empty() {
-            frozen[f] = true; // stays at infinity
-        } else {
-            unfrozen += 1;
-            for &s in path {
-                debug_assert!(s < slots, "slot out of range");
-                count[s] += 1;
+            sc.frozen[f] = true; // stays at infinity
+            continue;
+        }
+        unfrozen += 1;
+        for &s in path {
+            debug_assert!(s < capacity.len(), "slot out of range");
+            if sc.stamp[s] != sc.epoch {
+                sc.stamp[s] = sc.epoch;
+                sc.remaining[s] = capacity[s];
+                sc.count[s] = 0;
+                sc.touched.push(s);
             }
+            sc.count[s] += 1;
+        }
+    }
+    // Ascending slot order reproduces the reference tie-break (equal
+    // shares resolve to the lowest slot index).
+    sc.touched.sort_unstable();
+    for (li, &s) in sc.touched.iter().enumerate() {
+        sc.local[s] = li as u32;
+    }
+    // Slot -> flows incidence (flows listed in ascending index, matching
+    // the reference freeze order).
+    let nt = sc.touched.len();
+    sc.inc_start.clear();
+    sc.inc_start.resize(nt + 1, 0);
+    for (li, &s) in sc.touched.iter().enumerate() {
+        sc.inc_start[li + 1] = sc.inc_start[li] + sc.count[s] as usize;
+    }
+    sc.inc_flows.resize(sc.inc_start[nt], 0);
+    sc.inc_cursor.clear();
+    sc.inc_cursor.extend_from_slice(&sc.inc_start[..nt]);
+    for (f, span) in spans.iter().enumerate() {
+        if sc.frozen[f] {
+            continue;
+        }
+        for &s in path_of(span) {
+            let li = sc.local[s] as usize;
+            sc.inc_flows[sc.inc_cursor[li]] = f as u32;
+            sc.inc_cursor[li] += 1;
         }
     }
     while unfrozen > 0 {
         let mut best: Option<(f64, usize)> = None;
-        for s in 0..slots {
-            if count[s] == 0 {
+        for li in 0..nt {
+            let s = sc.touched[li];
+            if sc.count[s] == 0 {
                 continue;
             }
-            let share = remaining[s] / count[s] as f64;
+            let share = sc.remaining[s] / sc.count[s] as f64;
             match best {
                 Some((b, _)) if b <= share => {}
-                _ => best = Some((share, s)),
+                _ => best = Some((share, li)),
             }
         }
-        let Some((share, slot)) = best else {
+        let Some((share, li)) = best else {
             break;
         };
         let share = share.max(0.0);
-        for (f, path) in flow_slots.iter().enumerate() {
-            if frozen[f] || !path.contains(&slot) {
+        for i in sc.inc_start[li]..sc.inc_start[li + 1] {
+            let f = sc.inc_flows[i] as usize;
+            if sc.frozen[f] {
                 continue;
             }
-            frozen[f] = true;
+            sc.frozen[f] = true;
             unfrozen -= 1;
-            rate[f] = share;
-            for &s in path {
-                remaining[s] = (remaining[s] - share).max(0.0);
-                count[s] -= 1;
+            rates[f] = share;
+            for &s in path_of(&spans[f]) {
+                sc.remaining[s] = (sc.remaining[s] - share).max(0.0);
+                sc.count[s] -= 1;
             }
         }
     }
-    rate
 }
 
 #[cfg(test)]
