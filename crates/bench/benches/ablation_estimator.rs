@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nodesel_apps::{fft::fft_program, AppModel};
-use nodesel_experiments::{mean, run_trials, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{mean, run_trials, Condition, Strategy, Testbed, TrialConfig};
 use nodesel_remos::{CollectorConfig, Estimator};
 use std::hint::black_box;
 
@@ -25,6 +25,7 @@ fn config_with(estimator: Estimator, period: f64) -> TrialConfig {
 }
 
 fn bench_ablation(c: &mut Criterion) {
+    let testbed = Testbed::cmu();
     let app = AppModel::Phased(fft_program(32));
     let reps = 12;
 
@@ -39,6 +40,7 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, est) in estimators {
         let cfg = config_with(est, 5.0);
         let t = mean(&run_trials(
+            &testbed,
             &app,
             4,
             Strategy::Automatic,
@@ -51,6 +53,7 @@ fn bench_ablation(c: &mut Criterion) {
     }
     let cfg = config_with(Estimator::Latest, 5.0);
     let oracle = mean(&run_trials(
+        &testbed,
         &app,
         4,
         Strategy::Oracle,
@@ -60,6 +63,7 @@ fn bench_ablation(c: &mut Criterion) {
         reps,
     ));
     let random = mean(&run_trials(
+        &testbed,
         &app,
         4,
         Strategy::Random,
@@ -75,6 +79,7 @@ fn bench_ablation(c: &mut Criterion) {
     for period in [1.0, 5.0, 15.0, 60.0, 300.0] {
         let cfg = config_with(Estimator::Latest, period);
         let t = mean(&run_trials(
+            &testbed,
             &app,
             4,
             Strategy::Automatic,
@@ -96,6 +101,7 @@ fn bench_ablation(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 black_box(nodesel_experiments::run_trial(
+                    &testbed,
                     &app,
                     4,
                     Strategy::Automatic,

@@ -18,13 +18,13 @@ fn bench_fig1(c: &mut Criterion) {
     sim.start_transfer(hosts[0], hosts[2], 1e15, |_| {});
     sim.start_compute(hosts[3], 1e9, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     eprintln!("\n=== Figure 1: Remos logical topology ===");
     eprintln!("{}", to_dot(&snapshot, &[]));
 
     let mut group = c.benchmark_group("fig1");
     group.bench_function("logical_topology", |b| {
-        b.iter(|| black_box(remos.logical_topology(Estimator::Latest)))
+        b.iter(|| black_box(remos.logical_topology(&sim, Estimator::Latest)))
     });
     group.bench_function("flow_query_all_pairs", |b| {
         let pairs: Vec<_> = hosts
@@ -32,10 +32,16 @@ fn bench_fig1(c: &mut Criterion) {
             .flat_map(|&a| hosts.iter().map(move |&b| (a, b)))
             .filter(|(a, b)| a != b)
             .collect();
-        b.iter(|| black_box(remos.flow_query(&pairs, Estimator::Latest).unwrap()))
+        b.iter(|| black_box(remos.flow_query(&sim, &pairs, Estimator::Latest).unwrap()))
     });
     group.bench_function("host_query", |b| {
-        b.iter(|| black_box(remos.host_query(&hosts, Estimator::WindowMean).unwrap()))
+        b.iter(|| {
+            black_box(
+                remos
+                    .host_query(&sim, &hosts, Estimator::WindowMean)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn bench_fig4(c: &mut Criterion) {
     let remos = Remos::install(&mut sim, CollectorConfig::default());
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     group.bench_function("selection_on_testbed", |b| {
         b.iter(|| {
             black_box(

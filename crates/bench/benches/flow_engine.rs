@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nodesel_apps::AppModel;
-use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
 use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_simnet::{FlowEngine, Sim};
 use nodesel_topology::testbeds::cmu_testbed;
@@ -140,8 +140,10 @@ fn emit_summary(c: &mut Criterion) {
     // the end-to-end wall-clock unit the sweeps are built from.
     let suite = AppModel::paper_suite();
     let (app, m) = &suite[0];
+    let testbed = Testbed::cmu();
     let t = Instant::now();
     black_box(run_trial(
+        &testbed,
         app,
         *m,
         Strategy::Automatic,

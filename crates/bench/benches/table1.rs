@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nodesel_apps::AppModel;
 use nodesel_experiments::table1::{paper_table1, run_table1, Table1Config};
-use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
@@ -35,12 +35,14 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     let suite = AppModel::paper_suite();
+    let testbed = Testbed::cmu();
     for (app, m) in &suite {
         group.bench_function(format!("trial/{}", app.name()), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
                 black_box(run_trial(
+                    &testbed,
                     app,
                     *m,
                     Strategy::Automatic,

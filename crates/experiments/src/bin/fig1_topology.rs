@@ -18,7 +18,7 @@ fn main() {
     sim.start_compute(hosts[3], 1e9, |_| {});
     sim.run_for(120.0);
 
-    let topo = remos.logical_topology(Estimator::Latest);
+    let topo = remos.logical_topology(&sim, Estimator::Latest);
     println!("=== Figure 1: Remos logical topology (DOT) ===");
     println!("{}", to_dot(&topo, &[]));
 
@@ -28,7 +28,7 @@ fn main() {
         (hosts[0], hosts[2]),
         (hosts[1], hosts[3]),
     ];
-    for info in remos.flow_query(&pairs, Estimator::Latest).unwrap() {
+    for info in remos.flow_query(&sim, &pairs, Estimator::Latest).unwrap() {
         println!(
             "{} -> {}: {:.1} Mbps available over {} hops, {:.2} ms latency",
             topo.node(info.src).name(),
@@ -39,7 +39,7 @@ fn main() {
         );
     }
     println!("=== Host queries ===");
-    for h in remos.host_query(&hosts, Estimator::Latest).unwrap() {
+    for h in remos.host_query(&sim, &hosts, Estimator::Latest).unwrap() {
         println!(
             "{}: loadavg {:.2}, cpu {:.2}",
             topo.node(h.node).name(),

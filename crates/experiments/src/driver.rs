@@ -5,17 +5,29 @@
 //! background load/traffic, select nodes (randomly or automatically from
 //! Remos measurements), run the application, and record its turnaround
 //! time.
+//!
+//! A trial splits at the warm-up boundary into [`warm_trial`] (build the
+//! simulator, install generators and collector, reach steady state) and
+//! [`WarmTrial::finish`] (select, launch, drain). Because everything that
+//! runs during warm-up is a data-driven driver, the warm state is
+//! [`Sim::fork`]-able: one warm-up can seed several strategy
+//! continuations, each bit-identical to a straight-through run with the
+//! same seed. The batch runners exploit this — cells that share a
+//! `(condition, seed)` pair share one warm-up, and all cells across all
+//! groups drain through a single flat work queue over scoped threads.
 
 use nodesel_apps::AppModel;
 use nodesel_core::{balanced, random_selection, Constraints, GreedyPolicy, Weights};
 use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_remos::{CollectorConfig, Estimator, Remos};
-use nodesel_simnet::{FlowEngine, Sim};
+use nodesel_simnet::{FlowEngine, Sim, DEFAULT_LOAD_AVG_TAU};
 use nodesel_topology::testbeds::cmu_testbed;
-use nodesel_topology::NodeId;
+use nodesel_topology::{NodeId, RouteTable, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which background generators run during a trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -127,11 +139,163 @@ pub struct TrialResult {
     pub nodes: Vec<String>,
 }
 
-/// Runs one trial of `app` on `m` nodes of the CMU testbed.
+/// The CMU testbed with its topology and route table behind `Arc`s,
+/// prebuilt once and shared by every trial simulator (and every fork)
+/// instead of being reconstructed per trial.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    topo: Arc<Topology>,
+    routes: Arc<RouteTable>,
+    /// Compute nodes `m-1` .. `m-18`, in order.
+    pub machines: Vec<NodeId>,
+}
+
+impl Testbed {
+    /// Builds the paper's CMU testbed; routes are computed once, here.
+    pub fn cmu() -> Testbed {
+        let tb = cmu_testbed();
+        let routes = Arc::new(RouteTable::build(&tb.topo));
+        Testbed {
+            topo: Arc::new(tb.topo),
+            routes,
+            machines: tb.machines,
+        }
+    }
+
+    /// A fresh simulator over the shared graph. O(nodes): the topology
+    /// and route table are reference-counted, not copied.
+    pub fn sim(&self, engine: FlowEngine) -> Sim {
+        Sim::with_shared(
+            Arc::clone(&self.topo),
+            Arc::clone(&self.routes),
+            DEFAULT_LOAD_AVG_TAU,
+            engine,
+        )
+    }
+}
+
+/// A simulator brought to steady state under one `(condition, seed)`
+/// pair, with the Remos handle watching it. Forking replays the warm-up
+/// for free: each continuation starts from bit-identical warm state.
+pub struct WarmTrial {
+    sim: Sim,
+    remos: Remos,
+    seed: u64,
+    estimator: Estimator,
+}
+
+/// Warms a fresh simulator to steady state: installs the collector and
+/// the condition's generators, then runs `config.warmup` seconds.
+pub fn warm_trial(
+    testbed: &Testbed,
+    condition: Condition,
+    config: &TrialConfig,
+    seed: u64,
+) -> WarmTrial {
+    let mut sim = testbed.sim(config.engine);
+    let remos = Remos::install(&mut sim, config.collector);
+    if condition.has_load() {
+        install_load(&mut sim, &testbed.machines, config.load, seed ^ 0x10AD);
+    }
+    if condition.has_traffic() {
+        install_traffic(&mut sim, &testbed.machines, config.traffic, seed ^ 0x7AFF1C);
+    }
+    sim.run_for(config.warmup);
+    debug_assert!(sim.can_fork(), "warm-up left a user closure pending");
+    WarmTrial {
+        sim,
+        remos,
+        seed,
+        estimator: config.estimator,
+    }
+}
+
+impl WarmTrial {
+    /// An independent copy of the warm state (background generators,
+    /// collector history, in-flight work). Legal because warm-up runs
+    /// only data-driven drivers — [`Sim::can_fork`] holds here.
+    pub fn fork(&self) -> WarmTrial {
+        WarmTrial {
+            sim: self.sim.fork(),
+            remos: self.remos.clone(),
+            seed: self.seed,
+            estimator: self.estimator,
+        }
+    }
+
+    /// Selects `m` nodes with `strategy`, launches `app` on them and
+    /// runs it to completion.
+    pub fn finish(self, app: &AppModel, m: usize, strategy: Strategy) -> TrialResult {
+        let WarmTrial {
+            mut sim,
+            remos,
+            seed,
+            estimator,
+        } = self;
+        let nodes: Vec<NodeId> = match strategy {
+            Strategy::Random => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1EC7);
+                random_selection(sim.topology(), m, &mut rng)
+                    .expect("testbed has enough nodes")
+                    .nodes
+            }
+            Strategy::Automatic => {
+                let snapshot = remos.logical_topology(&sim, estimator);
+                balanced(
+                    &snapshot,
+                    m,
+                    Weights::EQUAL,
+                    &Constraints::none(),
+                    None,
+                    GreedyPolicy::Sweep,
+                )
+                .expect("testbed has enough nodes")
+                .nodes
+            }
+            Strategy::Oracle => {
+                let snapshot = sim.oracle_snapshot();
+                balanced(
+                    &snapshot,
+                    m,
+                    Weights::EQUAL,
+                    &Constraints::none(),
+                    None,
+                    GreedyPolicy::Sweep,
+                )
+                .expect("testbed has enough nodes")
+                .nodes
+            }
+            Strategy::Static => {
+                nodesel_core::static_selection(sim.topology(), m)
+                    .expect("testbed has enough nodes")
+                    .nodes
+            }
+        };
+        let handle = app.launch(&mut sim, &nodes);
+        while !handle.is_finished() {
+            assert!(sim.step(), "simulation drained before the app finished");
+        }
+        let names = {
+            let topo = sim.topology();
+            nodes
+                .iter()
+                .map(|&n| topo.node(n).name().to_string())
+                .collect()
+        };
+        TrialResult {
+            elapsed: handle.elapsed().expect("finished"),
+            nodes: names,
+        }
+    }
+}
+
+/// Runs one trial of `app` on `m` nodes of `testbed`.
 ///
 /// `seed` drives every random choice (generators and random selection);
-/// equal seeds give bit-identical trials.
+/// equal seeds give bit-identical trials, whether run straight through
+/// like this or continued from a forked warm-up.
 pub fn run_trial(
+    testbed: &Testbed,
     app: &AppModel,
     m: usize,
     strategy: Strategy,
@@ -139,77 +303,116 @@ pub fn run_trial(
     config: &TrialConfig,
     seed: u64,
 ) -> TrialResult {
-    let tb = cmu_testbed();
-    let machines = tb.machines.clone();
-    let mut sim = Sim::with_flow_engine(tb.topo, config.engine);
-    let remos = Remos::install(&mut sim, config.collector);
-    if condition.has_load() {
-        install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);
-    }
-    if condition.has_traffic() {
-        install_traffic(&mut sim, &machines, config.traffic, seed ^ 0x7AFF1C);
-    }
-    sim.run_for(config.warmup);
-
-    let nodes: Vec<NodeId> = match strategy {
-        Strategy::Random => {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1EC7);
-            random_selection(sim.topology(), m, &mut rng)
-                .expect("testbed has enough nodes")
-                .nodes
-        }
-        Strategy::Automatic => {
-            let snapshot = remos.logical_topology(config.estimator);
-            balanced(
-                &snapshot,
-                m,
-                Weights::EQUAL,
-                &Constraints::none(),
-                None,
-                GreedyPolicy::Sweep,
-            )
-            .expect("testbed has enough nodes")
-            .nodes
-        }
-        Strategy::Oracle => {
-            let snapshot = sim.oracle_snapshot();
-            balanced(
-                &snapshot,
-                m,
-                Weights::EQUAL,
-                &Constraints::none(),
-                None,
-                GreedyPolicy::Sweep,
-            )
-            .expect("testbed has enough nodes")
-            .nodes
-        }
-        Strategy::Static => {
-            nodesel_core::static_selection(sim.topology(), m)
-                .expect("testbed has enough nodes")
-                .nodes
-        }
-    };
-
-    let handle = app.launch(&mut sim, &nodes);
-    while !handle.is_finished() {
-        assert!(sim.step(), "simulation drained before the app finished");
-    }
-    let names = {
-        let topo = sim.topology();
-        nodes
-            .iter()
-            .map(|&n| topo.node(n).name().to_string())
-            .collect()
-    };
-    TrialResult {
-        elapsed: handle.elapsed().expect("finished"),
-        nodes: names,
-    }
+    warm_trial(testbed, condition, config, seed).finish(app, m, strategy)
 }
 
-/// Mean of a slice.
+/// The `rep`-th trial seed derived from a cell's base seed.
+pub(crate) fn trial_seed(base_seed: u64, rep: usize) -> u64 {
+    base_seed.wrapping_add(1_000_003 * rep as u64)
+}
+
+/// One `(app, strategy)` continuation of a shared warm state; `slot`
+/// indexes the flat result vector.
+pub(crate) struct CellSpec<'a> {
+    pub(crate) app: &'a AppModel,
+    pub(crate) m: usize,
+    pub(crate) strategy: Strategy,
+    pub(crate) slot: usize,
+}
+
+/// All cells sharing one warmed simulator (same condition, same seed).
+pub(crate) struct WarmGroup<'a> {
+    pub(crate) condition: Condition,
+    pub(crate) seed: u64,
+    pub(crate) cells: Vec<CellSpec<'a>>,
+}
+
+/// Drains every cell of every group through one flat work queue over
+/// scoped threads. A worker claims a whole group, warms once, forks the
+/// warm state for each cell but the last (which consumes it), and moves
+/// straight on to the next unclaimed group — no barrier between cells,
+/// groups, or result rows. Returns elapsed times indexed by cell slot.
+pub(crate) fn run_cells(
+    testbed: &Testbed,
+    config: &TrialConfig,
+    groups: &[WarmGroup<'_>],
+    slots: usize,
+) -> Vec<f64> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(groups.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results = vec![0.0f64; slots];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(group) = groups.get(i) else { break };
+                        let mut warm =
+                            Some(warm_trial(testbed, group.condition, config, group.seed));
+                        for (k, cell) in group.cells.iter().enumerate() {
+                            let w = if k + 1 == group.cells.len() {
+                                warm.take().expect("warm state consumed early")
+                            } else {
+                                warm.as_ref().expect("warm state consumed early").fork()
+                            };
+                            let r = w.finish(cell.app, cell.m, cell.strategy);
+                            out.push((cell.slot, r.elapsed));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for w in workers {
+            for (slot, elapsed) in w.join().expect("trial worker panicked") {
+                results[slot] = elapsed;
+            }
+        }
+    });
+    results
+}
+
+/// Runs `repetitions` independent trials of one cell and returns the
+/// per-trial turnaround times in seed order. Repetitions drain through
+/// the flat work queue — idle workers pull the next trial as they
+/// finish, instead of the old barrier-per-chunk split.
+pub fn run_trials(
+    testbed: &Testbed,
+    app: &AppModel,
+    m: usize,
+    strategy: Strategy,
+    condition: Condition,
+    config: &TrialConfig,
+    base_seed: u64,
+    repetitions: usize,
+) -> Vec<f64> {
+    let groups: Vec<WarmGroup<'_>> = (0..repetitions)
+        .map(|rep| WarmGroup {
+            condition,
+            seed: trial_seed(base_seed, rep),
+            cells: vec![CellSpec {
+                app,
+                m,
+                strategy,
+                slot: rep,
+            }],
+        })
+        .collect();
+    run_cells(testbed, config, &groups, repetitions)
+}
+
+/// Mean of a slice; 0 for an empty slice (debug builds assert instead of
+/// quietly propagating NaN into reports).
 pub fn mean(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty(), "mean of an empty sample set");
+    if xs.is_empty() {
+        return 0.0;
+    }
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
@@ -233,39 +436,6 @@ pub fn ci95_half_width(xs: &[f64]) -> f64 {
     1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
 }
 
-/// Runs `repetitions` independent trials in parallel (one OS thread per
-/// chunk) and returns the per-trial turnaround times in seed order.
-pub fn run_trials(
-    app: &AppModel,
-    m: usize,
-    strategy: Strategy,
-    condition: Condition,
-    config: &TrialConfig,
-    base_seed: u64,
-    repetitions: usize,
-) -> Vec<f64> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(repetitions.max(1));
-    let mut results = vec![0.0f64; repetitions];
-    let chunk = repetitions.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, out) in results.chunks_mut(chunk).enumerate() {
-            let app = app.clone();
-            let config = *config;
-            scope.spawn(move || {
-                for (i, slot) in out.iter_mut().enumerate() {
-                    let rep = t * chunk + i;
-                    let seed = base_seed.wrapping_add(1_000_003 * rep as u64);
-                    *slot = run_trial(&app, m, strategy, condition, &config, seed).elapsed;
-                }
-            });
-        }
-    });
-    results
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,26 +447,77 @@ mod tests {
 
     #[test]
     fn unloaded_trial_is_deterministic() {
+        let tb = Testbed::cmu();
         let cfg = TrialConfig {
             warmup: 10.0,
             ..TrialConfig::default()
         };
-        let a = run_trial(&tiny_app(), 4, Strategy::Random, Condition::None, &cfg, 1);
-        let b = run_trial(&tiny_app(), 4, Strategy::Random, Condition::None, &cfg, 1);
+        let a = run_trial(
+            &tb,
+            &tiny_app(),
+            4,
+            Strategy::Random,
+            Condition::None,
+            &cfg,
+            1,
+        );
+        let b = run_trial(
+            &tb,
+            &tiny_app(),
+            4,
+            Strategy::Random,
+            Condition::None,
+            &cfg,
+            1,
+        );
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.nodes.len(), 4);
     }
 
     #[test]
+    fn forked_finish_matches_straight_through() {
+        let tb = Testbed::cmu();
+        let cfg = TrialConfig {
+            warmup: 120.0,
+            ..TrialConfig::default()
+        };
+        let warm = warm_trial(&tb, Condition::Both, &cfg, 5);
+        let forked = warm.fork().finish(&tiny_app(), 4, Strategy::Automatic);
+        let extra = warm.finish(&tiny_app(), 4, Strategy::Random);
+        let straight = run_trial(
+            &tb,
+            &tiny_app(),
+            4,
+            Strategy::Automatic,
+            Condition::Both,
+            &cfg,
+            5,
+        );
+        assert_eq!(forked.elapsed.to_bits(), straight.elapsed.to_bits());
+        assert_eq!(forked.nodes, straight.nodes);
+        let rand_straight = run_trial(
+            &tb,
+            &tiny_app(),
+            4,
+            Strategy::Random,
+            Condition::Both,
+            &cfg,
+            5,
+        );
+        assert_eq!(extra.elapsed.to_bits(), rand_straight.elapsed.to_bits());
+    }
+
+    #[test]
     fn load_slows_random_placement() {
+        let tb = Testbed::cmu();
         let cfg = TrialConfig {
             warmup: 300.0,
             ..TrialConfig::default()
         };
         let app = AppModel::Phased(fft_program(12));
-        let unloaded = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 3, 5);
-        let loaded = run_trials(&app, 4, Strategy::Random, Condition::Load, &cfg, 3, 5);
+        let unloaded = run_trials(&tb, &app, 4, Strategy::Random, Condition::None, &cfg, 3, 5);
+        let loaded = run_trials(&tb, &app, 4, Strategy::Random, Condition::Load, &cfg, 3, 5);
         assert!(
             mean(&loaded) > mean(&unloaded) * 1.05,
             "load {loaded:?} vs unloaded {unloaded:?}"
@@ -305,13 +526,23 @@ mod tests {
 
     #[test]
     fn automatic_beats_random_under_load_on_average() {
+        let tb = Testbed::cmu();
         let cfg = TrialConfig {
             warmup: 300.0,
             ..TrialConfig::default()
         };
         let app = tiny_app();
-        let random = run_trials(&app, 4, Strategy::Random, Condition::Load, &cfg, 11, 6);
-        let auto = run_trials(&app, 4, Strategy::Automatic, Condition::Load, &cfg, 11, 6);
+        let random = run_trials(&tb, &app, 4, Strategy::Random, Condition::Load, &cfg, 11, 6);
+        let auto = run_trials(
+            &tb,
+            &app,
+            4,
+            Strategy::Automatic,
+            Condition::Load,
+            &cfg,
+            11,
+            6,
+        );
         assert!(
             mean(&auto) < mean(&random),
             "auto {:?} vs random {:?}",
@@ -322,13 +553,14 @@ mod tests {
 
     #[test]
     fn run_trials_is_seed_stable() {
+        let tb = Testbed::cmu();
         let cfg = TrialConfig {
             warmup: 20.0,
             ..TrialConfig::default()
         };
         let app = tiny_app();
-        let a = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
-        let b = run_trials(&app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
+        let a = run_trials(&tb, &app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
+        let b = run_trials(&tb, &app, 4, Strategy::Random, Condition::None, &cfg, 7, 4);
         assert_eq!(a, b);
     }
 }

@@ -6,7 +6,10 @@
 //! * [`scenario`] — the Figure 4 worked example (automatic selection
 //!   steering around a bulk `m-16 → m-18` stream);
 //! * [`driver`] — the single-trial machinery both are built on, reusable
-//!   by the Criterion benches and ablations.
+//!   by the Criterion benches and ablations. Trials split at the warm-up
+//!   boundary: a warmed simulator is [`nodesel_simnet::Sim::fork`]ed per
+//!   strategy, and batch runners drain all cells through one flat work
+//!   queue over scoped threads.
 //!
 //! Every experiment is a pure function of its seed: the simulator, the
 //! generators and the selection algorithms are all deterministic, so rows
@@ -22,9 +25,14 @@ pub mod sensitivity;
 pub mod table1;
 pub mod tomography;
 
-pub use driver::{mean, run_trial, run_trials, Condition, Strategy, TrialConfig, TrialResult};
+pub use driver::{
+    mean, run_trial, run_trials, warm_trial, Condition, Strategy, Testbed, TrialConfig,
+    TrialResult, WarmTrial,
+};
 pub use scenario::{run_fig4_scenario, Fig4Outcome};
 pub use sensitivity::{
     length_sensitivity, load_sensitivity, traffic_sensitivity, SensitivityPoint,
 };
-pub use table1::{paper_table1, run_table1, run_table1_row, Table1, Table1Config, Table1Row};
+pub use table1::{
+    paper_table1, run_table1, run_table1_on, run_table1_row, Table1, Table1Config, Table1Row,
+};

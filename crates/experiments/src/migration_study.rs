@@ -91,7 +91,7 @@ pub fn run_long_job(
         }
         _ => {
             balanced(
-                &remos.logical_topology(estimator),
+                &remos.logical_topology(&sim, estimator),
                 m,
                 Weights::EQUAL,
                 &Constraints::none(),
@@ -117,7 +117,7 @@ pub fn run_long_job(
                         return None;
                     }
                     last_check.set(now);
-                    let snapshot = remos.logical_topology(estimator);
+                    let snapshot = remos.logical_topology(sim, estimator);
                     let own = OwnUsage::one_process_per_node(current);
                     let request = SelectionRequest::balanced(current.len());
                     match advise(&snapshot, current, &own, &request, threshold) {

@@ -48,7 +48,7 @@ pub fn run_fig4_scenario() -> Fig4Outcome {
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
 
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     let selection = balanced(
         &snapshot,
         4,

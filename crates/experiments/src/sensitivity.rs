@@ -9,7 +9,7 @@
 //! sweeps scale the offered load / traffic and the application length and
 //! measure how the benefit of automatic selection responds.
 
-use crate::driver::{mean, run_trials, Condition, Strategy, TrialConfig};
+use crate::driver::{mean, run_trials, Condition, Strategy, Testbed, TrialConfig};
 use nodesel_apps::{fft::fft_program, AppModel};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +42,7 @@ impl SensitivityPoint {
 }
 
 fn measure(
+    testbed: &Testbed,
     app: &AppModel,
     m: usize,
     condition: Condition,
@@ -50,6 +51,7 @@ fn measure(
     reps: usize,
 ) -> (f64, f64, f64) {
     let reference = mean(&run_trials(
+        testbed,
         app,
         m,
         Strategy::Random,
@@ -59,6 +61,7 @@ fn measure(
         reps,
     ));
     let random = mean(&run_trials(
+        testbed,
         app,
         m,
         Strategy::Random,
@@ -68,6 +71,7 @@ fn measure(
         reps,
     ));
     let auto = mean(&run_trials(
+        testbed,
         app,
         m,
         Strategy::Automatic,
@@ -88,13 +92,21 @@ pub fn load_sensitivity(
     repetitions: usize,
     seed: u64,
 ) -> Vec<SensitivityPoint> {
+    let testbed = Testbed::cmu();
     factors
         .iter()
         .map(|&factor| {
             let mut config = TrialConfig::default();
             config.load.arrival_rate *= factor;
-            let (reference, random, auto) =
-                measure(app, m, Condition::Load, &config, seed, repetitions);
+            let (reference, random, auto) = measure(
+                &testbed,
+                app,
+                m,
+                Condition::Load,
+                &config,
+                seed,
+                repetitions,
+            );
             SensitivityPoint {
                 factor,
                 random,
@@ -114,13 +126,21 @@ pub fn traffic_sensitivity(
     repetitions: usize,
     seed: u64,
 ) -> Vec<SensitivityPoint> {
+    let testbed = Testbed::cmu();
     factors
         .iter()
         .map(|&factor| {
             let mut config = TrialConfig::default();
             config.traffic.arrival_rate *= factor;
-            let (reference, random, auto) =
-                measure(app, m, Condition::Traffic, &config, seed, repetitions);
+            let (reference, random, auto) = measure(
+                &testbed,
+                app,
+                m,
+                Condition::Traffic,
+                &config,
+                seed,
+                repetitions,
+            );
             SensitivityPoint {
                 factor,
                 random,
@@ -139,13 +159,21 @@ pub fn length_sensitivity(
     repetitions: usize,
     seed: u64,
 ) -> Vec<SensitivityPoint> {
+    let testbed = Testbed::cmu();
     iteration_counts
         .iter()
         .map(|&iters| {
             let app = AppModel::Phased(fft_program(iters));
             let config = TrialConfig::default();
-            let (reference, random, auto) =
-                measure(&app, m, Condition::Both, &config, seed, repetitions);
+            let (reference, random, auto) = measure(
+                &testbed,
+                &app,
+                m,
+                Condition::Both,
+                &config,
+                seed,
+                repetitions,
+            );
             SensitivityPoint {
                 factor: iters as f64,
                 random,

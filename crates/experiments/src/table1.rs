@@ -1,7 +1,10 @@
 //! Reproduction of Table 1: application performance under load and
 //! traffic with random vs automatically selected nodes.
 
-use crate::driver::{ci95_half_width, mean, run_trials, Condition, Strategy, TrialConfig};
+use crate::driver::{
+    ci95_half_width, mean, run_cells, trial_seed, CellSpec, Condition, Strategy, Testbed,
+    TrialConfig, WarmGroup,
+};
 use nodesel_apps::AppModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -135,52 +138,112 @@ impl Table1 {
 
 /// Runs the full Table 1 experiment.
 pub fn run_table1(config: &Table1Config) -> Table1 {
-    let rows = AppModel::paper_suite()
-        .into_iter()
-        .map(|(app, m)| run_table1_row(&app, m, config))
-        .collect();
-    Table1 { rows }
+    run_table1_on(&Testbed::cmu(), &AppModel::paper_suite(), config)
 }
 
 /// Runs one application's row.
 pub fn run_table1_row(app: &AppModel, m: usize, config: &Table1Config) -> Table1Row {
-    let cell = |strategy: Strategy, condition: Condition, salt: u64| {
-        let samples = run_trials(
-            app,
-            m,
-            strategy,
-            condition,
-            &config.trial,
-            config.seed ^ salt,
-            config.repetitions,
-        );
-        (mean(&samples), ci95_half_width(&samples))
-    };
-    let (reference, _) = cell(Strategy::Random, Condition::None, 0);
+    let suite = [(app.clone(), m)];
+    run_table1_on(&Testbed::cmu(), &suite, config)
+        .rows
+        .pop()
+        .expect("one row per app")
+}
+
+/// Runs rows for `apps` on a shared testbed, every cell flattened into
+/// one work queue over scoped threads.
+///
+/// The warm-up seed of a cell depends only on its condition and
+/// repetition, so one warmed simulator serves every application and both
+/// strategies of that `(condition, rep)` via [`crate::driver::WarmTrial`]
+/// forks — the paired-seed methodology made literal: random and automatic
+/// selection continue the *same* warm state, not merely an equally-seeded
+/// reconstruction of it. A full table warms up 4 × repetitions times
+/// instead of 7 × repetitions times per application.
+pub fn run_table1_on(
+    testbed: &Testbed,
+    apps: &[(AppModel, usize)],
+    config: &Table1Config,
+) -> Table1 {
+    let reps = config.repetitions;
+    // Per-app result columns: reference, random × 3 conditions,
+    // automatic × 3 conditions; repetitions are contiguous per column.
+    let cols = 7;
+    let slot = |a: usize, col: usize, rep: usize| (a * cols + col) * reps + rep;
+    let mut groups: Vec<WarmGroup<'_>> = Vec::with_capacity(4 * reps);
+    for rep in 0..reps {
+        // Salt 0: the unloaded reference column (random selection).
+        groups.push(WarmGroup {
+            condition: Condition::None,
+            seed: trial_seed(config.seed, rep),
+            cells: apps
+                .iter()
+                .enumerate()
+                .map(|(a, (app, m))| CellSpec {
+                    app,
+                    m: *m,
+                    strategy: Strategy::Random,
+                    slot: slot(a, 0, rep),
+                })
+                .collect(),
+        });
+    }
     let conditions = [Condition::Load, Condition::Traffic, Condition::Both];
-    let mut random = [0.0; 3];
-    let mut random_ci = [0.0; 3];
-    let mut auto = [0.0; 3];
-    let mut auto_ci = [0.0; 3];
-    for (i, &c) in conditions.iter().enumerate() {
-        // Same seeds for both strategies: paired comparison, exactly the
-        // same background activity.
-        let (r, rci) = cell(Strategy::Random, c, 1 + i as u64);
-        let (a, aci) = cell(Strategy::Automatic, c, 1 + i as u64);
-        random[i] = r;
-        random_ci[i] = rci;
-        auto[i] = a;
-        auto_ci[i] = aci;
+    for (i, &condition) in conditions.iter().enumerate() {
+        let salt = 1 + i as u64;
+        for rep in 0..reps {
+            let mut cells = Vec::with_capacity(apps.len() * 2);
+            for (a, (app, m)) in apps.iter().enumerate() {
+                // Same warm state for both strategies: paired comparison
+                // against exactly the same background activity.
+                cells.push(CellSpec {
+                    app,
+                    m: *m,
+                    strategy: Strategy::Random,
+                    slot: slot(a, 1 + i, rep),
+                });
+                cells.push(CellSpec {
+                    app,
+                    m: *m,
+                    strategy: Strategy::Automatic,
+                    slot: slot(a, 4 + i, rep),
+                });
+            }
+            groups.push(WarmGroup {
+                condition,
+                seed: trial_seed(config.seed ^ salt, rep),
+                cells,
+            });
+        }
     }
-    Table1Row {
-        app: app.name().to_string(),
-        nodes: m,
-        random,
-        random_ci,
-        auto,
-        auto_ci,
-        reference,
-    }
+    let results = run_cells(testbed, &config.trial, &groups, apps.len() * cols * reps);
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(a, (app, m))| {
+            let col = |c: usize| &results[slot(a, c, 0)..slot(a, c, 0) + reps];
+            let mut random = [0.0; 3];
+            let mut random_ci = [0.0; 3];
+            let mut auto = [0.0; 3];
+            let mut auto_ci = [0.0; 3];
+            for i in 0..3 {
+                random[i] = mean(col(1 + i));
+                random_ci[i] = ci95_half_width(col(1 + i));
+                auto[i] = mean(col(4 + i));
+                auto_ci[i] = ci95_half_width(col(4 + i));
+            }
+            Table1Row {
+                app: app.name().to_string(),
+                nodes: *m,
+                random,
+                random_ci,
+                auto,
+                auto_ci,
+                reference: mean(col(0)),
+            }
+        })
+        .collect();
+    Table1 { rows }
 }
 
 impl fmt::Display for Table1 {

@@ -52,7 +52,7 @@ pub fn run_view_trial(
 
     let nodes: Vec<NodeId> = match view {
         View::LogicalTopology => {
-            let snapshot = remos.logical_topology(config.estimator);
+            let snapshot = remos.logical_topology(&sim, config.estimator);
             balanced(
                 &snapshot,
                 m,
@@ -66,7 +66,7 @@ pub fn run_view_trial(
         }
         View::Tomography => {
             let (obs, pairs) =
-                measure_all_pairs(&remos, &machines, config.estimator).expect("measurable");
+                measure_all_pairs(&remos, &sim, &machines, config.estimator).expect("measurable");
             let inferred = infer_topology(&obs, &pairs).expect("inferable");
             // Fractional bandwidth needs a reference: peak capacities are
             // not observable end-to-end.

@@ -5,11 +5,12 @@
 //! suite in `nodesel-simnet`.
 
 use nodesel_apps::AppModel;
-use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
 use nodesel_simnet::FlowEngine;
 
 #[test]
 fn trials_are_engine_independent() {
+    let testbed = Testbed::cmu();
     let suite = AppModel::paper_suite();
     let (app, m) = &suite[0];
     for strategy in [Strategy::Random, Strategy::Automatic] {
@@ -21,7 +22,7 @@ fn trials_are_engine_independent() {
                         engine,
                         ..TrialConfig::default()
                     };
-                    run_trial(app, *m, strategy, condition, &cfg, seed)
+                    run_trial(&testbed, app, *m, strategy, condition, &cfg, seed)
                 };
                 let a = run(FlowEngine::Incremental);
                 let b = run(FlowEngine::Reference);

@@ -1,0 +1,110 @@
+//! Fork parity proptests: continuing a trial from a forked warm state
+//! must be bit-identical to running it straight through with the same
+//! seed — same turnaround bits, same selected nodes — for arbitrary
+//! seeds, every strategy, every background condition, and both flow
+//! engines. This is the trial-level face of the fork tests in
+//! `nodesel-simnet`, and the property the shared-warmup batch runners
+//! stand on.
+
+use nodesel_apps::AppModel;
+use nodesel_experiments::{
+    run_trial, warm_trial, Condition, Strategy as Placement, Testbed, TrialConfig,
+};
+use nodesel_simnet::FlowEngine;
+use proptest::prelude::*;
+
+fn config(engine: FlowEngine) -> TrialConfig {
+    TrialConfig {
+        // Short warm-up keeps each case affordable; parity must hold at
+        // any boundary, so the length is irrelevant to the property.
+        warmup: 150.0,
+        engine,
+        ..TrialConfig::default()
+    }
+}
+
+fn conditions() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        Just(Condition::None),
+        Just(Condition::Load),
+        Just(Condition::Traffic),
+        Just(Condition::Both),
+    ]
+}
+
+fn placements() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Random),
+        Just(Placement::Automatic),
+        Just(Placement::Oracle),
+        Just(Placement::Static),
+    ]
+}
+
+fn engines() -> impl Strategy<Value = FlowEngine> {
+    prop_oneof![Just(FlowEngine::Incremental), Just(FlowEngine::Reference)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// fork() at the warm-up boundary, then finish: bit-identical to a
+    /// straight-through `run_trial` with the same seed.
+    #[test]
+    fn forked_continuation_is_bit_identical(
+        seed in 0u64..1_000_000,
+        app_idx in 0usize..3,
+        condition in conditions(),
+        placement in placements(),
+        engine in engines(),
+    ) {
+        let testbed = Testbed::cmu();
+        let suite = AppModel::paper_suite();
+        let (app, m) = &suite[app_idx];
+        let cfg = config(engine);
+
+        let warm = warm_trial(&testbed, condition, &cfg, seed);
+        let forked = warm.fork().finish(app, *m, placement);
+        let straight = run_trial(&testbed, app, *m, placement, condition, &cfg, seed);
+
+        prop_assert_eq!(
+            forked.elapsed.to_bits(),
+            straight.elapsed.to_bits(),
+            "elapsed diverged: {} {:?} {:?} {:?} seed {}",
+            app.name(), placement, condition, engine, seed
+        );
+        prop_assert_eq!(forked.nodes, straight.nodes, "selection diverged");
+    }
+
+    /// Sibling forks of one warm state are independent: two forks given
+    /// different strategies each match their own straight-through run,
+    /// and finishing one fork does not perturb the other.
+    #[test]
+    fn sibling_forks_do_not_interfere(
+        seed in 0u64..1_000_000,
+        app_idx in 0usize..3,
+        condition in conditions(),
+        engine in engines(),
+    ) {
+        let testbed = Testbed::cmu();
+        let suite = AppModel::paper_suite();
+        let (app, m) = &suite[app_idx];
+        let cfg = config(engine);
+
+        let warm = warm_trial(&testbed, condition, &cfg, seed);
+        let fork_a = warm.fork();
+        let fork_b = warm.fork();
+        // Finish A first; B's result must be unaffected.
+        let a = fork_a.finish(app, *m, Placement::Automatic);
+        let b = fork_b.finish(app, *m, Placement::Random);
+
+        let sa = run_trial(
+            &testbed, app, *m, Placement::Automatic, condition, &cfg, seed,
+        );
+        let sb = run_trial(&testbed, app, *m, Placement::Random, condition, &cfg, seed);
+        prop_assert_eq!(a.elapsed.to_bits(), sa.elapsed.to_bits());
+        prop_assert_eq!(a.nodes, sa.nodes);
+        prop_assert_eq!(b.elapsed.to_bits(), sb.elapsed.to_bits());
+        prop_assert_eq!(b.nodes, sb.nodes);
+    }
+}

@@ -11,12 +11,10 @@
 //! exponential body and a truncated Pareto tail.
 
 use crate::dist::{split_seed, Exponential, Pareto};
-use nodesel_simnet::Sim;
+use nodesel_simnet::{DriverId, DriverLogic, Sim};
 use nodesel_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
 
 /// Job-duration model: exponential body with probability `1 - pareto_prob`,
 /// truncated Pareto tail otherwise.
@@ -126,28 +124,61 @@ impl LoadConfig {
     }
 }
 
-/// Handle to an installed generator; dropping it does not stop generation,
-/// but [`LoadHandle::stop`] does (pending jobs run to completion).
+/// Per-node Poisson arrival process, installed as a cloneable
+/// [`DriverLogic`] so its state (RNG, counters) lives inside the
+/// simulator and survives [`Sim::fork`] bit-exactly.
+#[derive(Debug, Clone)]
+struct LoadDriver {
+    node: NodeId,
+    config: LoadConfig,
+    rng: StdRng,
+    enabled: bool,
+    jobs_started: u64,
+}
+
+impl DriverLogic for LoadDriver {
+    fn fire(&mut self, sim: &mut Sim, me: DriverId) {
+        if !self.enabled {
+            return;
+        }
+        let work = self.config.duration.sample(&mut self.rng);
+        self.jobs_started += 1;
+        sim.start_compute_detached(self.node, work);
+        let gap = Exponential::new(self.config.arrival_rate).sample(&mut self.rng);
+        sim.schedule_driver_in(gap, me);
+    }
+}
+
+/// Handle to an installed generator: the ids of its per-node drivers.
+/// State lives inside the [`Sim`], so every accessor takes the simulator
+/// — and because driver ids are stable across [`Sim::fork`], one handle
+/// works against the original *and* any fork.
 #[derive(Debug, Clone)]
 pub struct LoadHandle {
-    enabled: Rc<Cell<bool>>,
-    jobs_started: Rc<Cell<u64>>,
+    drivers: Vec<DriverId>,
 }
 
 impl LoadHandle {
-    /// Stops scheduling new arrivals.
-    pub fn stop(&self) {
-        self.enabled.set(false);
+    /// Stops scheduling new arrivals (pending jobs run to completion).
+    pub fn stop(&self, sim: &mut Sim) {
+        for &id in &self.drivers {
+            sim.driver_mut::<LoadDriver>(id).enabled = false;
+        }
     }
 
     /// True while the generator is scheduling arrivals.
-    pub fn is_running(&self) -> bool {
-        self.enabled.get()
+    pub fn is_running(&self, sim: &Sim) -> bool {
+        self.drivers
+            .iter()
+            .any(|&id| sim.driver::<LoadDriver>(id).enabled)
     }
 
     /// Number of background jobs started so far.
-    pub fn jobs_started(&self) -> u64 {
-        self.jobs_started.get()
+    pub fn jobs_started(&self, sim: &Sim) -> u64 {
+        self.drivers
+            .iter()
+            .map(|&id| sim.driver::<LoadDriver>(id).jobs_started)
+            .sum()
     }
 }
 
@@ -155,38 +186,25 @@ impl LoadHandle {
 ///
 /// Each node runs an independent Poisson arrival stream seeded from
 /// `seed` via [`split_seed`], so adding or removing one node never
-/// perturbs another node's sequence.
+/// perturbs another node's sequence. Jobs are started *detached* and the
+/// generators are data-driven, so a warmed-up simulator remains forkable
+/// ([`Sim::can_fork`]).
 pub fn install_load(sim: &mut Sim, nodes: &[NodeId], config: LoadConfig, seed: u64) -> LoadHandle {
-    let handle = LoadHandle {
-        enabled: Rc::new(Cell::new(true)),
-        jobs_started: Rc::new(Cell::new(0)),
-    };
+    let mut drivers = Vec::with_capacity(nodes.len());
     for (i, &node) in nodes.iter().enumerate() {
-        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(split_seed(
-            seed, i as u64,
-        ))));
-        schedule_next_arrival(sim, node, config, rng, handle.clone());
+        let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+        let gap = Exponential::new(config.arrival_rate).sample(&mut rng);
+        let id = sim.install_driver(LoadDriver {
+            node,
+            config,
+            rng,
+            enabled: true,
+            jobs_started: 0,
+        });
+        sim.schedule_driver_in(gap, id);
+        drivers.push(id);
     }
-    handle
-}
-
-fn schedule_next_arrival(
-    sim: &mut Sim,
-    node: NodeId,
-    config: LoadConfig,
-    rng: Rc<RefCell<StdRng>>,
-    handle: LoadHandle,
-) {
-    let gap = Exponential::new(config.arrival_rate).sample(&mut *rng.borrow_mut());
-    sim.schedule_in(gap, move |s| {
-        if !handle.enabled.get() {
-            return;
-        }
-        let work = config.duration.sample(&mut *rng.borrow_mut());
-        handle.jobs_started.set(handle.jobs_started.get() + 1);
-        s.start_compute(node, work, |_| {});
-        schedule_next_arrival(s, node, config, rng, handle);
-    });
+    LoadHandle { drivers }
 }
 
 #[cfg(test)]
@@ -245,12 +263,30 @@ mod tests {
         let mut sim = Sim::new(topo);
         let h = install_load(&mut sim, &ids, LoadConfig::paper_defaults(), 3);
         sim.run_until(SimTime::from_secs(500));
-        h.stop();
-        let started = h.jobs_started();
+        h.stop(&mut sim);
+        let started = h.jobs_started(&sim);
         assert!(started > 0);
         sim.run_until(SimTime::from_secs(1_500));
-        assert_eq!(h.jobs_started(), started);
-        assert!(!h.is_running());
+        assert_eq!(h.jobs_started(&sim), started);
+        assert!(!h.is_running(&sim));
+    }
+
+    #[test]
+    fn generator_keeps_sim_forkable_and_forks_agree() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let h = install_load(&mut sim, &ids, LoadConfig::paper_defaults(), 11);
+        sim.run_until(SimTime::from_secs(2_000));
+        assert!(sim.can_fork(), "load generator left a closure pending");
+        let mut fork = sim.fork();
+        assert_eq!(h.jobs_started(&fork), h.jobs_started(&sim));
+        fork.run_until(SimTime::from_secs(4_000));
+        sim.run_until(SimTime::from_secs(4_000));
+        assert_eq!(h.jobs_started(&fork), h.jobs_started(&sim));
+        assert_eq!(fork.stats(), sim.stats());
+        for &n in &ids {
+            assert_eq!(fork.load_avg(n).to_bits(), sim.load_avg(n).to_bits());
+        }
     }
 
     #[test]
@@ -260,7 +296,7 @@ mod tests {
             let mut sim = Sim::new(topo);
             let h = install_load(&mut sim, &ids, LoadConfig::paper_defaults(), seed);
             sim.run_until(SimTime::from_secs(1_000));
-            (h.jobs_started(), sim.stats().completed_tasks)
+            (h.jobs_started(&sim), sim.stats().completed_tasks)
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

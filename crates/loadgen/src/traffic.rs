@@ -8,12 +8,10 @@
 //! aggregate wide-area traffic.
 
 use crate::dist::{split_seed, Exponential, LogNormal};
-use nodesel_simnet::Sim;
+use nodesel_simnet::{DriverId, DriverLogic, Sim};
 use nodesel_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
 
 /// Configuration of the background traffic process.
 #[derive(Debug, Clone, Copy)]
@@ -50,31 +48,70 @@ impl TrafficConfig {
     }
 }
 
-/// Handle to an installed traffic generator.
+/// The network-wide Poisson message process, installed as a cloneable
+/// [`DriverLogic`] so its state (RNG, size model, counters) lives inside
+/// the simulator and survives [`Sim::fork`] bit-exactly.
+#[derive(Debug, Clone)]
+struct TrafficDriver {
+    endpoints: Vec<NodeId>,
+    config: TrafficConfig,
+    rng: StdRng,
+    sizes: LogNormal,
+    enabled: bool,
+    messages_started: u64,
+}
+
+impl DriverLogic for TrafficDriver {
+    fn fire(&mut self, sim: &mut Sim, me: DriverId) {
+        if !self.enabled {
+            return;
+        }
+        let a = self.rng.random_range(0..self.endpoints.len());
+        let b = {
+            let mut b = self.rng.random_range(0..self.endpoints.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            b
+        };
+        let bits = self.sizes.sample(&mut self.rng);
+        self.messages_started += 1;
+        sim.start_transfer_detached(self.endpoints[a], self.endpoints[b], bits);
+        let gap = Exponential::new(self.config.arrival_rate).sample(&mut self.rng);
+        sim.schedule_driver_in(gap, me);
+    }
+}
+
+/// Handle to an installed traffic generator: the id of its driver. State
+/// lives inside the [`Sim`], so every accessor takes the simulator — and
+/// because driver ids are stable across [`Sim::fork`], one handle works
+/// against the original *and* any fork.
 #[derive(Debug, Clone)]
 pub struct TrafficHandle {
-    enabled: Rc<Cell<bool>>,
-    messages_started: Rc<Cell<u64>>,
+    driver: DriverId,
 }
 
 impl TrafficHandle {
     /// Stops scheduling new messages (in-flight transfers drain normally).
-    pub fn stop(&self) {
-        self.enabled.set(false);
+    pub fn stop(&self, sim: &mut Sim) {
+        sim.driver_mut::<TrafficDriver>(self.driver).enabled = false;
     }
 
     /// True while the generator is scheduling messages.
-    pub fn is_running(&self) -> bool {
-        self.enabled.get()
+    pub fn is_running(&self, sim: &Sim) -> bool {
+        sim.driver::<TrafficDriver>(self.driver).enabled
     }
 
     /// Number of messages started so far.
-    pub fn messages_started(&self) -> u64 {
-        self.messages_started.get()
+    pub fn messages_started(&self, sim: &Sim) -> u64 {
+        sim.driver::<TrafficDriver>(self.driver).messages_started
     }
 }
 
 /// Installs background traffic between random ordered pairs of `endpoints`.
+///
+/// Messages are started *detached* and the generator is data-driven, so a
+/// warmed-up simulator remains forkable ([`Sim::can_fork`]).
 ///
 /// Panics when fewer than two endpoints are given.
 pub fn install_traffic(
@@ -84,52 +121,18 @@ pub fn install_traffic(
     seed: u64,
 ) -> TrafficHandle {
     assert!(endpoints.len() >= 2, "traffic needs at least two endpoints");
-    let handle = TrafficHandle {
-        enabled: Rc::new(Cell::new(true)),
-        messages_started: Rc::new(Cell::new(0)),
-    };
-    let state = Rc::new(RefCell::new((
-        StdRng::seed_from_u64(split_seed(seed, 0x7AFF)),
-        LogNormal::from_median_mean(config.median_size, config.mean_size),
-    )));
-    schedule_next_message(sim, endpoints.to_vec(), config, state, handle.clone());
-    handle
-}
-
-fn schedule_next_message(
-    sim: &mut Sim,
-    endpoints: Vec<NodeId>,
-    config: TrafficConfig,
-    state: Rc<RefCell<(StdRng, LogNormal)>>,
-    handle: TrafficHandle,
-) {
-    let gap = {
-        let mut st = state.borrow_mut();
-        Exponential::new(config.arrival_rate).sample(&mut st.0)
-    };
-    sim.schedule_in(gap, move |s| {
-        if !handle.enabled.get() {
-            return;
-        }
-        let (src, dst, bits) = {
-            let mut st = state.borrow_mut();
-            let a = st.0.random_range(0..endpoints.len());
-            let b = {
-                let mut b = st.0.random_range(0..endpoints.len() - 1);
-                if b >= a {
-                    b += 1;
-                }
-                b
-            };
-            let (rng, sizes) = &mut *st;
-            (endpoints[a], endpoints[b], sizes.sample(rng))
-        };
-        handle
-            .messages_started
-            .set(handle.messages_started.get() + 1);
-        s.start_transfer(src, dst, bits, |_| {});
-        schedule_next_message(s, endpoints, config, state, handle);
+    let mut rng = StdRng::seed_from_u64(split_seed(seed, 0x7AFF));
+    let gap = Exponential::new(config.arrival_rate).sample(&mut rng);
+    let id = sim.install_driver(TrafficDriver {
+        endpoints: endpoints.to_vec(),
+        config,
+        rng,
+        sizes: LogNormal::from_median_mean(config.median_size, config.mean_size),
+        enabled: true,
+        messages_started: 0,
     });
+    sim.schedule_driver_in(gap, id);
+    TrafficHandle { driver: id }
 }
 
 #[cfg(test)]
@@ -148,7 +151,11 @@ mod tests {
         let h = install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), 11);
         sim.run_until(SimTime::from_secs(1_200));
         // 0.13 msg/s × 1200 s ≈ 156 expected arrivals.
-        assert!(h.messages_started() > 40, "{}", h.messages_started());
+        assert!(
+            h.messages_started(&sim) > 40,
+            "{}",
+            h.messages_started(&sim)
+        );
         let total: f64 = edges
             .iter()
             .map(|&e| sim.link_bits(e, Direction::AtoB) + sim.link_bits(e, Direction::BtoA))
@@ -176,10 +183,34 @@ mod tests {
         let mut sim = Sim::new(topo);
         let h = install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), 9);
         sim.run_until(SimTime::from_secs(300));
-        h.stop();
-        let n = h.messages_started();
+        h.stop(&mut sim);
+        let n = h.messages_started(&sim);
         sim.run_until(SimTime::from_secs(900));
-        assert_eq!(h.messages_started(), n);
+        assert_eq!(h.messages_started(&sim), n);
+        assert!(!h.is_running(&sim));
+    }
+
+    #[test]
+    fn generator_keeps_sim_forkable_and_forks_agree() {
+        let (topo, ids) = star(4, 100.0 * MBPS);
+        let edges: Vec<_> = topo.edge_ids().collect();
+        let mut sim = Sim::new(topo);
+        let h = install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), 21);
+        sim.run_until(SimTime::from_secs(600));
+        assert!(sim.can_fork(), "traffic generator left a closure pending");
+        let mut fork = sim.fork();
+        fork.run_until(SimTime::from_secs(1_800));
+        sim.run_until(SimTime::from_secs(1_800));
+        assert_eq!(h.messages_started(&fork), h.messages_started(&sim));
+        assert_eq!(fork.stats(), sim.stats());
+        for &e in &edges {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                assert_eq!(
+                    fork.link_bits(e, dir).to_bits(),
+                    sim.link_bits(e, dir).to_bits()
+                );
+            }
+        }
     }
 
     #[test]
@@ -191,7 +222,7 @@ mod tests {
         let mut sim = Sim::new(topo);
         let h = install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), 13);
         sim.run_until(SimTime::from_secs(2_000));
-        assert!(h.messages_started() > 100);
+        assert!(h.messages_started(&sim) > 100);
         assert!(sim.stats().completed_flows > 0);
     }
 
@@ -202,7 +233,7 @@ mod tests {
             let mut sim = Sim::new(topo);
             let h = install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), seed);
             sim.run_until(SimTime::from_secs(500));
-            (h.messages_started(), sim.stats().completed_flows)
+            (h.messages_started(&sim), sim.stats().completed_flows)
         };
         assert_eq!(run(2), run(2));
         assert_ne!(run(2), run(3));

@@ -9,17 +9,23 @@
 //! multiplicative Gaussian noise (real SNMP data is not exact), and pushes
 //! them into bounded history rings.
 //!
+//! The sample store is a cloneable [`DriverLogic`] living *inside* the
+//! simulator, so a warmed-up measurement pipeline survives [`Sim::fork`]
+//! bit-exactly. The per-sample walks run over compute-node and
+//! directed-link lists precomputed at install time, pushing into flat
+//! fixed-capacity [`Window`] rings — steady-state collection allocates
+//! nothing.
+//!
 //! Everything downstream (the [`crate::Remos`] query API) sees only these
 //! sampled histories — never the simulator's ground truth — so selection
 //! experiments automatically include measurement staleness and noise.
 
-use nodesel_simnet::{Sim, SimTime};
-use nodesel_topology::{Direction, Topology};
+use crate::window::Window;
+use nodesel_simnet::{DriverId, DriverLogic, Sim, SimTime};
+use nodesel_topology::{Direction, EdgeId, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Collector configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,18 +53,25 @@ impl Default for CollectorConfig {
     }
 }
 
-/// Shared sampled state: per-node load histories and per-directed-link
-/// utilization histories.
-#[derive(Debug)]
+/// The collector's sampled state: per-node load histories and
+/// per-directed-link utilization histories. Installed as a driver, so it
+/// is part of the simulator and cloned by [`Sim::fork`].
+#[derive(Debug, Clone)]
 pub(crate) struct Samples {
     pub(crate) config: CollectorConfig,
-    /// Structural copy of the network (capacities, speeds, names).
-    pub(crate) base: Topology,
-    /// Load-average history per node index (empty rings for network nodes).
-    pub(crate) host: Vec<VecDeque<f64>>,
-    /// Utilization (bits/s) history per directed-link slot
-    /// (`edge_index * 2 + direction`).
-    pub(crate) link: Vec<VecDeque<f64>>,
+    /// Structural reference to the network (capacities, speeds, names) —
+    /// shared with the simulator, never mutated.
+    pub(crate) base: Arc<Topology>,
+    /// Compute nodes, in id order (precomputed at install; the per-sample
+    /// walk never re-collects node ids).
+    computes: Vec<NodeId>,
+    /// Directed links in slot order (`edge_index * 2 + direction`).
+    links: Vec<(EdgeId, Direction)>,
+    /// Load-average history per node index (network-node rings stay
+    /// empty).
+    pub(crate) host: Vec<Window>,
+    /// Utilization (bits/s) history per directed-link slot.
+    pub(crate) link: Vec<Window>,
     /// Octet counter at the previous sample, per slot.
     last_bits: Vec<f64>,
     /// Time of the most recent sample.
@@ -68,20 +81,22 @@ pub(crate) struct Samples {
     rng: StdRng,
 }
 
+impl DriverLogic for Samples {
+    fn fire(&mut self, sim: &mut Sim, me: DriverId) {
+        self.take_sample(sim);
+        sim.schedule_driver_in(self.config.period, me);
+    }
+}
+
 impl Samples {
-    fn new(base: Topology, config: CollectorConfig) -> Self {
-        let nodes = base.node_count();
-        let slots = base.link_count() * 2;
-        Samples {
-            config,
-            base,
-            host: vec![VecDeque::new(); nodes],
-            link: vec![VecDeque::new(); slots],
-            last_bits: vec![0.0; slots],
-            last_sample: None,
-            sample_count: 0,
-            rng: StdRng::seed_from_u64(config.seed),
-        }
+    /// The precomputed compute-node list, in id order.
+    pub(crate) fn compute_nodes(&self) -> &[NodeId] {
+        &self.computes
+    }
+
+    /// The precomputed directed-link list, in slot order.
+    pub(crate) fn link_slots(&self) -> &[(EdgeId, Direction)] {
+        &self.links
     }
 
     fn noisy(&mut self, x: f64) -> f64 {
@@ -96,91 +111,90 @@ impl Samples {
         (x * (1.0 + self.config.noise * z)).max(0.0)
     }
 
-    fn push(ring: &mut VecDeque<f64>, window: usize, x: f64) {
-        if ring.len() == window {
-            ring.pop_front();
-        }
-        ring.push_back(x);
-    }
-
     fn take_sample(&mut self, sim: &Sim) {
         let now = sim.now();
         let dt = self
             .last_sample
             .map(|t| now.seconds_since(t))
             .unwrap_or(self.config.period);
-        let window = self.config.window;
-        for id in self.base.node_ids().collect::<Vec<_>>() {
-            if self.base.node(id).is_compute() {
-                let v = sim.load_avg(id);
-                let v = self.noisy(v);
-                Self::push(&mut self.host[id.index()], window, v);
-            }
+        for i in 0..self.computes.len() {
+            let id = self.computes[i];
+            let v = sim.load_avg(id);
+            let v = self.noisy(v);
+            self.host[id.index()].push(v);
         }
-        for e in self.base.edge_ids().collect::<Vec<_>>() {
-            for dir in [Direction::AtoB, Direction::BtoA] {
-                let slot = e.index() * 2 + dir as usize;
-                // Exact octet counter at the sample instant: the flow
-                // table accumulates bits on every rate change and
-                // extrapolates at the current rate on read, so lazy
-                // settlement is invisible to this measurement path.
-                let bits = sim.link_bits(e, dir);
-                let rate = if dt > 0.0 {
-                    (bits - self.last_bits[slot]).max(0.0) / dt
-                } else {
-                    0.0
-                };
-                self.last_bits[slot] = bits;
-                let rate = self.noisy(rate);
-                Self::push(&mut self.link[slot], window, rate);
-            }
+        for slot in 0..self.links.len() {
+            let (e, dir) = self.links[slot];
+            // Exact octet counter at the sample instant: the flow
+            // table accumulates bits on every rate change and
+            // extrapolates at the current rate on read, so lazy
+            // settlement is invisible to this measurement path.
+            let bits = sim.link_bits(e, dir);
+            let rate = if dt > 0.0 {
+                (bits - self.last_bits[slot]).max(0.0) / dt
+            } else {
+                0.0
+            };
+            self.last_bits[slot] = bits;
+            let rate = self.noisy(rate);
+            self.link[slot].push(rate);
         }
         self.last_sample = Some(now);
         self.sample_count += 1;
     }
 }
 
-/// Handle to the shared sample store; cloneable, single-threaded.
-pub(crate) type SharedSamples = Rc<RefCell<Samples>>;
-
-/// Installs a collector into the simulator and returns the shared store.
+/// Installs a collector into the simulator and returns its driver id.
 ///
 /// The first sample is taken one period after installation (counters need
 /// a baseline interval), then every period thereafter, forever. Use
 /// [`Sim::run_until`] to bound execution.
-pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> SharedSamples {
+pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
     assert!(config.period > 0.0, "sampling period must be positive");
     assert!(config.window >= 1, "window must hold at least one sample");
-    let samples = Rc::new(RefCell::new(Samples::new(sim.topology().clone(), config)));
+    let base = sim.topology_shared();
+    let computes: Vec<NodeId> = base.compute_nodes().collect();
+    let links: Vec<(EdgeId, Direction)> = base
+        .edge_ids()
+        .flat_map(|e| [(e, Direction::AtoB), (e, Direction::BtoA)])
+        .collect();
+    debug_assert!(links
+        .iter()
+        .enumerate()
+        .all(|(slot, &(e, dir))| slot == e.index() * 2 + dir as usize));
     // Baseline the octet counters at install time.
-    {
-        let mut s = samples.borrow_mut();
-        for e in sim.topology().edge_ids().collect::<Vec<_>>() {
-            for dir in [Direction::AtoB, Direction::BtoA] {
-                let slot = e.index() * 2 + dir as usize;
-                s.last_bits[slot] = sim.link_bits(e, dir);
-            }
-        }
-        s.last_sample = Some(sim.now());
-        s.sample_count = 0;
-    }
-    schedule_sample(sim, samples.clone());
-    samples
-}
-
-fn schedule_sample(sim: &mut Sim, samples: SharedSamples) {
-    let period = samples.borrow().config.period;
-    sim.schedule_in(period, move |s| {
-        samples.borrow_mut().take_sample(s);
-        schedule_sample(s, samples);
-    });
+    let last_bits: Vec<f64> = links
+        .iter()
+        .map(|&(e, dir)| sim.link_bits(e, dir))
+        .collect();
+    let host = (0..base.node_count())
+        .map(|_| Window::new(config.window))
+        .collect();
+    let link = (0..links.len())
+        .map(|_| Window::new(config.window))
+        .collect();
+    let samples = Samples {
+        config,
+        base,
+        computes,
+        links,
+        host,
+        link,
+        last_bits,
+        last_sample: Some(sim.now()),
+        sample_count: 0,
+        rng: StdRng::seed_from_u64(config.seed),
+    };
+    let id = sim.install_driver(samples);
+    sim.schedule_driver_in(config.period, id);
+    id
 }
 
 /// Convenience used by tests: the most recently sampled load average of
 /// a node, if any sample exists.
 #[cfg(test)]
-pub(crate) fn latest_host(samples: &Samples, node: nodesel_topology::NodeId) -> Option<f64> {
-    samples.host[node.index()].back().copied()
+pub(crate) fn latest_host(samples: &Samples, node: NodeId) -> Option<f64> {
+    samples.host[node.index()].latest()
 }
 
 #[cfg(test)]
@@ -188,6 +202,10 @@ mod tests {
     use super::*;
     use nodesel_topology::builders::star;
     use nodesel_topology::units::MBPS;
+
+    fn samples(sim: &Sim, id: DriverId) -> &Samples {
+        sim.driver::<Samples>(id)
+    }
 
     #[test]
     fn sampling_cadence() {
@@ -201,7 +219,7 @@ mod tests {
             },
         );
         sim.run_until(SimTime::from_secs(26));
-        assert_eq!(s.borrow().sample_count, 5);
+        assert_eq!(samples(&sim, s).sample_count, 5);
     }
 
     #[test]
@@ -211,9 +229,9 @@ mod tests {
         let s = install(&mut sim, CollectorConfig::default());
         sim.start_compute(ids[0], 1e9, |_| {});
         sim.run_until(SimTime::from_secs(600));
-        let st = s.borrow();
-        let h0 = latest_host(&st, ids[0]).unwrap();
-        let h1 = latest_host(&st, ids[1]).unwrap();
+        let st = samples(&sim, s);
+        let h0 = latest_host(st, ids[0]).unwrap();
+        let h1 = latest_host(st, ids[1]).unwrap();
         assert!(h0 > 0.9, "loaded host measured {h0}");
         assert!(h1 < 0.01, "idle host measured {h1}");
     }
@@ -230,12 +248,12 @@ mod tests {
         // Long flow n0 -> n1 at full line rate (crosses hub).
         sim.start_transfer(ids[0], ids[1], 1e18, |_| {});
         sim.run_until(SimTime::from_secs(60));
-        let st = s.borrow();
+        let st = samples(&sim, s);
         // The hub->n1 access link direction carries 100 Mbps; locate its
         // slot via the second edge (hub-n1 is edge index 1).
         let e1 = nodesel_topology::EdgeId::from_index(1);
         let slot = e1.index() * 2 + fwd as usize;
-        let measured = *st.link[slot].back().unwrap();
+        let measured = st.link[slot].latest().unwrap();
         assert!(
             (measured - 100.0 * MBPS).abs() < MBPS,
             "measured {measured}"
@@ -255,7 +273,7 @@ mod tests {
             },
         );
         sim.run_until(SimTime::from_secs(60));
-        let st = s.borrow();
+        let st = samples(&sim, s);
         for ring in &st.host {
             assert!(ring.len() <= 4);
         }
@@ -279,12 +297,31 @@ mod tests {
             );
             sim.start_compute(ids[0], 1e9, |_| {});
             sim.run_until(SimTime::from_secs(300));
-            let st = s.borrow();
-            let v: Vec<f64> = st.host[ids[0].index()].iter().copied().collect();
+            let st = samples(&sim, s);
+            let v: Vec<f64> = st.host[ids[0].index()].iter().collect();
             assert!(v.iter().all(|&x| x >= 0.0));
             v
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn collector_keeps_sim_forkable_and_forks_agree() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let s = install(&mut sim, CollectorConfig::default());
+        sim.start_compute_detached(ids[0], 1e9);
+        sim.run_until(SimTime::from_secs(120));
+        assert!(sim.can_fork(), "collector left a closure pending");
+        let mut fork = sim.fork();
+        fork.run_until(SimTime::from_secs(600));
+        sim.run_until(SimTime::from_secs(600));
+        let (a, b) = (samples(&sim, s), samples(&fork, s));
+        assert_eq!(a.sample_count, b.sample_count);
+        assert_eq!(
+            latest_host(a, ids[0]).map(f64::to_bits),
+            latest_host(b, ids[0]).map(f64::to_bits)
+        );
     }
 }

@@ -16,7 +16,7 @@
 //! * [`Estimator::Quantile`] — a window quantile, for conservative
 //!   (plan-for-the-bad-case) placement decisions.
 
-use std::collections::VecDeque;
+use crate::window::Window;
 
 /// How to condense a sample history into an estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,25 +49,25 @@ impl Estimator {
     /// newest. Returns 0.0 for an empty history (nothing measured yet —
     /// the conservative choice for *availability* metrics is handled by
     /// callers that know the peak).
-    pub fn estimate(self, history: &VecDeque<f64>) -> f64 {
+    pub fn estimate(self, history: &Window) -> f64 {
         let n = history.len();
         if n == 0 {
             return 0.0;
         }
         match self {
-            Estimator::Latest => history[n - 1],
+            Estimator::Latest => history.get(n - 1),
             Estimator::WindowMean => history.iter().sum::<f64>() / n as f64,
             Estimator::Ewma { alpha } => {
                 assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-                let mut acc = history[0];
-                for &x in history.iter().skip(1) {
+                let mut acc = history.get(0);
+                for x in history.iter().skip(1) {
                     acc = alpha * x + (1.0 - alpha) * acc;
                 }
                 acc
             }
             Estimator::Quantile { q } => {
                 assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-                let mut sorted: Vec<f64> = history.iter().copied().collect();
+                let mut sorted: Vec<f64> = history.iter().collect();
                 sorted.sort_by(f64::total_cmp);
                 let pos = q * (n - 1) as f64;
                 let lo = pos.floor() as usize;
@@ -77,14 +77,14 @@ impl Estimator {
             }
             Estimator::Trend => {
                 if n == 1 {
-                    return history[0];
+                    return history.get(0);
                 }
                 // Least squares of y over x = 0..n-1, predicted at x = n.
                 let nf = n as f64;
                 let sx = (nf - 1.0) * nf / 2.0;
                 let sxx = (nf - 1.0) * nf * (2.0 * nf - 1.0) / 6.0;
                 let sy: f64 = history.iter().sum();
-                let sxy: f64 = history.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+                let sxy: f64 = history.iter().enumerate().map(|(i, y)| i as f64 * y).sum();
                 let denom = nf * sxx - sx * sx;
                 if denom.abs() < 1e-12 {
                     return sy / nf;
@@ -101,7 +101,7 @@ impl Estimator {
 mod tests {
     use super::*;
 
-    fn hist(xs: &[f64]) -> VecDeque<f64> {
+    fn hist(xs: &[f64]) -> Window {
         xs.iter().copied().collect()
     }
 

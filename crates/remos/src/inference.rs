@@ -182,11 +182,12 @@ pub fn infer_topology(
 /// (`O(n²)` active measurements).
 pub fn measure_all_pairs(
     remos: &crate::Remos,
+    sim: &nodesel_simnet::Sim,
     hosts: &[NodeId],
     estimator: crate::Estimator,
 ) -> Result<(Vec<HostObservation>, Vec<PairMeasurement>), TopologyError> {
-    let host_infos = remos.host_query(hosts, estimator)?;
-    let topo = remos.logical_topology(estimator);
+    let host_infos = remos.host_query(sim, hosts, estimator)?;
+    let topo = remos.logical_topology(sim, estimator);
     let observations = host_infos
         .iter()
         .map(|h| HostObservation {
@@ -200,7 +201,7 @@ pub fn measure_all_pairs(
             queries.push((hosts[i], hosts[j]));
         }
     }
-    let infos = remos.flow_query(&queries, estimator)?;
+    let infos = remos.flow_query(sim, &queries, estimator)?;
     let pairs = infos
         .iter()
         .enumerate()

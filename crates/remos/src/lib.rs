@@ -27,7 +27,9 @@ mod collector;
 mod estimator;
 pub mod inference;
 mod queries;
+mod window;
 
 pub use collector::CollectorConfig;
 pub use estimator::Estimator;
 pub use queries::{FlowInfo, HostInfo, QueryStats, Remos};
+pub use window::Window;

@@ -1,8 +1,8 @@
 //! The two-level Remos query API: flow queries and logical topology.
 
-use crate::collector::{install, CollectorConfig, SharedSamples};
+use crate::collector::{install, CollectorConfig, Samples};
 use crate::estimator::Estimator;
-use nodesel_simnet::{Sim, SimTime};
+use nodesel_simnet::{DriverId, Sim, SimTime};
 use nodesel_topology::{Direction, NodeId, Topology, TopologyError};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -54,11 +54,14 @@ pub struct HostInfo {
 
 /// The Remos query interface.
 ///
-/// A `Remos` handle wraps the shared sample store fed by the periodic
-/// collector. Queries are answered purely from sampled history — the
-/// interface never peeks at simulator ground truth — which reproduces the
-/// defining property of the real system: applications see *measurements*,
-/// with their period, staleness and noise.
+/// A `Remos` handle addresses the sample store fed by the periodic
+/// collector, which lives *inside* the simulator (so it is cloned by
+/// [`Sim::fork`] and queries take the simulator they are asked against —
+/// one handle works on the original and on every fork). Queries are
+/// answered purely from sampled history — the interface never peeks at
+/// simulator ground truth — which reproduces the defining property of the
+/// real system: applications see *measurements*, with their period,
+/// staleness and noise.
 ///
 /// The two abstraction levels of the paper's API are
 /// [`Remos::logical_topology`] (a functional snapshot of the network,
@@ -66,7 +69,7 @@ pub struct HostInfo {
 /// (end-to-end available bandwidth for specific node pairs).
 #[derive(Clone)]
 pub struct Remos {
-    samples: SharedSamples,
+    driver: DriverId,
     stats: Rc<Cell<QueryStats>>,
 }
 
@@ -75,7 +78,7 @@ impl Remos {
     /// query handle.
     pub fn install(sim: &mut Sim, config: CollectorConfig) -> Remos {
         Remos {
-            samples: install(sim, config),
+            driver: install(sim, config),
             stats: Rc::new(Cell::new(QueryStats::default())),
         }
     }
@@ -92,14 +95,18 @@ impl Remos {
         self.stats.set(s);
     }
 
+    fn samples<'a>(&self, sim: &'a Sim) -> &'a Samples {
+        sim.driver::<Samples>(self.driver)
+    }
+
     /// Number of collection rounds completed so far.
-    pub fn sample_count(&self) -> u64 {
-        self.samples.borrow().sample_count
+    pub fn sample_count(&self, sim: &Sim) -> u64 {
+        self.samples(sim).sample_count
     }
 
     /// Time of the most recent sample, if any.
-    pub fn last_sample_time(&self) -> Option<SimTime> {
-        self.samples.borrow().last_sample
+    pub fn last_sample_time(&self, sim: &Sim) -> Option<SimTime> {
+        self.samples(sim).last_sample
     }
 
     /// The logical network topology annotated with estimated conditions:
@@ -108,23 +115,18 @@ impl Remos {
     /// Metrics with no samples yet report zero load / zero utilization
     /// (optimistic), matching a monitor that has just started. Estimated
     /// utilization is clamped to the link capacity.
-    pub fn logical_topology(&self, estimator: Estimator) -> Topology {
+    pub fn logical_topology(&self, sim: &Sim, estimator: Estimator) -> Topology {
         self.bump(|s| s.topology_queries += 1);
-        let st = self.samples.borrow();
-        let mut topo = st.base.clone();
-        for id in topo.node_ids().collect::<Vec<_>>() {
-            if topo.node(id).is_compute() {
-                let load = estimator.estimate(&st.host[id.index()]).max(0.0);
-                topo.set_load_avg(id, load);
-            }
+        let st = self.samples(sim);
+        let mut topo = (*st.base).clone();
+        for &id in st.compute_nodes() {
+            let load = estimator.estimate(&st.host[id.index()]).max(0.0);
+            topo.set_load_avg(id, load);
         }
-        for e in topo.edge_ids().collect::<Vec<_>>() {
-            for dir in [Direction::AtoB, Direction::BtoA] {
-                let slot = e.index() * 2 + dir as usize;
-                let cap = topo.link(e).capacity(dir);
-                let used = estimator.estimate(&st.link[slot]).clamp(0.0, cap);
-                topo.set_link_used(e, dir, used);
-            }
+        for (slot, &(e, dir)) in st.link_slots().iter().enumerate() {
+            let cap = topo.link(e).capacity(dir);
+            let used = estimator.estimate(&st.link[slot]).clamp(0.0, cap);
+            topo.set_link_used(e, dir, used);
         }
         topo
     }
@@ -133,6 +135,7 @@ impl Remos {
     /// requested pair, over the network's fixed routes.
     pub fn flow_query(
         &self,
+        sim: &Sim,
         pairs: &[(NodeId, NodeId)],
         estimator: Estimator,
     ) -> Result<Vec<FlowInfo>, TopologyError> {
@@ -140,7 +143,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology(estimator);
+        let topo = self.logical_topology(sim, estimator);
         let routes = topo.routes();
         pairs
             .iter()
@@ -168,6 +171,7 @@ impl Remos {
     /// all-to-all) should ask for.
     pub fn flow_query_shared(
         &self,
+        sim: &Sim,
         pairs: &[(NodeId, NodeId)],
         estimator: Estimator,
     ) -> Result<Vec<FlowInfo>, TopologyError> {
@@ -175,7 +179,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology(estimator);
+        let topo = self.logical_topology(sim, estimator);
         let routes = topo.routes();
         // Residual capacity per directed link after measured background
         // traffic.
@@ -217,11 +221,12 @@ impl Remos {
     /// Errors on network nodes.
     pub fn host_query(
         &self,
+        sim: &Sim,
         nodes: &[NodeId],
         estimator: Estimator,
     ) -> Result<Vec<HostInfo>, TopologyError> {
         self.bump(|s| s.host_queries += 1);
-        let st = self.samples.borrow();
+        let st = self.samples(sim);
         nodes
             .iter()
             .map(|&node| {
@@ -256,12 +261,12 @@ mod tests {
         let (topo, ids) = star(3, 100.0 * MBPS);
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
-        let t = remos.logical_topology(Estimator::Latest);
+        let t = remos.logical_topology(&sim, Estimator::Latest);
         assert_eq!(t.node(ids[0]).cpu(), 1.0);
         for e in t.edge_ids() {
             assert_eq!(t.link(e).bwfactor(), 1.0);
         }
-        assert_eq!(remos.sample_count(), 0);
+        assert_eq!(remos.sample_count(&sim), 0);
     }
 
     #[test]
@@ -272,7 +277,7 @@ mod tests {
         sim.start_compute(ids[1], 1e9, |_| {});
         sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
         sim.run_until(secs(600));
-        let t = remos.logical_topology(Estimator::Latest);
+        let t = remos.logical_topology(&sim, Estimator::Latest);
         assert!(t.node(ids[1]).load_avg() > 0.9);
         assert!(t.node(ids[0]).load_avg() < 0.05);
         // Both chain links are saturated in the forward direction.
@@ -293,7 +298,7 @@ mod tests {
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         sim.run_until(secs(30));
         let infos = remos
-            .flow_query(&[(a, b), (b, a)], Estimator::Latest)
+            .flow_query(&sim, &[(a, b), (b, a)], Estimator::Latest)
             .unwrap();
         assert_eq!(infos[0].available_bw, 10.0 * MBPS);
         assert_eq!(infos[0].hops, 2);
@@ -317,10 +322,10 @@ mod tests {
         sim.start_compute(ids[0], 1e9, |_| {});
         sim.run_until(secs(29));
         // True load is ramping up but the last sample (t=20) predates it.
-        let t = remos.logical_topology(Estimator::Latest);
+        let t = remos.logical_topology(&sim, Estimator::Latest);
         assert_eq!(t.node(ids[0]).load_avg(), 0.0);
         sim.run_until(secs(300));
-        let t = remos.logical_topology(Estimator::Latest);
+        let t = remos.logical_topology(&sim, Estimator::Latest);
         assert!(t.node(ids[0]).load_avg() > 0.9);
     }
 
@@ -332,8 +337,14 @@ mod tests {
         // Load for the first 150s only, then idle.
         sim.start_compute(ids[0], 150.0, |_| {});
         sim.run_until(secs(175));
-        let latest = remos.host_query(&[ids[0]], Estimator::Latest).unwrap()[0].load_avg;
-        let mean = remos.host_query(&[ids[0]], Estimator::WindowMean).unwrap()[0].load_avg;
+        let latest = remos
+            .host_query(&sim, &[ids[0]], Estimator::Latest)
+            .unwrap()[0]
+            .load_avg;
+        let mean = remos
+            .host_query(&sim, &[ids[0]], Estimator::WindowMean)
+            .unwrap()[0]
+            .load_avg;
         // The window mean still remembers the loaded period.
         assert!(mean > latest);
     }
@@ -345,7 +356,7 @@ mod tests {
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         assert!(matches!(
-            remos.host_query(&[hub], Estimator::Latest),
+            remos.host_query(&sim, &[hub], Estimator::Latest),
             Err(TopologyError::NotComputeNode(_))
         ));
     }
@@ -357,7 +368,9 @@ mod tests {
         let b = topo.add_compute_node("b", 1.0);
         let mut sim = Sim::new(topo.clone());
         let remos = Remos::install(&mut sim, CollectorConfig::default());
-        assert!(remos.flow_query(&[(a, b)], Estimator::Latest).is_err());
+        assert!(remos
+            .flow_query(&sim, &[(a, b)], Estimator::Latest)
+            .is_err());
     }
     #[test]
     fn shared_flow_query_divides_a_common_bottleneck() {
@@ -368,10 +381,12 @@ mod tests {
         // Two flows converging on n2: independently each sees 100 Mbps,
         // together they split n2's access link 50/50.
         let pairs = [(ids[0], ids[2]), (ids[1], ids[2])];
-        let indep = remos.flow_query(&pairs, Estimator::Latest).unwrap();
+        let indep = remos.flow_query(&sim, &pairs, Estimator::Latest).unwrap();
         assert_eq!(indep[0].available_bw, 100.0 * MBPS);
         assert_eq!(indep[1].available_bw, 100.0 * MBPS);
-        let shared = remos.flow_query_shared(&pairs, Estimator::Latest).unwrap();
+        let shared = remos
+            .flow_query_shared(&sim, &pairs, Estimator::Latest)
+            .unwrap();
         assert_eq!(shared[0].available_bw, 50.0 * MBPS);
         assert_eq!(shared[1].available_bw, 50.0 * MBPS);
     }
@@ -387,7 +402,7 @@ mod tests {
         sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
         sim.run_until(secs(60));
         let shared = remos
-            .flow_query_shared(&[(ids[1], ids[2])], Estimator::Latest)
+            .flow_query_shared(&sim, &[(ids[1], ids[2])], Estimator::Latest)
             .unwrap();
         // The link is measured as saturated, so the predicted residual
         // share is near zero.
@@ -406,7 +421,11 @@ mod tests {
         sim.run_until(secs(10));
         // Disjoint pairs keep full rate even when queried together.
         let shared = remos
-            .flow_query_shared(&[(ids[0], ids[1]), (ids[2], ids[3])], Estimator::Latest)
+            .flow_query_shared(
+                &sim,
+                &[(ids[0], ids[1]), (ids[2], ids[3])],
+                Estimator::Latest,
+            )
             .unwrap();
         assert_eq!(shared[0].available_bw, 100.0 * MBPS);
         assert_eq!(shared[1].available_bw, 100.0 * MBPS);
@@ -417,9 +436,13 @@ mod tests {
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         assert_eq!(remos.query_stats(), QueryStats::default());
-        let _ = remos.logical_topology(Estimator::Latest);
-        let _ = remos.flow_query(&[(ids[0], ids[1]), (ids[1], ids[2])], Estimator::Latest);
-        let _ = remos.host_query(&ids, Estimator::Latest);
+        let _ = remos.logical_topology(&sim, Estimator::Latest);
+        let _ = remos.flow_query(
+            &sim,
+            &[(ids[0], ids[1]), (ids[1], ids[2])],
+            Estimator::Latest,
+        );
+        let _ = remos.host_query(&sim, &ids, Estimator::Latest);
         let stats = remos.query_stats();
         // flow_query internally takes one topology snapshot too.
         assert_eq!(stats.topology_queries, 2);
@@ -428,7 +451,7 @@ mod tests {
         assert_eq!(stats.host_queries, 1);
         // Clones share the counters.
         let clone = remos.clone();
-        let _ = clone.logical_topology(Estimator::Latest);
+        let _ = clone.logical_topology(&sim, Estimator::Latest);
         assert_eq!(remos.query_stats().topology_queries, 3);
     }
 }

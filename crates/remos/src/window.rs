@@ -1,0 +1,128 @@
+//! Flat fixed-capacity ring buffer for sample histories.
+
+/// A bounded history of `f64` samples ordered oldest → newest.
+///
+/// Backed by one flat allocation of the window capacity (made at collector
+/// install time); pushing past capacity overwrites the oldest sample in
+/// place, so steady-state collection allocates nothing and the ring clones
+/// in one `memcpy` — the property [`crate::Remos`]'s state relies on to
+/// make simulator forks cheap.
+#[derive(Debug, Clone)]
+pub struct Window {
+    buf: Box<[f64]>,
+    /// Index of the oldest sample.
+    head: usize,
+    len: usize,
+}
+
+impl Window {
+    /// An empty window retaining at most `capacity` samples.
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window must hold at least one sample");
+        Window {
+            buf: vec![0.0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.buf.len() {
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.buf.len();
+        } else {
+            self.buf[(self.head + self.len) % self.buf.len()] = x;
+            self.len += 1;
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th retained sample, oldest first.
+    ///
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "window index out of range");
+        self.buf[(self.head + i) % self.buf.len()]
+    }
+
+    /// The newest sample, if any.
+    pub fn latest(&self) -> Option<f64> {
+        (self.len > 0).then(|| self.get(self.len - 1))
+    }
+
+    /// Iterates the retained samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl FromIterator<f64> for Window {
+    /// Collects into a window sized to the source (minimum capacity one).
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let xs: Vec<f64> = iter.into_iter().collect();
+        let mut w = Window::new(xs.len().max(1));
+        for x in xs {
+            w.push(x);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut w = Window::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.latest(), None);
+        for x in 1..=3 {
+            w.push(x as f64);
+        }
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        w.push(4.0);
+        w.push(5.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.latest(), Some(5.0));
+        assert_eq!(w.get(0), 3.0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut w = Window::new(1);
+        w.push(1.0);
+        w.push(2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.latest(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        Window::new(0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut w = Window::new(2);
+        w.push(1.0);
+        let mut c = w.clone();
+        c.push(2.0);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![1.0]);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1.0, 2.0]);
+    }
+}

@@ -5,8 +5,10 @@ use crate::host::{Host, TaskId};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, Tracer};
 use nodesel_topology::{Direction, EdgeId, NodeId, RouteTable, Topology};
+use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Default UNIX-style load-average damping constant (1-minute average).
 pub const DEFAULT_LOAD_AVG_TAU: f64 = 60.0;
@@ -14,9 +16,57 @@ pub const DEFAULT_LOAD_AVG_TAU: f64 = 60.0;
 /// A deferred action executed by the engine at its scheduled time.
 pub type Callback = Box<dyn FnOnce(&mut Sim)>;
 
+/// Identifier of a driver installed with [`Sim::install_driver`]. Stable
+/// across [`Sim::fork`]: the same id addresses the forked copy of the
+/// driver in the forked simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DriverId(u32);
+
+/// Cloneable state machine behind a recurring *data-driven* event.
+///
+/// Where one-off actions are scheduled as opaque [`Callback`] closures,
+/// self-rescheduling processes (background generators, periodic
+/// collectors) implement `DriverLogic` and live **inside** the simulator:
+/// their state — RNG, counters, sample stores — is part of [`Sim`] and is
+/// cloned by [`Sim::fork`], so a forked run continues bit-identically.
+///
+/// [`DriverLogic::fire`] runs at each scheduled time with the driver
+/// temporarily removed from the registry (it may freely mutate the
+/// simulator, including scheduling its next firing via
+/// [`Sim::schedule_driver_in`], but cannot re-enter itself).
+pub trait DriverLogic: Clone + 'static {
+    /// Handles one scheduled firing. `me` is the driver's own id, for
+    /// rescheduling.
+    fn fire(&mut self, sim: &mut Sim, me: DriverId);
+}
+
+/// Object-safe adapter over [`DriverLogic`] (clone + downcast).
+trait DriverObj: Any {
+    fn fire_obj(&mut self, sim: &mut Sim, me: DriverId);
+    fn clone_box(&self) -> Box<dyn DriverObj>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: DriverLogic> DriverObj for T {
+    fn fire_obj(&mut self, sim: &mut Sim, me: DriverId) {
+        self.fire(sim, me);
+    }
+    fn clone_box(&self) -> Box<dyn DriverObj> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 enum EventKind {
     HostWake { host: usize, generation: u64 },
     NetWake { generation: u64 },
+    Driver { slot: u32 },
     User(Callback),
 }
 
@@ -24,6 +74,24 @@ struct QueuedEvent {
     at: SimTime,
     seq: u64,
     kind: EventKind,
+}
+
+impl QueuedEvent {
+    /// Clones a data-driven event for [`Sim::fork`]. Opaque user closures
+    /// cannot be cloned; [`Sim::can_fork`] guarantees none are pending.
+    fn clone_data(&self) -> QueuedEvent {
+        let kind = match self.kind {
+            EventKind::HostWake { host, generation } => EventKind::HostWake { host, generation },
+            EventKind::NetWake { generation } => EventKind::NetWake { generation },
+            EventKind::Driver { slot } => EventKind::Driver { slot },
+            EventKind::User(_) => unreachable!("fork with a pending user closure"),
+        };
+        QueuedEvent {
+            at: self.at,
+            seq: self.seq,
+            kind,
+        }
+    }
 }
 
 impl PartialEq for QueuedEvent {
@@ -67,9 +135,22 @@ pub struct SimStats {
 /// monotone sequence number breaks ties), and every internal algorithm
 /// iterates in dense-index order, so a run is a pure function of the
 /// topology and the scheduled events.
+///
+/// # Checkpointing
+///
+/// All recurring activity can be expressed as *data*: [`DriverLogic`]
+/// state machines (generators, collectors) live inside the simulator and
+/// detached tasks/transfers ([`Sim::start_compute_detached`],
+/// [`Sim::start_transfer_detached`]) carry no completion closure. When no
+/// opaque closure is pending anywhere ([`Sim::can_fork`]), [`Sim::fork`]
+/// clones the complete simulation state — clock, event queue, hosts,
+/// flows, drivers, RNGs — into an independent simulator that continues
+/// bit-identically to the original. The immutable [`Topology`] and
+/// [`RouteTable`] are shared by `Arc`, so a fork costs O(live state), not
+/// O(V·(V+E)).
 pub struct Sim {
-    topo: Topology,
-    routes: RouteTable,
+    topo: Arc<Topology>,
+    routes: Arc<RouteTable>,
     time: SimTime,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
@@ -83,6 +164,11 @@ pub struct Sim {
     flow_done: HashMap<FlowId, (f64, Callback)>,
     /// Reused drain buffer for finished flows (no per-event allocation).
     finished_flows: Vec<FlowId>,
+    /// Installed recurring drivers; a slot is `None` only while its
+    /// driver is firing.
+    drivers: Vec<Option<Box<dyn DriverObj>>>,
+    /// Number of queued [`EventKind::User`] events (fork legality).
+    user_events: usize,
     stats: SimStats,
     tracer: Option<Tracer>,
 }
@@ -108,7 +194,24 @@ impl Sim {
     }
 
     fn with_config(topo: Topology, tau: f64, engine: FlowEngine) -> Self {
-        let routes = RouteTable::build(&topo);
+        let routes = Arc::new(RouteTable::build(&topo));
+        Self::with_shared(Arc::new(topo), routes, tau, engine)
+    }
+
+    /// Builds a simulator over an `Arc`-shared topology and prebuilt route
+    /// table, sharing both instead of copying. This is the cheap
+    /// constructor for trial sweeps: the testbed and its all-pairs routes
+    /// are derived once and shared by every simulator (and every
+    /// [`Sim::fork`]).
+    ///
+    /// `routes` must have been built from `topo` (all route resolution
+    /// goes through it).
+    pub fn with_shared(
+        topo: Arc<Topology>,
+        routes: Arc<RouteTable>,
+        tau: f64,
+        engine: FlowEngine,
+    ) -> Self {
         let hosts: Vec<Option<Host>> = topo
             .node_ids()
             .map(|id| {
@@ -133,9 +236,129 @@ impl Sim {
             task_done: HashMap::new(),
             flow_done: HashMap::new(),
             finished_flows: Vec::new(),
+            drivers: Vec::new(),
+            user_events: 0,
             stats: SimStats::default(),
             tracer: None,
         }
+    }
+
+    // ----- Checkpoint / fork ----------------------------------------------
+
+    /// True when the simulator holds no opaque closure anywhere — no
+    /// queued [`Sim::schedule_at`]/[`Sim::schedule_in`] event and no
+    /// pending task/transfer completion callback — so its entire state is
+    /// data and [`Sim::fork`] is legal.
+    ///
+    /// A warmed-up simulator driven purely by [`DriverLogic`] drivers and
+    /// detached work is always forkable; launching an application (which
+    /// registers completion closures) makes it unforkable until that work
+    /// drains.
+    pub fn can_fork(&self) -> bool {
+        self.user_events == 0 && self.task_done.is_empty() && self.flow_done.is_empty()
+    }
+
+    /// Forks the simulation: returns an independent simulator whose
+    /// continuation is bit-identical to this one's. The topology and
+    /// route table are shared (`Arc`), everything mutable — clock, event
+    /// queue, hosts, flow table, driver state (RNGs, counters, sample
+    /// stores), stats, trace buffer — is cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Sim::can_fork`] is false (an opaque closure is
+    /// pending; closures cannot be cloned).
+    pub fn fork(&self) -> Sim {
+        assert!(
+            self.can_fork(),
+            "Sim::fork with a pending user closure (schedule a fork only at \
+             quiescent boundaries, e.g. after warm-up and before launch)"
+        );
+        let forked = Sim {
+            topo: Arc::clone(&self.topo),
+            routes: Arc::clone(&self.routes),
+            time: self.time,
+            queue: self
+                .queue
+                .iter()
+                .map(|Reverse(e)| Reverse(e.clone_data()))
+                .collect(),
+            seq: self.seq,
+            hosts: self.hosts.clone(),
+            host_generation: self.host_generation.clone(),
+            flows: self.flows.clone(),
+            net_generation: self.net_generation,
+            next_task: self.next_task,
+            next_flow: self.next_flow,
+            task_done: HashMap::new(),
+            flow_done: HashMap::new(),
+            finished_flows: Vec::new(),
+            drivers: self
+                .drivers
+                .iter()
+                .map(|d| {
+                    Some(
+                        d.as_ref()
+                            .expect("fork while a driver is firing")
+                            .clone_box(),
+                    )
+                })
+                .collect(),
+            user_events: 0,
+            stats: self.stats,
+            tracer: self.tracer.clone(),
+        };
+        debug_assert_eq!(forked.queue.len(), self.queue.len());
+        debug_assert_eq!(
+            forked.queue.peek().map(|Reverse(e)| (e.at, e.seq)),
+            self.queue.peek().map(|Reverse(e)| (e.at, e.seq)),
+            "fork perturbed the event order"
+        );
+        forked
+    }
+
+    // ----- Drivers --------------------------------------------------------
+
+    /// Installs a recurring data-driven event source and returns its id.
+    /// The driver fires only when scheduled (see
+    /// [`Sim::schedule_driver_in`]); installation alone schedules nothing.
+    pub fn install_driver<T: DriverLogic>(&mut self, driver: T) -> DriverId {
+        let slot = u32::try_from(self.drivers.len()).expect("too many drivers");
+        self.drivers.push(Some(Box::new(driver)));
+        DriverId(slot)
+    }
+
+    /// Schedules driver `id` to fire `delay_secs` from now. A driver may
+    /// hold any number of scheduled firings; each dispatch calls
+    /// [`DriverLogic::fire`] once.
+    pub fn schedule_driver_in(&mut self, delay_secs: f64, id: DriverId) {
+        let at = self.time.after_secs_f64(delay_secs);
+        self.push(at, EventKind::Driver { slot: id.0 });
+    }
+
+    /// Immutable access to an installed driver's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is unknown, holds a different type, or is
+    /// currently firing.
+    pub fn driver<T: DriverLogic>(&self, id: DriverId) -> &T {
+        self.drivers[id.0 as usize]
+            .as_deref()
+            .expect("driver is currently firing")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("driver type mismatch")
+    }
+
+    /// Mutable access to an installed driver's state (see [`Sim::driver`]).
+    pub fn driver_mut<T: DriverLogic>(&mut self, id: DriverId) -> &mut T {
+        self.drivers[id.0 as usize]
+            .as_deref_mut()
+            .expect("driver is currently firing")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("driver type mismatch")
     }
 
     /// Enables event tracing with a buffer of up to `limit` events (use
@@ -168,6 +391,12 @@ impl Sim {
         &self.topo
     }
 
+    /// The topology as a shareable handle (cheap to clone; used by
+    /// measurement layers that keep a structural reference).
+    pub fn topology_shared(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
+    }
+
     /// Run statistics so far.
     pub fn stats(&self) -> SimStats {
         self.stats
@@ -183,12 +412,14 @@ impl Sim {
     /// Schedules `f` to run at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
         let at = at.max(self.time);
+        self.user_events += 1;
         self.push(at, EventKind::User(Box::new(f)));
     }
 
     /// Schedules `f` to run `delay_secs` from now.
     pub fn schedule_in(&mut self, delay_secs: f64, f: impl FnOnce(&mut Sim) + 'static) {
         let at = self.time.after_secs_f64(delay_secs);
+        self.user_events += 1;
         self.push(at, EventKind::User(Box::new(f)));
     }
 
@@ -234,6 +465,21 @@ impl Sim {
         host.settle(now);
         host.add_task(id, work);
         self.task_done.insert(id, Box::new(on_done));
+        self.reschedule_host(node);
+        self.trace(|at| TraceEvent::TaskStarted { at, node, id, work });
+        id
+    }
+
+    /// Starts a *detached* CPU task: like [`Sim::start_compute`] but with
+    /// no completion callback, so it leaves no closure behind and keeps
+    /// the simulator forkable. Background load generators use this.
+    pub fn start_compute_detached(&mut self, node: NodeId, work: f64) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let now = self.time;
+        let host = self.host_mut(node);
+        host.settle(now);
+        host.add_task(id, work);
         self.reschedule_host(node);
         self.trace(|at| TraceEvent::TaskStarted { at, node, id, work });
         id
@@ -310,6 +556,35 @@ impl Sim {
         id
     }
 
+    /// Starts a *detached* bulk transfer: like [`Sim::start_transfer`] but
+    /// with no completion callback — the flow drains, frees its bandwidth
+    /// and counts toward [`SimStats::completed_flows`], leaving no closure
+    /// behind so the simulator stays forkable. Background traffic
+    /// generators use this.
+    pub fn start_transfer_detached(&mut self, src: NodeId, dst: NodeId, bits: f64) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        if src == dst {
+            self.stats.completed_flows += 1;
+            return id;
+        }
+        let path = self
+            .routes
+            .resolve(&self.topo, src, dst)
+            .expect("transfer endpoints must be connected");
+        self.flows.settle(self.time);
+        self.flows.add_flow(id, &path, bits);
+        self.reschedule_net();
+        self.trace(|at| TraceEvent::FlowStarted {
+            at,
+            id,
+            src,
+            dst,
+            bits,
+        });
+        id
+    }
+
     /// Cancels a live flow, dropping its callback. Returns true when live.
     pub fn cancel_transfer(&mut self, id: FlowId) -> bool {
         self.flows.settle(self.time);
@@ -373,7 +648,7 @@ impl Sim {
     /// oracle" measurement; `nodesel-remos` layers realistic sampling on
     /// top.
     pub fn oracle_snapshot(&self) -> Topology {
-        let mut t = self.topo.clone();
+        let mut t = (*self.topo).clone();
         let computes: Vec<NodeId> = t.compute_nodes().collect();
         for n in computes {
             t.set_load_avg(n, self.load_avg(n));
@@ -398,7 +673,10 @@ impl Sim {
         self.time = ev.at;
         self.stats.events += 1;
         match ev.kind {
-            EventKind::User(f) => f(self),
+            EventKind::User(f) => {
+                self.user_events -= 1;
+                f(self);
+            }
             EventKind::HostWake { host, generation } => {
                 if generation == self.host_generation[host] {
                     self.on_host_wake(host);
@@ -408,6 +686,16 @@ impl Sim {
                 if generation == self.net_generation {
                     self.on_net_wake();
                 }
+            }
+            EventKind::Driver { slot } => {
+                // The slot is vacated while firing so the driver can take
+                // `&mut Sim` without aliasing itself; `Sim::fork` and the
+                // accessors treat a vacant slot as an error.
+                let mut d = self.drivers[slot as usize]
+                    .take()
+                    .expect("driver fired reentrantly");
+                d.fire_obj(self, DriverId(slot));
+                self.drivers[slot as usize] = Some(d);
             }
         }
         true
@@ -687,6 +975,154 @@ mod tests {
             run(crate::flows::FlowEngine::Incremental),
             run(crate::flows::FlowEngine::Reference)
         );
+    }
+
+    /// Poisson-ish background load/traffic driver used by the fork tests:
+    /// alternates a detached compute task and a detached transfer on a
+    /// deterministic pseudo-random schedule derived from its own counter.
+    #[derive(Clone)]
+    struct Churn {
+        nodes: Vec<NodeId>,
+        state: u64,
+        fired: u64,
+    }
+
+    impl Churn {
+        fn next(&mut self) -> u64 {
+            // SplitMix64 step: cloneable, deterministic.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl DriverLogic for Churn {
+        fn fire(&mut self, sim: &mut Sim, me: DriverId) {
+            self.fired += 1;
+            let r = self.next();
+            let a = self.nodes[(r as usize) % self.nodes.len()];
+            let b = self.nodes[((r >> 16) as usize) % self.nodes.len()];
+            if r & 1 == 0 {
+                sim.start_compute_detached(a, 0.1 + (r % 97) as f64 / 50.0);
+            } else if a != b {
+                sim.start_transfer_detached(a, b, 1.0 * MBPS * (1 + r % 13) as f64);
+            }
+            let gap = 0.05 + (r % 31) as f64 / 40.0;
+            sim.schedule_driver_in(gap, me);
+        }
+    }
+
+    fn churn_sim(seed: u64) -> Sim {
+        let (topo, ids) = star(5, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let d = sim.install_driver(Churn {
+            nodes: ids,
+            state: seed,
+            fired: 0,
+        });
+        sim.schedule_driver_in(0.0, d);
+        sim
+    }
+
+    #[test]
+    fn forked_continuation_is_bit_identical() {
+        let mut warm = churn_sim(42);
+        warm.enable_trace(usize::MAX);
+        warm.run_for(200.0);
+        assert!(warm.can_fork());
+
+        let run_on = |mut s: Sim| {
+            s.run_for(300.0);
+            (s.now(), s.stats(), s.take_trace().0)
+        };
+        let fork = warm.fork();
+        let forked = run_on(fork);
+        let straight = run_on(warm);
+        assert_eq!(forked.0, straight.0);
+        assert_eq!(forked.1, straight.1);
+        assert_eq!(forked.2, straight.2);
+        assert!(forked.1.events > 1000, "churn driver barely ran");
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut warm = churn_sim(7);
+        warm.run_for(50.0);
+        let mut a = warm.fork();
+        let mut b = warm.fork();
+        // Divergent injected work must not leak between forks.
+        let (n0, n1) = {
+            let d = warm.driver::<Churn>(DriverId(0));
+            (d.nodes[0], d.nodes[1])
+        };
+        a.start_compute_detached(n0, 1e6);
+        a.run_for(100.0);
+        b.run_for(100.0);
+        warm.run_for(100.0);
+        assert_eq!(b.stats(), warm.stats());
+        assert!(a.load_avg(n0) > 0.9);
+        assert!(b.load_avg(n0) < 0.9);
+        assert!(a.run_queue(n1) == b.run_queue(n1) || a.stats() != b.stats());
+    }
+
+    #[test]
+    fn driver_state_is_queryable_and_forked() {
+        let mut warm = churn_sim(3);
+        warm.run_for(100.0);
+        let fired = warm.driver::<Churn>(DriverId(0)).fired;
+        assert!(fired > 100);
+        let mut f = warm.fork();
+        assert_eq!(f.driver::<Churn>(DriverId(0)).fired, fired);
+        f.run_for(10.0);
+        assert!(f.driver::<Churn>(DriverId(0)).fired > fired);
+        // The original's driver state is untouched by the fork's progress.
+        assert_eq!(warm.driver::<Churn>(DriverId(0)).fired, fired);
+        // driver_mut reaches the same state.
+        warm.driver_mut::<Churn>(DriverId(0)).fired = 0;
+        assert_eq!(warm.driver::<Churn>(DriverId(0)).fired, 0);
+    }
+
+    #[test]
+    fn can_fork_tracks_pending_closures() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        assert!(sim.can_fork());
+        sim.schedule_in(1.0, |_| {});
+        assert!(!sim.can_fork());
+        sim.run();
+        assert!(sim.can_fork());
+        sim.start_compute(ids[0], 1.0, |_| {});
+        assert!(!sim.can_fork());
+        sim.run();
+        assert!(sim.can_fork());
+        sim.start_transfer(ids[0], ids[1], 1.0 * MBPS, |_| {});
+        assert!(!sim.can_fork());
+        sim.run();
+        assert!(sim.can_fork());
+        // Detached work keeps the simulator forkable.
+        sim.start_compute_detached(ids[0], 5.0);
+        sim.start_transfer_detached(ids[0], ids[1], 1e9);
+        assert!(sim.can_fork());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending user closure")]
+    fn fork_panics_with_pending_closure() {
+        let (topo, _) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.schedule_in(1.0, |_| {});
+        let _ = sim.fork();
+    }
+
+    #[test]
+    fn detached_transfer_to_self_counts_and_schedules_nothing() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        sim.start_transfer_detached(ids[0], ids[0], 1e9);
+        assert_eq!(sim.stats().completed_flows, 1);
+        assert!(!sim.step());
     }
 
     #[test]

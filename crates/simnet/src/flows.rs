@@ -153,7 +153,7 @@ fn predict_finish(anchor: SimTime, remaining: f64, rate: f64) -> SimTime {
 
 /// Persistent working memory for reallocation (cluster discovery + CSR
 /// sub-problem). After warm-up, flow events allocate nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ReallocScratch {
     /// Slab indices of the flows being re-solved.
     members: Vec<u32>,
@@ -173,8 +173,10 @@ struct ReallocScratch {
     maxmin: MaxMinScratch,
 }
 
-/// All live flows plus the derived per-link state.
-#[derive(Debug)]
+/// All live flows plus the derived per-link state. `Clone` is the deep
+/// copy behind [`crate::Sim::fork`]: slab, heap, per-slot counters and
+/// scratch all duplicate bit-exactly.
+#[derive(Debug, Clone)]
 pub struct FlowTable {
     engine: FlowEngine,
     /// Flow slab; freed entries are recycled via `free`.

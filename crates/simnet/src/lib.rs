@@ -21,7 +21,12 @@
 //!   paper-style full recompute kept as a selectable reference oracle
 //!   ([`FlowEngine`]).
 //! * **A deterministic event engine** ([`Sim`]): integer-nanosecond clock,
-//!   stable tie-breaking, closure-based events. Identical inputs give
+//!   stable tie-breaking. One-off actions are closure events; recurring
+//!   processes (generators, collectors) are cloneable [`DriverLogic`]
+//!   state machines living *inside* the simulator, so a warmed-up run with
+//!   no closure pending can be [forked][Sim::fork] into independent
+//!   bit-identical continuations — the mechanism behind shared-warmup
+//!   paired trials in `nodesel-experiments`. Identical inputs give
 //!   identical traces on every platform.
 //!
 //! # Example
@@ -53,7 +58,7 @@ mod host;
 pub mod time;
 mod trace;
 
-pub use engine::{Callback, Sim, SimStats, DEFAULT_LOAD_AVG_TAU};
+pub use engine::{Callback, DriverId, DriverLogic, Sim, SimStats, DEFAULT_LOAD_AVG_TAU};
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
 pub use host::{Host, TaskId};
 pub use time::SimTime;

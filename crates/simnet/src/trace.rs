@@ -87,7 +87,7 @@ impl TraceEvent {
 }
 
 /// A bounded trace buffer (unbounded when `limit == usize::MAX`).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Tracer {
     events: Vec<TraceEvent>,
     limit: usize,

@@ -55,7 +55,7 @@ pub fn max_min_allocate(capacity: &[f64], flow_slots: &[Vec<usize>]) -> Vec<f64>
 /// sub-problem (e.g. one sharing cluster of a flow table) touches only the
 /// slots its flows cross — never the full capacity vector. After warm-up
 /// no call allocates.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MaxMinScratch {
     /// Residual capacity per slot (valid where `stamp == epoch`).
     remaining: Vec<f64>,

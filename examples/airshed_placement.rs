@@ -6,9 +6,10 @@
 //! Run with: `cargo run --release -p nodesel-experiments --example airshed_placement`
 
 use nodesel_apps::{airshed::airshed, AppModel};
-use nodesel_experiments::{run_trial, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
 
 fn main() {
+    let testbed = Testbed::cmu();
     let app = AppModel::Phased(airshed());
     let config = TrialConfig::default();
     let seed = 2024;
@@ -16,21 +17,45 @@ fn main() {
     println!("Airshed (6-hour simulation) on 5 nodes of the simulated CMU testbed");
     println!("background: Harchol-Balter load + Poisson/LogNormal traffic (seed {seed})\n");
 
-    let reference = run_trial(&app, 5, Strategy::Random, Condition::None, &config, seed);
+    let reference = run_trial(
+        &testbed,
+        &app,
+        5,
+        Strategy::Random,
+        Condition::None,
+        &config,
+        seed,
+    );
     println!(
         "unloaded reference : {:>7.1} s  on [{}]",
         reference.elapsed,
         reference.nodes.join(", ")
     );
 
-    let random = run_trial(&app, 5, Strategy::Random, Condition::Both, &config, seed);
+    let random = run_trial(
+        &testbed,
+        &app,
+        5,
+        Strategy::Random,
+        Condition::Both,
+        &config,
+        seed,
+    );
     println!(
         "random placement   : {:>7.1} s  on [{}]",
         random.elapsed,
         random.nodes.join(", ")
     );
 
-    let auto = run_trial(&app, 5, Strategy::Automatic, Condition::Both, &config, seed);
+    let auto = run_trial(
+        &testbed,
+        &app,
+        5,
+        Strategy::Automatic,
+        Condition::Both,
+        &config,
+        seed,
+    );
     println!(
         "automatic placement: {:>7.1} s  on [{}]",
         auto.elapsed,

@@ -24,7 +24,7 @@ fn main() {
     }
     sim.start_transfer(tb.m(2), tb.m(12), 1e15, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
 
     // The server must run on m-7 (say, the only machine with the right
     // binaries); clients may only use the gibraltar pool m-7..m-16.

@@ -21,7 +21,7 @@ fn main() {
 
     // Initial placement on the idle testbed.
     let request = SelectionRequest::balanced(4);
-    let initial = select(&remos.logical_topology(Estimator::Latest), &request).unwrap();
+    let initial = select(&remos.logical_topology(&sim, Estimator::Latest), &request).unwrap();
     let name = |n| tb.topo.node(n).name().to_string();
     let placed: Vec<String> = initial.nodes.iter().map(|&n| name(n)).collect();
     println!("initial placement: {placed:?} (score {:.2})", initial.score);
@@ -44,7 +44,7 @@ fn main() {
                 }
             }
         }
-        let snapshot = remos.logical_topology(Estimator::Latest);
+        let snapshot = remos.logical_topology(&sim, Estimator::Latest);
         let advice = advise(&snapshot, &initial.nodes, &own, &request, 0.25).unwrap();
         let vacated: Vec<String> = advice
             .vacated(&initial.nodes)

@@ -22,7 +22,7 @@ fn main() {
     }
     sim.start_transfer(tb.m(9), tb.m(17), 1e15, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     let names = |nodes: &[nodesel_topology::NodeId]| {
         nodes
             .iter()

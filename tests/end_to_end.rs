@@ -3,7 +3,7 @@
 //! reproduces the paper's qualitative claims on a reduced workload.
 
 use nodesel_apps::{fft::fft_program, mri::mri_program, AppModel};
-use nodesel_experiments::{mean, run_trials, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{mean, run_trials, Condition, Strategy, Testbed, TrialConfig};
 
 fn small_fft() -> AppModel {
     AppModel::Phased(fft_program(16))
@@ -15,9 +15,11 @@ fn small_mri() -> AppModel {
 
 #[test]
 fn generators_slow_applications_down() {
+    let tb = Testbed::cmu();
     let cfg = TrialConfig::default();
     let app = small_fft();
     let reference = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Random,
@@ -27,6 +29,7 @@ fn generators_slow_applications_down() {
         6,
     ));
     let both = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Random,
@@ -45,10 +48,12 @@ fn generators_slow_applications_down() {
 fn automatic_selection_recovers_most_of_the_increase() {
     // The paper's headline: the load/traffic-induced increase is roughly
     // halved (or better) by automatic selection.
+    let tb = Testbed::cmu();
     let cfg = TrialConfig::default();
     let app = small_fft();
     let reps = 10;
     let reference = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Random,
@@ -58,6 +63,7 @@ fn automatic_selection_recovers_most_of_the_increase() {
         reps,
     ));
     let random = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Random,
@@ -67,6 +73,7 @@ fn automatic_selection_recovers_most_of_the_increase() {
         reps,
     ));
     let auto = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Automatic,
@@ -87,11 +94,13 @@ fn automatic_selection_recovers_most_of_the_increase() {
 fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
     // Table 1's structural contrast: relative increase under load+traffic
     // is far smaller for the adaptive MRI than for the barrier-style FFT.
+    let tb = Testbed::cmu();
     let cfg = TrialConfig::default();
     let reps = 8;
     let fft = small_fft();
     let mri = small_mri();
     let fft_ref = mean(&run_trials(
+        &tb,
         &fft,
         4,
         Strategy::Random,
@@ -101,6 +110,7 @@ fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
         reps,
     ));
     let fft_both = mean(&run_trials(
+        &tb,
         &fft,
         4,
         Strategy::Random,
@@ -110,6 +120,7 @@ fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
         reps,
     ));
     let mri_ref = mean(&run_trials(
+        &tb,
         &mri,
         4,
         Strategy::Random,
@@ -119,6 +130,7 @@ fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
         reps,
     ));
     let mri_both = mean(&run_trials(
+        &tb,
         &mri,
         4,
         Strategy::Random,
@@ -139,10 +151,12 @@ fn master_slave_degrades_more_gracefully_than_loosely_synchronous() {
 fn oracle_is_at_least_as_good_as_measured_automatic() {
     // Ground-truth selection can only help (on average); this pins the
     // measurement layer's staleness as the gap.
+    let tb = Testbed::cmu();
     let cfg = TrialConfig::default();
     let app = small_fft();
     let reps = 10;
     let auto = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Automatic,
@@ -152,6 +166,7 @@ fn oracle_is_at_least_as_good_as_measured_automatic() {
         reps,
     ));
     let oracle = mean(&run_trials(
+        &tb,
         &app,
         4,
         Strategy::Oracle,

@@ -2,16 +2,17 @@
 //! measurement, selection, application — is a pure function of its seed.
 
 use nodesel_apps::{fft::fft_program, AppModel};
-use nodesel_experiments::{run_trial, run_trials, Condition, Strategy, TrialConfig};
+use nodesel_experiments::{run_trial, run_trials, Condition, Strategy, Testbed, TrialConfig};
 
 #[test]
 fn identical_seeds_give_identical_trials() {
+    let tb = Testbed::cmu();
     let app = AppModel::Phased(fft_program(8));
     let cfg = TrialConfig::default();
     for strategy in [Strategy::Random, Strategy::Automatic, Strategy::Oracle] {
         for condition in [Condition::Load, Condition::Traffic, Condition::Both] {
-            let a = run_trial(&app, 4, strategy, condition, &cfg, 1234);
-            let b = run_trial(&app, 4, strategy, condition, &cfg, 1234);
+            let a = run_trial(&tb, &app, 4, strategy, condition, &cfg, 1234);
+            let b = run_trial(&tb, &app, 4, strategy, condition, &cfg, 1234);
             assert_eq!(a.elapsed, b.elapsed, "{strategy:?}/{condition:?}");
             assert_eq!(a.nodes, b.nodes, "{strategy:?}/{condition:?}");
         }
@@ -20,10 +21,11 @@ fn identical_seeds_give_identical_trials() {
 
 #[test]
 fn different_seeds_differ() {
+    let tb = Testbed::cmu();
     let app = AppModel::Phased(fft_program(8));
     let cfg = TrialConfig::default();
-    let a = run_trial(&app, 4, Strategy::Random, Condition::Both, &cfg, 1);
-    let b = run_trial(&app, 4, Strategy::Random, Condition::Both, &cfg, 2);
+    let a = run_trial(&tb, &app, 4, Strategy::Random, Condition::Both, &cfg, 1);
+    let b = run_trial(&tb, &app, 4, Strategy::Random, Condition::Both, &cfg, 2);
     assert!(a.elapsed != b.elapsed || a.nodes != b.nodes);
 }
 
@@ -31,9 +33,28 @@ fn different_seeds_differ() {
 fn parallel_fanout_matches_itself() {
     // run_trials spreads repetitions across threads; the result must be
     // independent of the thread schedule.
+    let tb = Testbed::cmu();
     let app = AppModel::Phased(fft_program(4));
     let cfg = TrialConfig::default();
-    let a = run_trials(&app, 4, Strategy::Automatic, Condition::Both, &cfg, 9, 8);
-    let b = run_trials(&app, 4, Strategy::Automatic, Condition::Both, &cfg, 9, 8);
+    let a = run_trials(
+        &tb,
+        &app,
+        4,
+        Strategy::Automatic,
+        Condition::Both,
+        &cfg,
+        9,
+        8,
+    );
+    let b = run_trials(
+        &tb,
+        &app,
+        4,
+        Strategy::Automatic,
+        Condition::Both,
+        &cfg,
+        9,
+        8,
+    );
     assert_eq!(a, b);
 }

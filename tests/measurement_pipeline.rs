@@ -18,7 +18,7 @@ fn measured_topology_tracks_oracle_under_generators() {
     install_traffic(&mut sim, &machines, TrafficConfig::paper_defaults(), 43);
     sim.run_for(1_500.0);
 
-    let measured = remos.logical_topology(Estimator::Latest);
+    let measured = remos.logical_topology(&sim, Estimator::Latest);
     let oracle = sim.oracle_snapshot();
 
     // Load averages: within an absolute band (the collector samples the
@@ -63,7 +63,7 @@ fn longer_periods_mean_staler_views() {
         }
         sim.run_for(30.0);
         remos
-            .logical_topology(Estimator::Latest)
+            .logical_topology(&sim, Estimator::Latest)
             .node(tb.m(1))
             .load_avg()
     };
@@ -85,8 +85,8 @@ fn window_mean_smooths_but_lags() {
         sim.start_compute(tb.m(5), 1e9, |_| {});
     }
     sim.run_for(45.0);
-    let latest = remos.logical_topology(Estimator::Latest);
-    let meaned = remos.logical_topology(Estimator::WindowMean);
+    let latest = remos.logical_topology(&sim, Estimator::Latest);
+    let meaned = remos.logical_topology(&sim, Estimator::WindowMean);
     // Both see load, but the windowed view lags the step change.
     assert!(latest.node(tb.m(5)).load_avg() > meaned.node(tb.m(5)).load_avg());
     assert!(meaned.node(tb.m(5)).load_avg() > 0.0);
@@ -102,6 +102,7 @@ fn flow_queries_account_for_background_traffic() {
     sim.run_for(60.0);
     let infos = remos
         .flow_query(
+            &sim,
             &[(tb.m(2), tb.m(9)), (tb.m(9), tb.m(10))],
             Estimator::Latest,
         )

@@ -20,7 +20,7 @@ fn own_footprint_does_not_trigger_migration() {
     sim.run_for(600.0);
     // The measured topology shows load ≈ 1.0 on our nodes — all of it
     // ours. After discounting, there is nothing to flee from.
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     assert!(snapshot.node(tb.m(1)).load_avg() > 0.9);
     let advice = advise(
         &snapshot,
@@ -49,7 +49,7 @@ fn competing_load_triggers_migration_to_quiet_nodes() {
         sim.start_compute(tb.m(2), 1e9, |_| {});
     }
     sim.run_for(600.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     let advice = advise(
         &snapshot,
         &placed,

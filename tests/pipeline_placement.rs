@@ -51,7 +51,7 @@ fn spec_placed_pipeline_avoids_the_congested_trunk() {
         sim.start_transfer(tb.m(10 + i), tb.m(4 + i), 1e15, |_| {});
     }
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
 
     let spec = AppSpec {
         comm_fraction: 0.7,

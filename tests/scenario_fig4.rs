@@ -32,7 +32,7 @@ fn selection_avoids_streams_everywhere() {
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         sim.start_transfer(tb.m(src), tb.m(dst), 1e15, |_| {});
         sim.run_for(60.0);
-        let snapshot = remos.logical_topology(Estimator::Latest);
+        let snapshot = remos.logical_topology(&sim, Estimator::Latest);
         let sel = balanced(
             &snapshot,
             4,
@@ -65,7 +65,7 @@ fn oversized_requests_still_succeed() {
     let remos = Remos::install(&mut sim, CollectorConfig::default());
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(Estimator::Latest);
+    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
     let sel = balanced(
         &snapshot,
         17,
