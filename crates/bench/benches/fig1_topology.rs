@@ -18,13 +18,14 @@ fn bench_fig1(c: &mut Criterion) {
     sim.start_transfer(hosts[0], hosts[2], 1e15, |_| {});
     sim.start_compute(hosts[3], 1e9, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     eprintln!("\n=== Figure 1: Remos logical topology ===");
     eprintln!("{}", to_dot(&snapshot, &[]));
 
     let mut group = c.benchmark_group("fig1");
-    group.bench_function("logical_topology", |b| {
-        b.iter(|| black_box(remos.logical_topology(&sim, Estimator::Latest)))
+    group.bench_function("snapshot", |b| b.iter(|| black_box(remos.snapshot(&sim))));
+    group.bench_function("snapshot_to_topology", |b| {
+        b.iter(|| black_box(remos.snapshot(&sim).to_topology()))
     });
     group.bench_function("flow_query_all_pairs", |b| {
         let pairs: Vec<_> = hosts

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
 use nodesel_experiments::run_fig4_scenario;
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 use std::hint::black_box;
@@ -29,7 +29,7 @@ fn bench_fig4(c: &mut Criterion) {
     let remos = Remos::install(&mut sim, CollectorConfig::default());
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     group.bench_function("selection_on_testbed", |b| {
         b.iter(|| {
             black_box(

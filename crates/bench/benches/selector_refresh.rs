@@ -1,0 +1,175 @@
+//! Incremental re-selection vs. fresh solves: the snapshot/epoch seam's
+//! speedup bench.
+//!
+//! A persistent [`Selector`](nodesel_core::Selector) primed on one epoch
+//! answers the next epoch from the delta alone; the fresh path pays for
+//! materializing the snapshot into an owned `Topology` plus a full
+//! greedy solve. Measured across topology sizes for a small delta (a few
+//! node loads moved — the steady-state case a resident placement service
+//! sees) and a large one (half the nodes and links moved — which forces
+//! the bandwidth-aware selectors back to a full re-solve). Parity is
+//! asserted before anything is timed, a speedup table is printed, and a
+//! machine-readable `BENCH_core.json` is written to the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nodesel_bench::conditioned_tree;
+use nodesel_core::{select, selector_for, SelectionRequest};
+use nodesel_topology::{Direction, NetDelta, NetMetrics, NetSnapshot};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [50, 200, 1000];
+
+/// A churn step: `small` moves a handful of node loads (the steady-state
+/// delta); otherwise half the node loads and half the directed links move.
+fn churn_delta(snap: &NetSnapshot, small: bool) -> NetDelta {
+    let topo = snap.structure();
+    let mut delta = NetDelta::default();
+    let computes: Vec<_> = topo.compute_nodes().collect();
+    let touched = if small {
+        5.min(computes.len())
+    } else {
+        computes.len() / 2
+    };
+    for &n in computes.iter().take(touched) {
+        delta.nodes.push((n, snap.load_avg(n) * 0.9 + 0.05));
+    }
+    if !small {
+        for e in topo.edge_ids().take(topo.link_count() / 2) {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                delta.links.push((e, dir, snap.used(e, dir) * 0.9));
+            }
+        }
+    }
+    delta
+}
+
+fn requests() -> Vec<(&'static str, SelectionRequest)> {
+    vec![
+        ("compute", SelectionRequest::compute(6)),
+        ("balanced", SelectionRequest::balanced(6)),
+    ]
+}
+
+/// Median wall time of one call, in seconds.
+fn time_one(mut f: impl FnMut(), iters: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn emit_summary() {
+    eprintln!("\n=== incremental refresh vs fresh solve (median of 5) ===");
+    eprintln!(
+        "{:<10} {:>6} {:>7} {:>12} {:>12} {:>9}",
+        "objective", "nodes", "delta", "fresh (s)", "refresh (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for nodes in SIZES {
+        let (topo, _) = conditioned_tree(7, nodes);
+        let base = NetSnapshot::capture(Arc::new(topo));
+        for (name, request) in requests() {
+            for (kind, small) in [("small", true), ("large", false)] {
+                let delta = churn_delta(&base, small);
+                let next = base.apply(&delta);
+                let mut selector = selector_for(request.objective);
+                selector.select(&base, &request).expect("solvable");
+                // The speedup is only worth reporting on a parity-checked
+                // result.
+                assert_eq!(
+                    selector.refresh(&next, &delta),
+                    select(&next.to_topology(), &request),
+                    "{name} n={nodes} {kind}"
+                );
+                let fresh = time_one(
+                    || {
+                        black_box(select(&next.to_topology(), &request)).ok();
+                    },
+                    5,
+                );
+                let refresh = time_one(
+                    || {
+                        black_box(selector.refresh(&next, &delta)).ok();
+                    },
+                    5,
+                );
+                eprintln!(
+                    "{name:<10} {nodes:>6} {kind:>7} {fresh:>12.6} {refresh:>12.6} {:>8.1}x",
+                    fresh / refresh
+                );
+                rows.push(serde_json::json!({
+                    "objective": name,
+                    "nodes": nodes,
+                    "delta": kind,
+                    "fresh_secs": fresh,
+                    "refresh_secs": refresh,
+                    "speedup": fresh / refresh,
+                }));
+            }
+        }
+    }
+    let summary = serde_json::json!({
+        "bench": "selector_refresh",
+        "sizes": SIZES,
+        "results": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+    match std::fs::write(path, format!("{:#}\n", summary)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    emit_summary();
+
+    for (name, request) in requests() {
+        let mut group = c.benchmark_group(format!("selector_refresh/{name}"));
+        for nodes in SIZES {
+            let (topo, _) = conditioned_tree(7, nodes);
+            let base = NetSnapshot::capture(Arc::new(topo));
+            if nodes >= 1000 {
+                group.sample_size(20);
+            }
+            group.bench_with_input(BenchmarkId::new("fresh", nodes), &nodes, |b, _| {
+                b.iter(|| black_box(select(&base.to_topology(), &request)).ok())
+            });
+            for (kind, small) in [("refresh_small", true), ("refresh_large", false)] {
+                let delta = churn_delta(&base, small);
+                let next = base.apply(&delta);
+                let mut selector = selector_for(request.objective);
+                selector.select(&base, &request).expect("solvable");
+                group.bench_with_input(BenchmarkId::new(kind, nodes), &nodes, |b, _| {
+                    b.iter(|| black_box(selector.refresh(&next, &delta)).ok())
+                });
+            }
+        }
+        group.finish();
+    }
+
+    // The objective-agnostic parts of the seam on their own: delta
+    // application (structural sharing) vs full materialization.
+    let mut group = c.benchmark_group("selector_refresh/snapshot");
+    for nodes in SIZES {
+        let (topo, _) = conditioned_tree(7, nodes);
+        let base = NetSnapshot::capture(Arc::new(topo));
+        let small = churn_delta(&base, true);
+        group.bench_with_input(BenchmarkId::new("apply_small", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(base.apply(&small)))
+        });
+        group.bench_with_input(BenchmarkId::new("to_topology", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(base.to_topology()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

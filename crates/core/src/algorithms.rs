@@ -43,11 +43,13 @@
 //! assert byte-identical [`Selection`]s; the property tests in
 //! `tests/fastpath_parity.rs` do the same over random topologies.
 
-use crate::quality::{evaluate, Quality};
+use crate::quality::{evaluate_in, Quality};
 use crate::request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 use crate::weights::Weights;
 use crate::SelectError;
-use nodesel_topology::{Component, EdgeId, GraphView, NodeId, Routes, Topology, UnionFind};
+use nodesel_topology::{
+    Component, EdgeId, GraphView, NetMetrics, NodeId, RouteTable, Topology, UnionFind,
+};
 
 /// The result of a selection.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,22 +65,100 @@ pub struct Selection {
     pub iterations: usize,
 }
 
-/// Shared validated state for one selection run.
-struct Context<'a> {
-    topo: &'a Topology,
+/// One component of a [`max_compute`] run, as replayed by
+/// [`crate::selector::MaxComputeSelector`]: everything but the node
+/// metrics is static between epochs that share a structure.
+#[derive(Debug, Clone)]
+pub(crate) struct ComputeComp {
+    /// Eligible compute members, ascending.
+    pub(crate) computes: Vec<NodeId>,
+    /// Whether `pick_from` succeeded here at prime time. With an empty
+    /// `required` set and no CPU floor this is `computes.len() >= m`,
+    /// which node-metric churn cannot change.
+    pub(crate) viable: bool,
+    /// Minimum effective CPU of the prime-time pick (`-∞` when not
+    /// viable); the selector re-derives it per epoch.
+    pub(crate) min_cpu: f64,
+}
+
+/// Replayable structure of one [`max_compute`] run: the candidate
+/// components in [`GraphView::components`] order.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ComputeHistory {
+    pub(crate) comps: Vec<ComputeComp>,
+}
+
+/// Replayable outcome of one [`max_bandwidth`] run. The stop component —
+/// the last deletion-loop state that still hosts the application — is
+/// determined by edge order and eligibility alone, so node-metric churn
+/// only re-ranks nodes *within* it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BandwidthHistory {
+    /// Eligible compute members of the stop component, ascending.
+    pub(crate) computes: Vec<NodeId>,
+    /// Deletion rounds the reference loop would have executed.
+    pub(crate) iterations: usize,
+    /// Whether any component could host the application.
+    pub(crate) satisfiable: bool,
+}
+
+/// One component lifetime inside a [`balanced`] deletion run: a fixed
+/// membership over a contiguous round interval, with the component's
+/// minimum fractional bandwidth stepping through `events` as its own
+/// edges are deleted. Under node-metric-only churn the whole deletion
+/// history — memberships, events, round numbers — is invariant; only the
+/// CPU term of each state's score moves.
+#[derive(Debug, Clone)]
+pub(crate) struct HistState {
+    /// Eligible compute members, ascending.
+    pub(crate) computes: Vec<NodeId>,
+    /// Smallest member id (compute or network): the reference loop's
+    /// within-round tie-breaker.
+    pub(crate) first_node: NodeId,
+    /// Whether this state can host the application (static, as above).
+    pub(crate) viable: bool,
+    /// Minimum effective CPU of the prime-time pick (`-∞` when not
+    /// viable); the selector re-derives it per epoch.
+    pub(crate) min_cpu: f64,
+    /// `(first round in effect, min fractional bandwidth)` steps,
+    /// chronological; the first entry is the state's birth round.
+    pub(crate) events: Vec<(usize, f64)>,
+    /// Last round this state was evaluated in (its split round, or the
+    /// final round of the run).
+    pub(crate) last_round: usize,
+}
+
+/// Replayable structure of one [`balanced`] run under
+/// [`GreedyPolicy::Sweep`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BalancedHistory {
+    pub(crate) states: Vec<HistState>,
+    pub(crate) iterations: usize,
+    pub(crate) satisfiable: bool,
+}
+
+/// Shared validated state for one selection run, generic over the metric
+/// representation: the annotated [`Topology`] for the classic one-shot
+/// path, or a versioned [`nodesel_topology::NetSnapshot`] for the
+/// incremental [`crate::selector`] engines. Both instantiate the same
+/// monomorphic arithmetic (see [`NetMetrics`]), so results are
+/// byte-identical across representations by construction.
+pub(crate) struct Context<'a, T: NetMetrics> {
+    net: &'a T,
     m: usize,
     required: Vec<NodeId>,
     eligible: Vec<bool>,
     reference_bw: Option<f64>,
 }
 
-impl<'a> Context<'a> {
-    fn new(
-        topo: &'a Topology,
+impl<'a, T: NetMetrics> Context<'a, T> {
+    pub(crate) fn new(
+        net: &'a T,
         m: usize,
         constraints: &Constraints,
         reference_bw: Option<f64>,
     ) -> Result<Self, SelectError> {
+        let topo = net.structure();
         if m == 0 {
             return Err(SelectError::ZeroCount);
         }
@@ -96,7 +176,7 @@ impl<'a> Context<'a> {
                 .is_none_or(|set| set.contains(&n));
             let ok_cpu = constraints
                 .min_cpu
-                .is_none_or(|c| topo.node(n).effective_cpu() >= c);
+                .is_none_or(|c| net.effective_cpu(n) >= c);
             eligible[n.index()] = ok_allowed && ok_cpu;
         }
         for &r in &constraints.required {
@@ -116,7 +196,7 @@ impl<'a> Context<'a> {
         required.sort_unstable();
         required.dedup();
         Ok(Context {
-            topo,
+            net,
             m,
             required,
             eligible,
@@ -127,11 +207,11 @@ impl<'a> Context<'a> {
     /// The starting view: the measured graph minus every edge that cannot
     /// satisfy an absolute bandwidth floor (§3.3 fixed requirements).
     fn base_view(&self, constraints: &Constraints) -> GraphView<'a> {
-        let mut view = GraphView::new(self.topo);
+        let mut view = GraphView::new(self.net.structure());
         if let Some(floor) = constraints.min_bandwidth {
             let below: Vec<_> = view
                 .live_edges()
-                .filter(|&e| self.topo.link(e).bw() < floor)
+                .filter(|&e| self.net.bw(e) < floor)
                 .collect();
             for e in below {
                 view.remove_edge(e);
@@ -143,10 +223,9 @@ impl<'a> Context<'a> {
     /// Fractional availability of an edge: `bw/maxbw`, or `bw/reference`
     /// when a reference link is specified (§3.3 heterogeneous links).
     fn edge_fraction(&self, e: nodesel_topology::EdgeId) -> f64 {
-        let link = self.topo.link(e);
         match self.reference_bw {
-            Some(r) => link.bw() / r,
-            None => link.bwfactor(),
+            Some(r) => self.net.bw(e) / r,
+            None => self.net.bwfactor(e),
         }
     }
 
@@ -159,7 +238,7 @@ impl<'a> Context<'a> {
 
     /// [`Context::pick_from`] over raw (sorted) member lists, so the
     /// incremental engines can evaluate components they track themselves.
-    fn pick_from_parts(
+    pub(crate) fn pick_from_parts(
         &self,
         nodes: &[NodeId],
         compute_nodes: &[NodeId],
@@ -176,10 +255,9 @@ impl<'a> Context<'a> {
             return None;
         }
         candidates.sort_by(|&a, &b| {
-            self.topo
-                .node(b)
-                .effective_cpu()
-                .total_cmp(&self.topo.node(a).effective_cpu())
+            self.net
+                .effective_cpu(b)
+                .total_cmp(&self.net.effective_cpu(a))
                 .then(a.cmp(&b))
         });
         let mut chosen = self.required.clone();
@@ -194,7 +272,7 @@ impl<'a> Context<'a> {
         debug_assert_eq!(chosen.len(), self.m);
         let min_cpu = chosen
             .iter()
-            .map(|&n| self.topo.node(n).effective_cpu())
+            .map(|&n| self.net.effective_cpu(n))
             .fold(f64::INFINITY, f64::min);
         chosen.sort_unstable();
         Some((chosen, min_cpu))
@@ -208,11 +286,16 @@ impl<'a> Context<'a> {
             .count()
     }
 
-    fn finish(&self, nodes: Vec<NodeId>, weights: Weights, iterations: usize) -> Selection {
+    pub(crate) fn finish(
+        &self,
+        nodes: Vec<NodeId>,
+        weights: Weights,
+        iterations: usize,
+    ) -> Selection {
         // Quality only queries routes among the chosen nodes, so build just
         // those BFS rows instead of the all-pairs table.
-        let routes = Routes::for_sources(self.topo, nodes.iter().copied());
-        let quality = evaluate(self.topo, &routes, &nodes, self.reference_bw);
+        let table = RouteTable::build_for_sources(self.net.structure(), nodes.iter().copied());
+        let quality = evaluate_in(self.net, &table, &nodes, self.reference_bw);
         Selection {
             score: quality.score(weights),
             nodes,
@@ -230,11 +313,35 @@ pub fn max_compute(
     m: usize,
     constraints: &Constraints,
 ) -> Result<Selection, SelectError> {
-    let ctx = Context::new(topo, m, constraints, None)?;
+    max_compute_in(topo, m, constraints, None)
+}
+
+/// [`max_compute`] over any [`NetMetrics`] representation, optionally
+/// recording the component structure the incremental selector replays.
+pub(crate) fn max_compute_in<T: NetMetrics>(
+    net: &T,
+    m: usize,
+    constraints: &Constraints,
+    mut history: Option<&mut ComputeHistory>,
+) -> Result<Selection, SelectError> {
+    let ctx = Context::new(net, m, constraints, None)?;
     let view = ctx.base_view(constraints);
     let mut best: Option<(Vec<NodeId>, f64)> = None;
     for comp in view.components() {
-        if let Some((nodes, min_cpu)) = ctx.pick_from(&comp) {
+        let cand = ctx.pick_from(&comp);
+        if let Some(h) = history.as_deref_mut() {
+            h.comps.push(ComputeComp {
+                computes: comp
+                    .compute_nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| ctx.eligible[n.index()])
+                    .collect(),
+                viable: cand.is_some(),
+                min_cpu: cand.as_ref().map_or(f64::NEG_INFINITY, |(_, c)| *c),
+            });
+        }
+        if let Some((nodes, min_cpu)) = cand {
             match &best {
                 Some((_, b)) if *b >= min_cpu => {}
                 _ => best = Some((nodes, min_cpu)),
@@ -262,11 +369,26 @@ pub fn max_bandwidth(
     m: usize,
     constraints: &Constraints,
 ) -> Result<Selection, SelectError> {
-    let ctx = Context::new(topo, m, constraints, None)?;
+    max_bandwidth_in(topo, m, constraints, None)
+}
+
+/// [`max_bandwidth`] over any [`NetMetrics`] representation, optionally
+/// recording the stop component the incremental selector replays.
+pub(crate) fn max_bandwidth_in<T: NetMetrics>(
+    net: &T,
+    m: usize,
+    constraints: &Constraints,
+    history: Option<&mut BandwidthHistory>,
+) -> Result<Selection, SelectError> {
+    let ctx = Context::new(net, m, constraints, None)?;
     if !ctx.required.is_empty() {
+        debug_assert!(
+            history.is_none(),
+            "history recording requires an empty required set"
+        );
         return max_bandwidth_loop(&ctx, constraints);
     }
-    let fast = max_bandwidth_fast(&ctx, constraints);
+    let fast = max_bandwidth_fast(&ctx, constraints, history);
     #[cfg(debug_assertions)]
     debug_assert_eq!(
         fast,
@@ -288,8 +410,10 @@ pub fn max_bandwidth_reference(
     max_bandwidth_loop(&ctx, constraints)
 }
 
-fn max_bandwidth_loop(ctx: &Context, constraints: &Constraints) -> Result<Selection, SelectError> {
-    let topo = ctx.topo;
+fn max_bandwidth_loop<T: NetMetrics>(
+    ctx: &Context<T>,
+    constraints: &Constraints,
+) -> Result<Selection, SelectError> {
     let mut view = ctx.base_view(constraints);
     let mut current: Option<Vec<NodeId>> = None;
     let mut iterations = 0usize;
@@ -308,7 +432,7 @@ fn max_bandwidth_loop(ctx: &Context, constraints: &Constraints) -> Result<Select
             None => break,
         }
         // Step 2: remove the minimum-bandwidth edge.
-        match view.min_live_edge_by(|e| topo.link(e).bw()) {
+        match view.min_live_edge_by(|e| ctx.net.bw(e)) {
             Some(e) => view.remove_edge(e),
             None => break,
         }
@@ -323,18 +447,17 @@ fn max_bandwidth_loop(ctx: &Context, constraints: &Constraints) -> Result<Select
 /// (deleting edges in ascending order and adding them in descending order
 /// walk the same chain of graphs), so the returned `Selection` — including
 /// its `iterations` count — is byte-identical to the reference's.
-fn max_bandwidth_fast(ctx: &Context, constraints: &Constraints) -> Result<Selection, SelectError> {
-    let topo = ctx.topo;
+fn max_bandwidth_fast<T: NetMetrics>(
+    ctx: &Context<T>,
+    constraints: &Constraints,
+    mut history: Option<&mut BandwidthHistory>,
+) -> Result<Selection, SelectError> {
+    let topo = ctx.net.structure();
     let view = ctx.base_view(constraints);
     // Deletion order: ascending (bw, id), matching `min_live_edge_by`'s
     // tie-breaking. The loop below walks it backwards.
     let mut order: Vec<EdgeId> = view.live_edges().collect();
-    order.sort_unstable_by(|&x, &y| {
-        topo.link(x)
-            .bw()
-            .total_cmp(&topo.link(y).bw())
-            .then(x.cmp(&y))
-    });
+    order.sort_unstable_by(|&x, &y| ctx.net.bw(x).total_cmp(&ctx.net.bw(y)).then(x.cmp(&y)));
     let live = order.len();
     if ctx.m == 1 {
         // The deletion loop runs to exhaustion and reads its answer off the
@@ -345,12 +468,17 @@ fn max_bandwidth_fast(ctx: &Context, constraints: &Constraints) -> Result<Select
             .map(NodeId::from_index)
             .find(|n| ctx.eligible[n.index()])
             .expect("Context guarantees an eligible node");
+        if let Some(h) = history {
+            h.computes = vec![node];
+            h.iterations = live + 1;
+            h.satisfiable = true;
+        }
         return Ok(ctx.finish(vec![node], Weights::EQUAL, live + 1));
     }
     let mut uf = UnionFind::new(topo.node_count());
     for n in topo.node_ids() {
         if ctx.eligible[n.index()] {
-            uf.seed_eligible(n.index(), topo.node(n).effective_cpu());
+            uf.seed_eligible(n.index(), ctx.net.effective_cpu(n));
         }
     }
     let mut stop: Option<(usize, usize)> = None;
@@ -362,6 +490,9 @@ fn max_bandwidth_fast(ctx: &Context, constraints: &Constraints) -> Result<Select
                 break;
             }
         }
+    }
+    if let Some(h) = history.as_deref_mut() {
+        h.satisfiable = stop.is_some();
     }
     // Never reaching `m` while adding edges means even the full graph has
     // no qualifying component: round one of the reference loop fails.
@@ -375,6 +506,14 @@ fn max_bandwidth_fast(ctx: &Context, constraints: &Constraints) -> Result<Select
                 compute_nodes.push(n);
             }
         }
+    }
+    if let Some(h) = history {
+        h.computes = compute_nodes
+            .iter()
+            .copied()
+            .filter(|&n| ctx.eligible[n.index()])
+            .collect();
+        h.iterations = live - added + 2;
     }
     let (chosen, _) = ctx
         .pick_from_parts(&nodes, &compute_nodes)
@@ -409,9 +548,31 @@ pub fn balanced(
     reference_bandwidth: Option<f64>,
     policy: GreedyPolicy,
 ) -> Result<Selection, SelectError> {
+    balanced_in(
+        topo,
+        m,
+        weights,
+        constraints,
+        reference_bandwidth,
+        policy,
+        None,
+    )
+}
+
+/// [`balanced`] over any [`NetMetrics`] representation, optionally
+/// recording the full deletion history the incremental selector replays.
+pub(crate) fn balanced_in<T: NetMetrics>(
+    net: &T,
+    m: usize,
+    weights: Weights,
+    constraints: &Constraints,
+    reference_bandwidth: Option<f64>,
+    policy: GreedyPolicy,
+    history: Option<&mut BalancedHistory>,
+) -> Result<Selection, SelectError> {
     assert!(weights.validate(), "invalid priority weights");
-    let ctx = Context::new(topo, m, constraints, reference_bandwidth)?;
-    let fast = balanced_fast(&ctx, weights, constraints, policy);
+    let ctx = Context::new(net, m, constraints, reference_bandwidth)?;
+    let fast = balanced_fast(&ctx, weights, constraints, policy, history);
     #[cfg(debug_assertions)]
     debug_assert_eq!(
         fast,
@@ -437,8 +598,8 @@ pub fn balanced_reference(
     balanced_loop(&ctx, weights, constraints, policy)
 }
 
-fn balanced_loop(
-    ctx: &Context,
+fn balanced_loop<T: NetMetrics>(
+    ctx: &Context<T>,
     weights: Weights,
     constraints: &Constraints,
     policy: GreedyPolicy,
@@ -519,13 +680,40 @@ struct CompState {
 }
 
 impl CompState {
-    fn rescore(&mut self, ctx: &Context, weights: Weights) {
+    fn rescore<T: NetMetrics>(&mut self, ctx: &Context<T>, weights: Weights) {
         if let Some((_, min_cpu)) = self.cand {
             let min_frac = match self.edges.last() {
                 Some(&e) => ctx.edge_fraction(e),
                 None => 1.0,
             };
             self.score = (min_cpu / weights.compute).min(min_frac / weights.comm);
+        }
+    }
+
+    /// The component's current minimum fractional bandwidth — the value
+    /// [`CompState::rescore`] folds into the score, recorded verbatim into
+    /// [`HistState::events`].
+    fn min_frac<T: NetMetrics>(&self, ctx: &Context<T>) -> f64 {
+        match self.edges.last() {
+            Some(&e) => ctx.edge_fraction(e),
+            None => 1.0,
+        }
+    }
+
+    /// The [`HistState`] snapshot of this component as of `round`.
+    fn record<T: NetMetrics>(&self, ctx: &Context<T>, round: usize) -> HistState {
+        HistState {
+            computes: self
+                .compute_nodes
+                .iter()
+                .copied()
+                .filter(|&n| ctx.eligible[n.index()])
+                .collect(),
+            first_node: self.nodes[0],
+            viable: self.cand.is_some(),
+            min_cpu: self.cand.as_ref().map_or(f64::NEG_INFINITY, |(_, c)| *c),
+            events: vec![(round, self.min_frac(ctx))],
+            last_round: 0,
         }
     }
 }
@@ -538,13 +726,14 @@ impl CompState {
 /// deciding split vs. no-split. Untouched components keep their cached
 /// candidate sets and scores, so a steady-state round costs one slab scan
 /// of float comparisons and allocates nothing.
-fn balanced_fast(
-    ctx: &Context,
+fn balanced_fast<T: NetMetrics>(
+    ctx: &Context<T>,
     weights: Weights,
     constraints: &Constraints,
     policy: GreedyPolicy,
+    mut history: Option<&mut BalancedHistory>,
 ) -> Result<Selection, SelectError> {
-    let topo = ctx.topo;
+    let topo = ctx.net.structure();
     let mut view = ctx.base_view(constraints);
     // Global deletion order: ascending (fraction, id), exactly the sequence
     // `min_live_edge_by(edge_fraction)` produces round by round.
@@ -556,6 +745,9 @@ fn balanced_fast(
     });
     let mut edge_comp = vec![u32::MAX; topo.link_count()];
     let mut comps: Vec<CompState> = Vec::new();
+    // Maps a live slot to its current state's index in the history (slots
+    // are reused across splits, history states are not).
+    let mut slot_rec: Vec<usize> = Vec::new();
     for comp in view.components() {
         let mut edges = comp.edges;
         edges.sort_unstable_by(|&x, &y| {
@@ -575,6 +767,10 @@ fn balanced_fast(
             score: 0.0,
         };
         state.rescore(ctx, weights);
+        if let Some(h) = history.as_deref_mut() {
+            slot_rec.push(h.states.len());
+            h.states.push(state.record(ctx, 1));
+        }
         comps.push(state);
     }
     let mut flood: Vec<NodeId> = Vec::new();
@@ -630,6 +826,11 @@ fn balanced_fast(
         if view.last_flood_contains(link.b()) {
             // Still connected: only the cached minimum fraction changed.
             comps[slot].rescore(ctx, weights);
+            if let Some(h) = history.as_deref_mut() {
+                h.states[slot_rec[slot]]
+                    .events
+                    .push((iterations + 1, comps[slot].min_frac(ctx)));
+            }
             continue;
         }
         // Split: the flooded side moves to a fresh slot, the remainder
@@ -666,7 +867,25 @@ fn balanced_fast(
             score: 0.0,
         };
         side.rescore(ctx, weights);
+        if let Some(h) = history.as_deref_mut() {
+            // The pre-split state was last evaluated this round; both
+            // halves are fresh states born next round.
+            h.states[slot_rec[slot]].last_round = iterations;
+            slot_rec[slot] = h.states.len();
+            h.states.push(comps[slot].record(ctx, iterations + 1));
+            slot_rec.push(h.states.len());
+            h.states.push(side.record(ctx, iterations + 1));
+        }
         comps.push(side);
+    }
+    if let Some(h) = history {
+        h.iterations = iterations;
+        h.satisfiable = best.is_some();
+        for s in &mut h.states {
+            if s.last_round == 0 {
+                s.last_round = iterations;
+            }
+        }
     }
     let (_, nodes) = best.ok_or(SelectError::Unsatisfiable)?;
     Ok(ctx.finish(nodes, weights, iterations))

@@ -46,6 +46,11 @@
 //! parallelizes the subset search, with
 //! [`exhaustive_select_reference`] as the unpruned baseline.
 //!
+//! For a stream of measurement epochs, the [`selector`] module offers
+//! persistent [`Selector`]s whose `refresh` replays the recorded solve
+//! skeleton against a [`nodesel_topology::NetDelta`] instead of
+//! re-solving from scratch, bit-identical to a fresh solve.
+//!
 //! # Example
 //!
 //! ```
@@ -71,6 +76,7 @@ pub mod latency;
 pub mod migration;
 mod quality;
 mod request;
+pub mod selector;
 pub mod sizing;
 pub mod spec;
 mod weights;
@@ -85,8 +91,11 @@ pub use exhaustive::{
 };
 pub use groups::{select_groups, GroupSpec, GroupedRequest, GroupedSelection};
 pub use latency::{pairwise_latency, select_within_latency};
-pub use quality::{evaluate, PairwiseCache, Quality};
+pub use quality::{evaluate, evaluate_in, PairwiseCache, Quality};
 pub use request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
+pub use selector::{
+    selector_for, BalancedSelector, MaxBandwidthSelector, MaxComputeSelector, Selector,
+};
 pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
 pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};
 pub use weights::Weights;

@@ -11,12 +11,22 @@
 //! current placement against a fresh selection and recommends migration
 //! when the improvement clears a hysteresis threshold (migration is not
 //! free, so marginal gains should not trigger it).
+//!
+//! A periodic advisor re-runs this every measurement epoch against a
+//! nearly unchanged network. [`Advisor`] is the persistent form: it keeps
+//! a [`Selector`] primed on the discounted snapshot stream (own footprint
+//! applied as a [`NetDelta`] via [`discount_delta`], preserving structural
+//! sharing) so each epoch costs an incremental `refresh` instead of a
+//! from-scratch solve.
 
-use crate::quality::{evaluate, Quality};
+use crate::quality::{evaluate, evaluate_in, Quality};
 use crate::request::SelectionRequest;
+use crate::selector::{selector_for, Selector};
 use crate::weights::Weights;
 use crate::{select, Objective, SelectError, Selection};
-use nodesel_topology::{Direction, EdgeId, NodeId, Topology};
+use nodesel_topology::{
+    Direction, EdgeId, NetDelta, NetMetrics, NetSnapshot, NodeId, RouteTable, Topology,
+};
 
 /// The application's own resource footprint, to be subtracted from
 /// measurements before deciding on migration.
@@ -54,6 +64,33 @@ pub fn discount_own_usage(topo: &Topology, own: &OwnUsage) -> Topology {
         t.set_link_used(e, dir, (current - bits).max(0.0));
     }
     t
+}
+
+/// The [`NetDelta`] that removes `own` from `snap`'s annotations, each
+/// clamped at zero — the snapshot-world [`discount_own_usage`]. Repeated
+/// entries for the same node or directed link subtract cumulatively,
+/// matching the topology-mutating form.
+pub fn discount_delta(snap: &NetSnapshot, own: &OwnUsage) -> NetDelta {
+    let mut delta = NetDelta::default();
+    for &(n, load) in &own.load {
+        let current = delta
+            .nodes
+            .iter()
+            .rev()
+            .find(|&&(m, _)| m == n)
+            .map_or_else(|| snap.load_avg(n), |&(_, v)| v);
+        delta.nodes.push((n, (current - load).max(0.0)));
+    }
+    for &(e, dir, bits) in &own.traffic {
+        let current = delta
+            .links
+            .iter()
+            .rev()
+            .find(|&&(e2, d2, _)| e2 == e && d2 == dir)
+            .map_or_else(|| snap.used(e, dir), |&(_, _, v)| v);
+        delta.links.push((e, dir, (current - bits).max(0.0)));
+    }
+    delta
 }
 
 /// Migration recommendation.
@@ -140,12 +177,146 @@ pub fn advise(
     })
 }
 
+/// A persistent migration advisor over a stream of snapshot epochs.
+///
+/// Functionally identical to calling [`advise`] per epoch, but the
+/// underlying selection is served by a [`Selector`] kept primed on the
+/// discounted snapshots: epochs whose churn leaves the solve skeleton
+/// intact cost a cheap replay instead of a full re-solve.
+pub struct Advisor {
+    request: SelectionRequest,
+    improvement_threshold: f64,
+    selector: Box<dyn Selector>,
+    /// The discounted snapshot the selector last saw, diffed against to
+    /// produce the refresh delta.
+    seen: Option<NetSnapshot>,
+}
+
+impl Advisor {
+    /// An advisor for `request` with the given hysteresis threshold (see
+    /// [`advise`]).
+    pub fn new(request: SelectionRequest, improvement_threshold: f64) -> Advisor {
+        assert!(improvement_threshold >= 0.0);
+        let selector = selector_for(request.objective);
+        Advisor {
+            request,
+            improvement_threshold,
+            selector,
+            seen: None,
+        }
+    }
+
+    /// One epoch of [`advise`]: discounts `own` from `snapshot`, refreshes
+    /// the persistent selector, and scores the `current` placement.
+    pub fn advise(
+        &mut self,
+        snapshot: &NetSnapshot,
+        current: &[NodeId],
+        own: &OwnUsage,
+    ) -> Result<MigrationAdvice, SelectError> {
+        assert_eq!(
+            current.len(),
+            self.request.count,
+            "request count must match the current placement size"
+        );
+        let discount = discount_delta(snapshot, own);
+        let discounted = if discount.is_empty() {
+            snapshot.clone()
+        } else {
+            snapshot.apply(&discount)
+        };
+        let best = match &self.seen {
+            Some(prev) if prev.same_structure(&discounted) => {
+                let delta = discounted.diff(prev);
+                self.selector.refresh(&discounted, &delta)
+            }
+            _ => self.selector.select(&discounted, &self.request),
+        };
+        // Record what the selector saw even when selection failed: the
+        // next epoch's delta must be relative to this one.
+        self.seen = Some(discounted.clone());
+        let best = best?;
+        let table =
+            RouteTable::build_for_sources(discounted.structure_arc(), current.iter().copied());
+        let current_quality = evaluate_in(
+            &discounted,
+            &table,
+            current,
+            self.request.reference_bandwidth,
+        );
+        let weights = match self.request.objective {
+            Objective::Balanced(w) => w,
+            _ => Weights::EQUAL,
+        };
+        let current_score = current_quality.score(weights);
+        let recommended = best.score > current_score * (1.0 + self.improvement_threshold)
+            && best.nodes != current;
+        Ok(MigrationAdvice {
+            current_quality,
+            current_score,
+            best,
+            recommended,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::request::SelectionRequest;
     use nodesel_topology::builders::star;
     use nodesel_topology::units::MBPS;
+    use std::sync::Arc;
+
+    #[test]
+    fn discount_delta_matches_topology_discount() {
+        let (mut topo, ids) = star(3, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 1.0);
+        topo.set_load_avg(ids[1], 2.0);
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[1]]);
+        let snap = NetSnapshot::capture(Arc::new(topo.clone()));
+        let discounted = snap.apply(&discount_delta(&snap, &own));
+        let reference = discount_own_usage(&topo, &own);
+        for n in topo.node_ids() {
+            assert_eq!(discounted.load_avg(n), reference.node(n).load_avg());
+        }
+    }
+
+    #[test]
+    fn discount_delta_is_cumulative_per_node() {
+        let (mut topo, ids) = star(2, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 3.0);
+        // Two of our processes on the same node.
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[0]]);
+        let snap = NetSnapshot::capture(Arc::new(topo));
+        let discounted = snap.apply(&discount_delta(&snap, &own));
+        assert_eq!(discounted.load_avg(ids[0]), 1.0);
+    }
+
+    #[test]
+    fn advisor_tracks_epochs_incrementally() {
+        let (mut topo, ids) = star(4, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 1.0);
+        topo.set_load_avg(ids[1], 1.0);
+        let own = OwnUsage::one_process_per_node(&[ids[0], ids[1]]);
+        let snap = NetSnapshot::capture(Arc::new(topo));
+        let req = SelectionRequest::balanced(2);
+        let mut advisor = Advisor::new(req.clone(), 0.25);
+        let first = advisor.advise(&snap, &[ids[0], ids[1]], &own).unwrap();
+        assert!(!first.recommended);
+        // Three competing jobs pile onto the first node.
+        let churn = NetDelta {
+            nodes: vec![(ids[0], 4.0)],
+            links: Vec::new(),
+        };
+        let next = snap.apply(&churn);
+        let second = advisor.advise(&next, &[ids[0], ids[1]], &own).unwrap();
+        let oneshot = advise(&next.to_topology(), &[ids[0], ids[1]], &own, &req, 0.25).unwrap();
+        assert!(second.recommended);
+        assert_eq!(second.best, oneshot.best);
+        assert_eq!(second.current_score, oneshot.current_score);
+        assert_eq!(second.vacated(&[ids[0], ids[1]]), vec![ids[0]]);
+    }
 
     #[test]
     fn discount_removes_own_footprint() {

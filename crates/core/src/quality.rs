@@ -10,7 +10,7 @@
 //! that compare greedy selection against exhaustive search.
 
 use crate::weights::Weights;
-use nodesel_topology::{NodeId, Routes, Topology};
+use nodesel_topology::{NetMetrics, NodeId, RouteTable, Routes, Topology};
 
 /// The measured quality of a node set under current network conditions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,25 +49,41 @@ pub fn evaluate(
     nodes: &[NodeId],
     reference_bandwidth: Option<f64>,
 ) -> Quality {
+    evaluate_in(topo, routes.table(), nodes, reference_bandwidth)
+}
+
+/// [`evaluate`] over any annotated-metric representation — the measured
+/// [`Topology`] itself or a versioned
+/// [`NetSnapshot`](nodesel_topology::NetSnapshot) — so the one-shot and
+/// incremental selection paths score candidates with the same monomorphic
+/// arithmetic. `table` must hold a BFS row for every node in `nodes`.
+pub fn evaluate_in<T: NetMetrics>(
+    net: &T,
+    table: &RouteTable,
+    nodes: &[NodeId],
+    reference_bandwidth: Option<f64>,
+) -> Quality {
     assert!(!nodes.is_empty(), "cannot evaluate an empty selection");
     let mut min_cpu = f64::INFINITY;
     for &n in nodes {
-        let node = topo.node(n);
-        assert!(node.is_compute(), "selection contains network node {n:?}");
-        min_cpu = min_cpu.min(node.effective_cpu());
+        assert!(
+            net.structure().node(n).is_compute(),
+            "selection contains network node {n:?}"
+        );
+        min_cpu = min_cpu.min(net.effective_cpu(n));
     }
     let mut min_bw = f64::INFINITY;
     let mut min_bwfraction = 1.0f64;
     for (i, &a) in nodes.iter().enumerate() {
         for &b in nodes.iter().skip(i + 1) {
-            let bw = routes
-                .bottleneck_bw(a, b)
+            let bw = table
+                .bottleneck_bw_in(net, a, b)
                 .expect("selected nodes must be connected");
             min_bw = min_bw.min(bw);
             let fraction = match reference_bandwidth {
                 Some(r) => bw / r,
-                None => routes
-                    .bottleneck_bwfactor(a, b)
+                None => table
+                    .bottleneck_bwfactor_in(net, a, b)
                     .expect("selected nodes must be connected"),
             };
             min_bwfraction = min_bwfraction.min(fraction);

@@ -1,0 +1,175 @@
+//! Byte-identical parity between the incremental selectors and one-shot
+//! selection: along any churn sequence of snapshot epochs, `refresh` must
+//! return exactly what a fresh `select` on the materialized topology
+//! would — nodes, quality, score, iteration counts, and error cases.
+//!
+//! Random connected topologies, random constraint sets (including corners
+//! where the incremental paths are ineligible and must fall back to a
+//! full re-solve), and several epochs of random node/link churn.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use nodesel_core::{
+    select, selector_for, Constraints, GreedyPolicy, Objective, SelectionRequest, Weights,
+};
+use nodesel_topology::builders::random_tree;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{Direction, NetDelta, NetSnapshot, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random connected topology: a random tree plus up to four chords, with
+/// random loads and per-direction link utilization.
+fn random_topology(
+    seed: u64,
+    computes: usize,
+    networks: usize,
+    chords: usize,
+) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut topo, compute_ids) = random_tree(&mut rng, computes, networks, 100.0 * MBPS);
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    for _ in 0..chords {
+        let a = all[rng.random_range(0..all.len())];
+        let b = all[rng.random_range(0..all.len())];
+        if a != b {
+            topo.add_link(a, b, 100.0 * MBPS);
+        }
+    }
+    for n in compute_ids.iter().copied() {
+        topo.set_load_avg(n, rng.random_range(0.0..4.0));
+    }
+    for e in topo.edge_ids().collect::<Vec<_>>() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            let cap = topo.link(e).capacity(dir);
+            topo.set_link_used(e, dir, cap * rng.random_range(0.0..0.95));
+        }
+    }
+    (topo, compute_ids)
+}
+
+/// Random constraint set, covering the corners where incremental replay
+/// is ineligible (required nodes, CPU floors) and where link churn forces
+/// fallback (bandwidth floors).
+fn random_constraints(seed: u64, ids: &[NodeId]) -> Constraints {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut c = Constraints::none();
+    if rng.random_range(0..3) == 0 {
+        c.required = vec![ids[rng.random_range(0..ids.len())]];
+    }
+    if rng.random_range(0..3) == 0 {
+        c.min_cpu = Some(rng.random_range(0.1..0.6));
+    }
+    if rng.random_range(0..3) == 0 {
+        c.min_bandwidth = Some(rng.random_range(1.0..40.0) * MBPS);
+    }
+    if rng.random_range(0..4) == 0 {
+        let keep = 1 + rng.random_range(0..ids.len());
+        c.allowed = Some(ids.iter().copied().take(keep).collect::<HashSet<_>>());
+    }
+    c
+}
+
+/// One epoch of churn: some compute-node loads move, and (when `links`
+/// is set) some directed-link utilizations move too.
+fn random_delta(seed: u64, topo: &Topology, links: bool) -> NetDelta {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5DE1_7A);
+    let mut delta = NetDelta::default();
+    for n in topo.compute_nodes() {
+        if rng.random_range(0..2) == 0 {
+            delta.nodes.push((n, rng.random_range(0.0..4.0)));
+        }
+    }
+    if links {
+        for e in topo.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                if rng.random_range(0..3) == 0 {
+                    let cap = topo.link(e).capacity(dir);
+                    delta
+                        .links
+                        .push((e, dir, cap * rng.random_range(0.0..0.95)));
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Drives one persistent selector through `steps` epochs and checks each
+/// refresh against a fresh solve on the materialized topology.
+fn check_parity(request: &SelectionRequest, topo: Topology, seed: u64, steps: usize, links: bool) {
+    let mut snap = NetSnapshot::capture(Arc::new(topo));
+    let mut selector = selector_for(request.objective);
+    let primed = selector.select(&snap, request);
+    assert_eq!(primed, select(&snap.to_topology(), request), "prime");
+    for step in 0..steps {
+        let delta = random_delta(seed.wrapping_add(step as u64), snap.structure_arc(), links);
+        let next = snap.apply(&delta);
+        let incremental = selector.refresh(&next, &delta);
+        let fresh = select(&next.to_topology(), request);
+        assert_eq!(incremental, fresh, "step {step} of {steps} (links {links})");
+        snap = next;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn refresh_matches_fresh_select_under_node_churn(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+        steps in 1usize..5,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks, chords);
+        let constraints = random_constraints(seed, &ids);
+        let m = 1 + (seed as usize) % ids.len().min(5);
+        for objective in [
+            Objective::Compute,
+            Objective::Communication,
+            Objective::Balanced(Weights::comm_priority(2.0)),
+        ] {
+            let request = SelectionRequest {
+                count: m,
+                objective,
+                constraints: constraints.clone(),
+                reference_bandwidth: if seed % 3 == 0 { Some(155.0 * MBPS) } else { None },
+                policy: GreedyPolicy::Sweep,
+            };
+            check_parity(&request, topo.clone(), seed, steps, false);
+        }
+    }
+
+    #[test]
+    fn refresh_matches_fresh_select_under_full_churn(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+        steps in 1usize..5,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks, chords);
+        let constraints = random_constraints(seed, &ids);
+        let m = 1 + (seed as usize) % ids.len().min(5);
+        for (objective, policy) in [
+            (Objective::Compute, GreedyPolicy::Sweep),
+            (Objective::Communication, GreedyPolicy::Sweep),
+            (Objective::Balanced(Weights::EQUAL), GreedyPolicy::Sweep),
+            // Faithful is never replayed incrementally; it must fall back.
+            (Objective::Balanced(Weights::EQUAL), GreedyPolicy::Faithful),
+        ] {
+            let request = SelectionRequest {
+                count: m,
+                objective,
+                constraints: constraints.clone(),
+                reference_bandwidth: None,
+                policy,
+            };
+            check_parity(&request, topo.clone(), seed, steps, true);
+        }
+    }
+}

@@ -18,7 +18,7 @@ fn main() {
     sim.start_compute(hosts[3], 1e9, |_| {});
     sim.run_for(120.0);
 
-    let topo = remos.logical_topology(&sim, Estimator::Latest);
+    let topo = remos.snapshot(&sim).to_topology();
     println!("=== Figure 1: Remos logical topology (DOT) ===");
     println!("{}", to_dot(&topo, &[]));
 

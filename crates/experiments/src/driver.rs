@@ -17,7 +17,9 @@
 //! groups drain through a single flat work queue over scoped threads.
 
 use nodesel_apps::AppModel;
-use nodesel_core::{balanced, random_selection, Constraints, GreedyPolicy, Weights};
+use nodesel_core::{
+    balanced, random_selection, selector_for, Constraints, GreedyPolicy, SelectionRequest, Weights,
+};
 use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_remos::{CollectorConfig, Estimator, Remos};
 use nodesel_simnet::{FlowEngine, Sim, DEFAULT_LOAD_AVG_TAU};
@@ -181,7 +183,6 @@ pub struct WarmTrial {
     sim: Sim,
     remos: Remos,
     seed: u64,
-    estimator: Estimator,
 }
 
 /// Warms a fresh simulator to steady state: installs the collector and
@@ -193,7 +194,15 @@ pub fn warm_trial(
     seed: u64,
 ) -> WarmTrial {
     let mut sim = testbed.sim(config.engine);
-    let remos = Remos::install(&mut sim, config.collector);
+    // The maintained snapshot stream follows the trial's estimator, so
+    // the automatic strategy sees exactly what the per-query path would.
+    let remos = Remos::install(
+        &mut sim,
+        CollectorConfig {
+            estimator: config.estimator,
+            ..config.collector
+        },
+    );
     if condition.has_load() {
         install_load(&mut sim, &testbed.machines, config.load, seed ^ 0x10AD);
     }
@@ -202,12 +211,7 @@ pub fn warm_trial(
     }
     sim.run_for(config.warmup);
     debug_assert!(sim.can_fork(), "warm-up left a user closure pending");
-    WarmTrial {
-        sim,
-        remos,
-        seed,
-        estimator: config.estimator,
-    }
+    WarmTrial { sim, remos, seed }
 }
 
 impl WarmTrial {
@@ -219,7 +223,6 @@ impl WarmTrial {
             sim: self.sim.fork(),
             remos: self.remos.clone(),
             seed: self.seed,
-            estimator: self.estimator,
         }
     }
 
@@ -230,7 +233,6 @@ impl WarmTrial {
             mut sim,
             remos,
             seed,
-            estimator,
         } = self;
         let nodes: Vec<NodeId> = match strategy {
             Strategy::Random => {
@@ -240,17 +242,13 @@ impl WarmTrial {
                     .nodes
             }
             Strategy::Automatic => {
-                let snapshot = remos.logical_topology(&sim, estimator);
-                balanced(
-                    &snapshot,
-                    m,
-                    Weights::EQUAL,
-                    &Constraints::none(),
-                    None,
-                    GreedyPolicy::Sweep,
-                )
-                .expect("testbed has enough nodes")
-                .nodes
+                let snapshot = remos.snapshot(&sim);
+                let request = SelectionRequest::balanced(m);
+                let mut selector = selector_for(request.objective);
+                selector
+                    .select(&snapshot, &request)
+                    .expect("testbed has enough nodes")
+                    .nodes
             }
             Strategy::Oracle => {
                 let snapshot = sim.oracle_snapshot();

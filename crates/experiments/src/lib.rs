@@ -5,6 +5,9 @@
 //!   column and the paper's "% change" and increase-ratio derived metrics;
 //! * [`scenario`] — the Figure 4 worked example (automatic selection
 //!   steering around a bulk `m-16 → m-18` stream);
+//! * [`service_churn`] — a resident placement service polling the
+//!   collector's versioned snapshot stream and refreshing a primed
+//!   selector from epoch deltas;
 //! * [`driver`] — the single-trial machinery both are built on, reusable
 //!   by the Criterion benches and ablations. Trials split at the warm-up
 //!   boundary: a warmed simulator is [`nodesel_simnet::Sim::fork`]ed per
@@ -22,6 +25,7 @@ pub mod driver;
 pub mod migration_study;
 pub mod scenario;
 pub mod sensitivity;
+pub mod service_churn;
 pub mod table1;
 pub mod tomography;
 
@@ -33,6 +37,7 @@ pub use scenario::{run_fig4_scenario, Fig4Outcome};
 pub use sensitivity::{
     length_sensitivity, load_sensitivity, traffic_sensitivity, SensitivityPoint,
 };
+pub use service_churn::{run_service_churn, ChurnCheck, ChurnConfig, ChurnReport};
 pub use table1::{
     paper_table1, run_table1, run_table1_on, run_table1_row, Table1, Table1Config, Table1Row,
 };

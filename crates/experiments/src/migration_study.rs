@@ -12,18 +12,14 @@
 
 use crate::driver::{Condition, TrialConfig};
 use nodesel_apps::{fft::fft_program, launch_phased_migratable, MigrationStats};
-use nodesel_core::migration::{advise, OwnUsage};
-use nodesel_core::{
-    balanced, random_selection, Constraints, GreedyPolicy, SelectionRequest, Weights,
-};
+use nodesel_core::migration::{Advisor, OwnUsage};
+use nodesel_core::{random_selection, BalancedSelector, SelectionRequest, Selector};
 use nodesel_loadgen::{install_load, install_traffic};
-use nodesel_remos::Remos;
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::{Sim, SimTime};
 use nodesel_topology::testbeds::cmu_testbed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
-use std::rc::Rc;
 
 /// Placement decision callback used by the migratable runner.
 type Policy = Box<
@@ -71,7 +67,13 @@ pub fn run_long_job(
     let tb = cmu_testbed();
     let machines = tb.machines.clone();
     let mut sim = Sim::new(tb.topo.clone());
-    let remos = Remos::install(&mut sim, config.collector);
+    let remos = Remos::install(
+        &mut sim,
+        CollectorConfig {
+            estimator: config.estimator,
+            ..config.collector
+        },
+    );
     if matches!(condition, Condition::Load | Condition::Both) {
         install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);
     }
@@ -81,7 +83,6 @@ pub fn run_long_job(
     sim.run_for(config.warmup);
 
     let m = 4;
-    let estimator = config.estimator;
     let initial = match strategy {
         LongRunStrategy::RandomStay => {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1EC7);
@@ -90,16 +91,11 @@ pub fn run_long_job(
                 .nodes
         }
         _ => {
-            balanced(
-                &remos.logical_topology(&sim, estimator),
-                m,
-                Weights::EQUAL,
-                &Constraints::none(),
-                None,
-                GreedyPolicy::Sweep,
-            )
-            .expect("nodes")
-            .nodes
+            let mut selector = BalancedSelector::new();
+            selector
+                .select(&remos.snapshot(&sim), &SelectionRequest::balanced(m))
+                .expect("nodes")
+                .nodes
         }
     };
 
@@ -109,18 +105,21 @@ pub fn run_long_job(
     let policy: Policy = match strategy {
         LongRunStrategy::AutoMigrate { period, threshold } => {
             let remos = remos.clone();
-            let last_check = Rc::new(Cell::new(SimTime::ZERO));
+            let mut last_check = SimTime::ZERO;
+            // The advisor's selector stays primed across checks: epochs
+            // whose churn leaves the solve skeleton intact are replayed
+            // instead of re-solved.
+            let mut advisor = Advisor::new(SelectionRequest::balanced(m), threshold);
             Box::new(
                 move |sim: &mut Sim, current: &[nodesel_topology::NodeId], _iter| {
                     let now = sim.now();
-                    if now.seconds_since(last_check.get()) < period {
+                    if now.seconds_since(last_check) < period {
                         return None;
                     }
-                    last_check.set(now);
-                    let snapshot = remos.logical_topology(sim, estimator);
+                    last_check = now;
+                    let snapshot = remos.snapshot(sim);
                     let own = OwnUsage::one_process_per_node(current);
-                    let request = SelectionRequest::balanced(current.len());
-                    match advise(&snapshot, current, &own, &request, threshold) {
+                    match advisor.advise(&snapshot, current, &own) {
                         Ok(a) if a.recommended => Some(a.best.nodes),
                         _ => None,
                     }

@@ -7,8 +7,8 @@
 //! the balanced selection, and verify that no route between selected nodes
 //! shares a link with the stream.
 
-use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_core::{BalancedSelector, SelectionRequest, Selector};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::dot::to_dot;
 use nodesel_topology::testbeds::cmu_testbed;
@@ -48,16 +48,11 @@ pub fn run_fig4_scenario() -> Fig4Outcome {
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
 
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
-    let selection = balanced(
-        &snapshot,
-        4,
-        Weights::EQUAL,
-        &Constraints::none(),
-        None,
-        GreedyPolicy::Sweep,
-    )
-    .expect("testbed has enough nodes");
+    let snapshot = remos.snapshot(&sim);
+    let mut selector = BalancedSelector::new();
+    let selection = selector
+        .select(&snapshot, &SelectionRequest::balanced(4))
+        .expect("testbed has enough nodes");
 
     // Does any selected pair's route touch the stream's links?
     let mut avoids = true;
@@ -75,7 +70,7 @@ pub fn run_fig4_scenario() -> Fig4Outcome {
         .iter()
         .map(|&n| topo.node(n).name().to_string())
         .collect();
-    let dot = to_dot(&snapshot, &selection.nodes);
+    let dot = to_dot(&snapshot.to_topology(), &selection.nodes);
     Fig4Outcome {
         selected: names,
         selected_ids: selection.nodes,

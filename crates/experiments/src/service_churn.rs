@@ -1,0 +1,180 @@
+//! A resident placement service over a churning network.
+//!
+//! The paper's experiments call selection once per application launch. A
+//! placement *service* — the natural deployment of the algorithms — stays
+//! resident and re-evaluates as the network changes underneath it. This
+//! scenario exercises the incremental seam end to end: the service polls
+//! the collector's versioned snapshot each period, feeds only the
+//! epoch-to-epoch delta to a primed [`Selector`](nodesel_core::Selector),
+//! and reports the measurement-layer counters
+//! ([`QueryStats`](nodesel_remos::QueryStats)) that show how much of the
+//! stream was shared rather than recomputed.
+
+use nodesel_core::{selector_for, SelectionRequest};
+use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
+use nodesel_remos::{CollectorConfig, QueryStats, Remos};
+use nodesel_simnet::Sim;
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::{NetSnapshot, NodeId};
+
+/// Configuration of a churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Seconds of warm-up before the service starts polling.
+    pub warmup: f64,
+    /// Poll period of the placement service, seconds.
+    pub period: f64,
+    /// Number of polls the service performs.
+    pub checks: usize,
+    /// Nodes requested per placement.
+    pub count: usize,
+    /// Background compute-load generator settings.
+    pub load: LoadConfig,
+    /// Background traffic generator settings.
+    pub traffic: TrafficConfig,
+    /// Seed for the background generators.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            warmup: 300.0,
+            period: 60.0,
+            checks: 10,
+            count: 4,
+            load: LoadConfig::paper_defaults(),
+            traffic: TrafficConfig::paper_defaults(),
+            seed: 42,
+        }
+    }
+}
+
+/// One poll of the placement service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnCheck {
+    /// Simulated time of the poll, seconds.
+    pub time: f64,
+    /// Epoch of the snapshot the decision was made on.
+    pub epoch: u64,
+    /// Whether the incremental [`refresh`](nodesel_core::Selector::refresh)
+    /// path served this poll (the first poll always primes with a full
+    /// solve).
+    pub refreshed: bool,
+    /// The selected placement.
+    pub nodes: Vec<NodeId>,
+    /// Its balanced score.
+    pub score: f64,
+}
+
+/// Outcome of a full run, including the measurement-layer counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// Every poll, in order.
+    pub checks: Vec<ChurnCheck>,
+    /// How many polls changed the placement relative to the previous one.
+    pub placement_changes: usize,
+    /// Counters from the Remos handle: snapshot hits/misses and the
+    /// cumulative size of the delta stream.
+    pub stats: QueryStats,
+}
+
+/// Runs the resident service on the CMU testbed under the paper's
+/// background generators. Deterministic in `config.seed`.
+pub fn run_service_churn(config: &ChurnConfig) -> ChurnReport {
+    let tb = cmu_testbed();
+    let machines = tb.machines.clone();
+    let mut sim = Sim::new(tb.topo.clone());
+    let remos = Remos::install(&mut sim, CollectorConfig::default());
+    install_load(&mut sim, &machines, config.load, config.seed ^ 0x10AD);
+    install_traffic(&mut sim, &machines, config.traffic, config.seed ^ 0x7AFF1C);
+    sim.run_for(config.warmup);
+
+    let request = SelectionRequest::balanced(config.count);
+    let mut selector = selector_for(request.objective);
+    let mut last_snap: Option<NetSnapshot> = None;
+    let mut checks: Vec<ChurnCheck> = Vec::with_capacity(config.checks);
+    let mut placement_changes = 0;
+    for poll in 0..config.checks {
+        if poll > 0 {
+            sim.run_for(config.period);
+        }
+        let snap = remos.snapshot(&sim);
+        let (selection, refreshed) = match &last_snap {
+            Some(prev) if prev.same_structure(&snap) => {
+                let delta = snap.diff(prev);
+                let sel = selector
+                    .refresh(&snap, &delta)
+                    .expect("testbed keeps enough nodes");
+                (sel, true)
+            }
+            _ => {
+                let sel = selector
+                    .select(&snap, &request)
+                    .expect("testbed has enough nodes");
+                (sel, false)
+            }
+        };
+        if let Some(prev) = checks.last() {
+            if prev.nodes != selection.nodes {
+                placement_changes += 1;
+            }
+        }
+        checks.push(ChurnCheck {
+            time: sim.now().as_secs_f64(),
+            epoch: snap.epoch(),
+            refreshed,
+            nodes: selection.nodes,
+            score: selection.score,
+        });
+        last_snap = Some(snap);
+    }
+    ChurnReport {
+        checks,
+        placement_changes,
+        stats: remos.query_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let config = ChurnConfig {
+            checks: 4,
+            ..ChurnConfig::default()
+        };
+        assert_eq!(run_service_churn(&config), run_service_churn(&config));
+    }
+
+    #[test]
+    fn polls_after_the_first_take_the_refresh_path() {
+        let config = ChurnConfig {
+            checks: 5,
+            ..ChurnConfig::default()
+        };
+        let report = run_service_churn(&config);
+        assert_eq!(report.checks.len(), 5);
+        assert!(!report.checks[0].refreshed);
+        assert!(report.checks[1..].iter().all(|c| c.refreshed));
+        // Epochs never go backwards along the stream.
+        assert!(report.checks.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+    }
+
+    #[test]
+    fn stats_account_for_every_poll() {
+        let config = ChurnConfig {
+            checks: 6,
+            ..ChurnConfig::default()
+        };
+        let report = run_service_churn(&config);
+        let s = report.stats;
+        assert_eq!(s.topology_queries, 6);
+        assert_eq!(s.snapshot_hits + s.snapshot_misses, 6);
+        // The background generators keep the network moving, so the
+        // stream must have carried real changes.
+        assert!(s.delta_node_entries + s.delta_link_entries > 0);
+    }
+}

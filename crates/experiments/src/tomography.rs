@@ -10,10 +10,12 @@
 
 use crate::driver::{Condition, TrialConfig};
 use nodesel_apps::AppModel;
-use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
+use nodesel_core::{
+    balanced, BalancedSelector, Constraints, GreedyPolicy, SelectionRequest, Selector, Weights,
+};
 use nodesel_loadgen::{install_load, install_traffic};
 use nodesel_remos::inference::{infer_topology, measure_all_pairs};
-use nodesel_remos::Remos;
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 use nodesel_topology::units::MBPS;
@@ -41,7 +43,13 @@ pub fn run_view_trial(
     let tb = cmu_testbed();
     let machines = tb.machines.clone();
     let mut sim = Sim::new(tb.topo.clone());
-    let remos = Remos::install(&mut sim, config.collector);
+    let remos = Remos::install(
+        &mut sim,
+        CollectorConfig {
+            estimator: config.estimator,
+            ..config.collector
+        },
+    );
     if matches!(condition, Condition::Load | Condition::Both) {
         install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);
     }
@@ -52,17 +60,11 @@ pub fn run_view_trial(
 
     let nodes: Vec<NodeId> = match view {
         View::LogicalTopology => {
-            let snapshot = remos.logical_topology(&sim, config.estimator);
-            balanced(
-                &snapshot,
-                m,
-                Weights::EQUAL,
-                &Constraints::none(),
-                None,
-                GreedyPolicy::Sweep,
-            )
-            .expect("nodes")
-            .nodes
+            let mut selector = BalancedSelector::new();
+            selector
+                .select(&remos.snapshot(&sim), &SelectionRequest::balanced(m))
+                .expect("nodes")
+                .nodes
         }
         View::Tomography => {
             let (obs, pairs) =

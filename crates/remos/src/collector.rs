@@ -20,9 +20,10 @@
 //! sampled histories — never the simulator's ground truth — so selection
 //! experiments automatically include measurement staleness and noise.
 
+use crate::estimator::Estimator;
 use crate::window::Window;
 use nodesel_simnet::{DriverId, DriverLogic, Sim, SimTime};
-use nodesel_topology::{Direction, EdgeId, NodeId, Topology};
+use nodesel_topology::{Direction, EdgeId, NetDelta, NetMetrics, NetSnapshot, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -40,6 +41,11 @@ pub struct CollectorConfig {
     pub noise: f64,
     /// Seed for the noise stream.
     pub seed: u64,
+    /// Estimator condensing each history window into the annotation
+    /// carried by the maintained snapshot stream
+    /// (see [`crate::Remos::snapshot`]). Per-query estimators remain
+    /// available on the individual query methods.
+    pub estimator: Estimator,
 }
 
 impl Default for CollectorConfig {
@@ -49,6 +55,7 @@ impl Default for CollectorConfig {
             window: 12,
             noise: 0.0,
             seed: 0,
+            estimator: Estimator::Latest,
         }
     }
 }
@@ -78,6 +85,15 @@ pub(crate) struct Samples {
     pub(crate) last_sample: Option<SimTime>,
     /// Total samples taken.
     pub(crate) sample_count: u64,
+    /// The maintained snapshot stream: the logical topology under
+    /// `config.estimator`, re-published after every sample that changed
+    /// any estimate. The epoch advances only on change, so consumers can
+    /// use it as a cheap "did anything move?" test.
+    pub(crate) snap: NetSnapshot,
+    /// Cumulative node entries across all published deltas.
+    pub(crate) delta_node_entries: u64,
+    /// Cumulative directed-link entries across all published deltas.
+    pub(crate) delta_link_entries: u64,
     rng: StdRng,
 }
 
@@ -141,6 +157,35 @@ impl Samples {
         }
         self.last_sample = Some(now);
         self.sample_count += 1;
+        self.publish_snapshot();
+    }
+
+    /// Re-estimates every annotation and advances the snapshot stream by
+    /// one epoch when anything changed. The arithmetic matches the
+    /// per-query topology path exactly (`.max(0.0)` on loads,
+    /// `.clamp(0.0, capacity)` on utilizations), so the maintained
+    /// snapshot stays bit-identical to a fresh query.
+    fn publish_snapshot(&mut self) {
+        let est = self.config.estimator;
+        let mut delta = NetDelta::default();
+        for &id in &self.computes {
+            let load = est.estimate(&self.host[id.index()]).max(0.0);
+            if load.to_bits() != self.snap.load_avg(id).to_bits() {
+                delta.nodes.push((id, load));
+            }
+        }
+        for (slot, &(e, dir)) in self.links.iter().enumerate() {
+            let cap = self.base.link(e).capacity(dir);
+            let used = est.estimate(&self.link[slot]).clamp(0.0, cap);
+            if used.to_bits() != self.snap.used(e, dir).to_bits() {
+                delta.links.push((e, dir, used));
+            }
+        }
+        if !delta.is_empty() {
+            self.delta_node_entries += delta.nodes.len() as u64;
+            self.delta_link_entries += delta.links.len() as u64;
+            self.snap = self.snap.apply(&delta);
+        }
     }
 }
 
@@ -173,6 +218,19 @@ pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
     let link = (0..links.len())
         .map(|_| Window::new(config.window))
         .collect();
+    // Epoch 0: a just-started monitor reports an unloaded network — zero
+    // load on every compute node, zero utilization on every directed link
+    // (annotations the structure may carry describe ground truth the
+    // monitor has not measured yet). Network-node load entries are copied
+    // as-is; they never influence derived metrics.
+    let mut annotated = (*base).clone();
+    for &id in &computes {
+        annotated.set_load_avg(id, 0.0);
+    }
+    for &(e, dir) in &links {
+        annotated.set_link_used(e, dir, 0.0);
+    }
+    let snap = NetSnapshot::capture(Arc::new(annotated));
     let samples = Samples {
         config,
         base,
@@ -183,6 +241,9 @@ pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
         last_bits,
         last_sample: Some(sim.now()),
         sample_count: 0,
+        snap,
+        delta_node_entries: 0,
+        delta_link_entries: 0,
         rng: StdRng::seed_from_u64(config.seed),
     };
     let id = sim.install_driver(samples);

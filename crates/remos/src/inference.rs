@@ -187,11 +187,12 @@ pub fn measure_all_pairs(
     estimator: crate::Estimator,
 ) -> Result<(Vec<HostObservation>, Vec<PairMeasurement>), TopologyError> {
     let host_infos = remos.host_query(sim, hosts, estimator)?;
-    let topo = remos.logical_topology(sim, estimator);
+    // Only structural data (names) is needed here; the snapshot shares it.
+    let structure = std::sync::Arc::clone(remos.snapshot(sim).structure_arc());
     let observations = host_infos
         .iter()
         .map(|h| HostObservation {
-            name: topo.node(h.node).name().to_string(),
+            name: structure.node(h.node).name().to_string(),
             load_avg: h.load_avg,
         })
         .collect();

@@ -10,15 +10,20 @@
 //!   ([`CollectorConfig`]);
 //! * the **query API** exposes the paper's two abstraction levels —
 //!   [`Remos::flow_query`] (available bandwidth between node pairs) and
-//!   [`Remos::logical_topology`] (a functional snapshot of the network
-//!   annotated with measured conditions);
+//!   [`Remos::snapshot`] (a versioned [`nodesel_topology::NetSnapshot`] of
+//!   the network annotated with measured conditions, re-published by the
+//!   collector only when an estimate actually changed);
 //! * [`Estimator`] selects between history-window, current-conditions and
 //!   future-estimate answers, mirroring the Remos API's query modes.
 //!
-//! Selection algorithms consume the annotated [`nodesel_topology::Topology`]
-//! returned by `logical_topology`; because it is built purely from sampled
-//! data, staleness and measurement noise propagate into selection quality
-//! exactly as they would on a real network.
+//! Selection algorithms consume the annotated snapshot returned by
+//! `snapshot` (the older `logical_topology` query materializes the same
+//! data as an owned [`nodesel_topology::Topology`] and is deprecated);
+//! because it is built purely from sampled data, staleness and measurement
+//! noise propagate into selection quality exactly as they would on a real
+//! network. Because successive epochs share structure, a consumer can diff
+//! them ([`nodesel_topology::NetSnapshot::diff`]) and drive an incremental
+//! `nodesel_core` selector instead of re-solving per epoch.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

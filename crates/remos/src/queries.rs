@@ -3,7 +3,7 @@
 use crate::collector::{install, CollectorConfig, Samples};
 use crate::estimator::Estimator;
 use nodesel_simnet::{DriverId, Sim, SimTime};
-use nodesel_topology::{Direction, NodeId, Topology, TopologyError};
+use nodesel_topology::{Direction, NetSnapshot, NodeId, Topology, TopologyError};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -22,6 +22,17 @@ pub struct QueryStats {
     pub pairs_queried: u64,
     /// Host-query calls served.
     pub host_queries: u64,
+    /// [`Remos::snapshot`] calls that returned the epoch this handle had
+    /// already seen — the caller's cached selection state is still valid.
+    pub snapshot_hits: u64,
+    /// [`Remos::snapshot`] calls that returned a new epoch.
+    pub snapshot_misses: u64,
+    /// Cumulative node entries across the collector's published deltas,
+    /// as of the last [`Remos::snapshot`] call.
+    pub delta_node_entries: u64,
+    /// Cumulative directed-link entries across the collector's published
+    /// deltas, as of the last [`Remos::snapshot`] call.
+    pub delta_link_entries: u64,
 }
 
 /// Result of a flow query for one node pair.
@@ -71,6 +82,9 @@ pub struct HostInfo {
 pub struct Remos {
     driver: DriverId,
     stats: Rc<Cell<QueryStats>>,
+    /// Epoch of the last snapshot served through this handle (shared
+    /// across clones), for the hit/miss accounting.
+    seen_epoch: Rc<Cell<Option<u64>>>,
 }
 
 impl Remos {
@@ -80,6 +94,7 @@ impl Remos {
         Remos {
             driver: install(sim, config),
             stats: Rc::new(Cell::new(QueryStats::default())),
+            seen_epoch: Rc::new(Cell::new(None)),
         }
     }
 
@@ -109,13 +124,55 @@ impl Remos {
         self.samples(sim).last_sample
     }
 
+    /// The collector-maintained logical topology as a versioned
+    /// [`NetSnapshot`], annotated under the collector's configured
+    /// estimator ([`CollectorConfig::estimator`]).
+    ///
+    /// The collector re-publishes the snapshot after every sample that
+    /// changed any estimate, so the epoch advances **only on change**:
+    /// two calls returning the same [`NetSnapshot::epoch`] are guaranteed
+    /// bit-identical, and [`NetSnapshot::diff`] against a previously
+    /// returned snapshot yields exactly the churn in between — the input
+    /// an incremental selector's `refresh` needs. Returning the snapshot
+    /// is a handful of `Arc` bumps; nothing is copied.
+    ///
+    /// Counts as one topology query; additionally recorded as a
+    /// [`QueryStats::snapshot_hits`] when this handle had already seen
+    /// the returned epoch, else a miss.
+    pub fn snapshot(&self, sim: &Sim) -> NetSnapshot {
+        let st = self.samples(sim);
+        let snap = st.snap.clone();
+        let hit = self.seen_epoch.get() == Some(snap.epoch());
+        self.seen_epoch.set(Some(snap.epoch()));
+        let (dn, dl) = (st.delta_node_entries, st.delta_link_entries);
+        self.bump(|s| {
+            s.topology_queries += 1;
+            if hit {
+                s.snapshot_hits += 1;
+            } else {
+                s.snapshot_misses += 1;
+            }
+            s.delta_node_entries = dn;
+            s.delta_link_entries = dl;
+        });
+        snap
+    }
+
     /// The logical network topology annotated with estimated conditions:
     /// per-compute-node load averages and per-direction link utilizations.
     ///
     /// Metrics with no samples yet report zero load / zero utilization
     /// (optimistic), matching a monitor that has just started. Estimated
     /// utilization is clamped to the link capacity.
+    #[deprecated(
+        note = "use `Remos::snapshot` — the versioned, structurally shared form; \
+                materialize with `NetSnapshot::to_topology` if an owned Topology is needed"
+    )]
     pub fn logical_topology(&self, sim: &Sim, estimator: Estimator) -> Topology {
+        self.logical_topology_impl(sim, estimator)
+    }
+
+    fn logical_topology_impl(&self, sim: &Sim, estimator: Estimator) -> Topology {
         self.bump(|s| s.topology_queries += 1);
         let st = self.samples(sim);
         let mut topo = (*st.base).clone();
@@ -143,7 +200,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology(sim, estimator);
+        let topo = self.logical_topology_impl(sim, estimator);
         let routes = topo.routes();
         pairs
             .iter()
@@ -179,7 +236,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology(sim, estimator);
+        let topo = self.logical_topology_impl(sim, estimator);
         let routes = topo.routes();
         // Residual capacity per directed link after measured background
         // traffic.
@@ -248,12 +305,85 @@ impl Remos {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated per-query topology path stays covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use nodesel_topology::builders::{chain, star};
     use nodesel_topology::units::MBPS;
+    use nodesel_topology::NetMetrics;
 
     fn secs(s: u64) -> SimTime {
         SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn snapshot_matches_logical_topology_bitwise() {
+        let (topo, ids) = chain(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.start_compute(ids[1], 1e9, |_| {});
+        sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
+        sim.run_until(secs(600));
+        let snap = remos.snapshot(&sim);
+        let queried = remos.logical_topology(&sim, Estimator::Latest);
+        for n in queried.node_ids() {
+            assert_eq!(
+                snap.load_avg(n).to_bits(),
+                queried.node(n).load_avg().to_bits()
+            );
+        }
+        for e in queried.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                assert_eq!(
+                    snap.used(e, dir).to_bits(),
+                    queried.link(e).used(dir).to_bits()
+                );
+            }
+        }
+        assert!(snap.epoch() > 0, "churn must have advanced the epoch");
+    }
+
+    #[test]
+    fn snapshot_epoch_advances_only_on_change() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        // An idle network samples forever without changing any estimate.
+        sim.run_until(secs(300));
+        let a = remos.snapshot(&sim);
+        assert_eq!(a.epoch(), 0);
+        sim.run_until(secs(600));
+        let b = remos.snapshot(&sim);
+        assert_eq!(b.epoch(), 0);
+        assert!(a.same_structure(&b));
+        // Load appears: the next samples publish new epochs.
+        sim.start_compute(ids[0], 1e9, |_| {});
+        sim.run_until(secs(900));
+        let c = remos.snapshot(&sim);
+        assert!(c.epoch() > 0);
+        assert!(a.same_structure(&c));
+        let delta = c.diff(&a);
+        assert!(delta.nodes.iter().any(|&(n, _)| n == ids[0]));
+        let stats = remos.query_stats();
+        assert_eq!(stats.snapshot_hits, 1); // the second idle call
+        assert_eq!(stats.snapshot_misses, 2);
+        assert!(stats.delta_node_entries > 0);
+    }
+
+    #[test]
+    fn snapshot_survives_forks() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.start_compute_detached(ids[0], 1e9);
+        sim.run_until(secs(120));
+        let mut fork = sim.fork();
+        fork.run_until(secs(600));
+        sim.run_until(secs(600));
+        let (a, b) = (remos.snapshot(&sim), remos.snapshot(&fork));
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.load_values(), b.load_values());
     }
 
     #[test]

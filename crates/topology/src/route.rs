@@ -10,6 +10,7 @@
 //! against it.
 
 use crate::link::Direction;
+use crate::snapshot::NetMetrics;
 use crate::{EdgeId, NodeId, Topology, TopologyError};
 use std::collections::VecDeque;
 
@@ -159,6 +160,69 @@ impl RouteTable {
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
         src == dst || self.parent[self.row(src) * self.n + dst.index()].is_some()
     }
+
+    /// Directional available bandwidth from `src` to `dst` under `net`'s
+    /// metrics: the minimum over the fixed route of each link's available
+    /// capacity in the traversal direction.
+    ///
+    /// Generic over [`NetMetrics`] so the same fold runs on an owned
+    /// annotated [`Topology`] and on a [`crate::NetSnapshot`] — results
+    /// are bit-identical across representations by construction.
+    pub fn available_bandwidth_in<T: NetMetrics>(
+        &self,
+        net: &T,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<f64, TopologyError> {
+        let path = self.resolve(net.structure(), src, dst)?;
+        if path.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        Ok(path
+            .hops
+            .iter()
+            .map(|&(e, d)| net.available(e, d))
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// Symmetric bottleneck `bw` from `src` to `dst` under `net`'s
+    /// metrics (see [`RouteTable::available_bandwidth_in`] for the
+    /// genericity rationale).
+    pub fn bottleneck_bw_in<T: NetMetrics>(
+        &self,
+        net: &T,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<f64, TopologyError> {
+        let path = self.resolve(net.structure(), src, dst)?;
+        if path.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        Ok(path
+            .hops
+            .iter()
+            .map(|&(e, _)| net.bw(e))
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// Symmetric bottleneck `bwfactor` from `src` to `dst` under `net`'s
+    /// metrics.
+    pub fn bottleneck_bwfactor_in<T: NetMetrics>(
+        &self,
+        net: &T,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<f64, TopologyError> {
+        let path = self.resolve(net.structure(), src, dst)?;
+        if path.is_empty() {
+            return Ok(1.0);
+        }
+        Ok(path
+            .hops
+            .iter()
+            .map(|&(e, _)| net.bwfactor(e))
+            .fold(f64::INFINITY, f64::min))
+    }
 }
 
 /// Convenience bundle of a topology and its route table.
@@ -196,6 +260,11 @@ impl<'a> Routes<'a> {
         self.topo
     }
 
+    /// The underlying route table.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
     /// Fixed path between two nodes.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Result<Path, TopologyError> {
         self.table.resolve(self.topo, src, dst)
@@ -205,42 +274,18 @@ impl<'a> Routes<'a> {
     /// over the fixed route, of each link's available capacity in the
     /// traversal direction. This is the Remos *flow query* primitive.
     pub fn available_bandwidth(&self, src: NodeId, dst: NodeId) -> Result<f64, TopologyError> {
-        let path = self.path(src, dst)?;
-        if path.is_empty() {
-            return Ok(f64::INFINITY);
-        }
-        Ok(path
-            .hops
-            .iter()
-            .map(|&(e, d)| self.topo.link(e).available(d))
-            .fold(f64::INFINITY, f64::min))
+        self.table.available_bandwidth_in(self.topo, src, dst)
     }
 
     /// Symmetric bottleneck `bw` between two nodes: minimum of [`crate::Link::bw`]
     /// over the route. This is the quantity the §3.2 algorithms optimize.
     pub fn bottleneck_bw(&self, src: NodeId, dst: NodeId) -> Result<f64, TopologyError> {
-        let path = self.path(src, dst)?;
-        if path.is_empty() {
-            return Ok(f64::INFINITY);
-        }
-        Ok(path
-            .hops
-            .iter()
-            .map(|&(e, _)| self.topo.link(e).bw())
-            .fold(f64::INFINITY, f64::min))
+        self.table.bottleneck_bw_in(self.topo, src, dst)
     }
 
     /// Symmetric bottleneck `bwfactor` between two nodes.
     pub fn bottleneck_bwfactor(&self, src: NodeId, dst: NodeId) -> Result<f64, TopologyError> {
-        let path = self.path(src, dst)?;
-        if path.is_empty() {
-            return Ok(1.0);
-        }
-        Ok(path
-            .hops
-            .iter()
-            .map(|&(e, _)| self.topo.link(e).bwfactor())
-            .fold(f64::INFINITY, f64::min))
+        self.table.bottleneck_bwfactor_in(self.topo, src, dst)
     }
 
     /// One-way latency along the fixed route, in seconds.

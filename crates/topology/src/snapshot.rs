@@ -1,0 +1,418 @@
+//! Versioned, immutable annotated-topology snapshots.
+//!
+//! The paper's framework is a continuously running service: Remos status
+//! changes, and node selection must be re-evaluated repeatedly against
+//! it. Re-cloning the whole [`Topology`] per query makes every epoch pay
+//! O(V + E) before any algorithm runs. A [`NetSnapshot`] separates the
+//! *structure* (nodes, links, capacities, speeds, names — `Arc`-shared,
+//! never copied per epoch) from the *dynamic annotations* (per-node load
+//! averages and per-directed-link utilizations — flat `Arc<[f64]>`
+//! arrays), stamped with an epoch counter. Successive epochs are derived
+//! with [`NetSnapshot::apply`], which copies only the metric array(s) a
+//! [`NetDelta`] actually touches.
+//!
+//! The [`NetMetrics`] trait abstracts "an annotated network" over both
+//! representations: a plain `Topology` (whose annotations live on its
+//! nodes and links) and a `NetSnapshot` (whose annotations live in the
+//! flat arrays). Every derived quantity of §3.1 — `cpu = 1/(1+loadavg)`,
+//! `bw`, `maxbw`, `bwfactor` — is a *provided* method with exactly one
+//! definition, so algorithms generic over `NetMetrics` compute
+//! bit-identical results on either representation by construction.
+
+use crate::maxmin::dir_slot;
+use crate::{Direction, EdgeId, NodeId, Topology};
+use std::sync::Arc;
+
+/// Read access to an annotated network: graph structure plus the dynamic
+/// per-node / per-directed-link measurements the selection algorithms
+/// consume.
+///
+/// Implementations provide the two raw metrics ([`NetMetrics::load_avg`],
+/// [`NetMetrics::used`]); every derived quantity is a provided method so
+/// that all implementations agree bit-for-bit with the reference formulas
+/// on [`crate::Node`] and [`crate::Link`].
+pub trait NetMetrics {
+    /// The graph structure the metrics annotate.
+    fn structure(&self) -> &Topology;
+
+    /// Load average attributed to a node.
+    fn load_avg(&self, n: NodeId) -> f64;
+
+    /// Consumed bandwidth of a link direction, bits/s.
+    fn used(&self, e: EdgeId, dir: Direction) -> f64;
+
+    /// Available CPU fraction `1/(1+loadavg)`; network nodes report 0.
+    fn cpu(&self, n: NodeId) -> f64 {
+        if self.structure().node(n).is_compute() {
+            1.0 / (1.0 + self.load_avg(n))
+        } else {
+            0.0
+        }
+    }
+
+    /// Available computation normalized to the reference node type:
+    /// `cpu * speed`.
+    fn effective_cpu(&self, n: NodeId) -> f64 {
+        self.cpu(n) * self.structure().node(n).speed()
+    }
+
+    /// Peak bandwidth of a link direction, bits/s.
+    fn capacity(&self, e: EdgeId, dir: Direction) -> f64 {
+        self.structure().link(e).capacity(dir)
+    }
+
+    /// Available bandwidth of a link direction, bits/s (never negative).
+    fn available(&self, e: EdgeId, dir: Direction) -> f64 {
+        (self.capacity(e, dir) - self.used(e, dir)).max(0.0)
+    }
+
+    /// `bw(i, j)`: currently available bandwidth of the link — the
+    /// minimum over its two directions.
+    fn bw(&self, e: EdgeId) -> f64 {
+        self.available(e, Direction::AtoB)
+            .min(self.available(e, Direction::BtoA))
+    }
+
+    /// `maxbw(i, j)`: peak bandwidth of the link.
+    fn maxbw(&self, e: EdgeId) -> f64 {
+        self.capacity(e, Direction::AtoB)
+            .min(self.capacity(e, Direction::BtoA))
+    }
+
+    /// `bwfactor = bw / maxbw`; 0 for administratively-down links.
+    fn bwfactor(&self, e: EdgeId) -> f64 {
+        let maxbw = self.maxbw(e);
+        if maxbw == 0.0 {
+            0.0
+        } else {
+            self.bw(e) / maxbw
+        }
+    }
+}
+
+impl NetMetrics for Topology {
+    fn structure(&self) -> &Topology {
+        self
+    }
+
+    fn load_avg(&self, n: NodeId) -> f64 {
+        self.node(n).load_avg()
+    }
+
+    fn used(&self, e: EdgeId, dir: Direction) -> f64 {
+        self.link(e).used(dir)
+    }
+}
+
+/// A set of changed annotations between two epochs: the *new* values for
+/// every node load and directed-link utilization that changed.
+///
+/// Entries are expected in ascending id / slot order (as produced by
+/// [`NetSnapshot::diff`]); [`NetSnapshot::apply`] does not require it but
+/// deterministic consumers (incremental selectors) do.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetDelta {
+    /// Changed node load averages: `(node, new_load_avg)`.
+    pub nodes: Vec<(NodeId, f64)>,
+    /// Changed directed-link utilizations: `(edge, direction, new_used)`.
+    pub links: Vec<(EdgeId, Direction, f64)>,
+}
+
+impl NetDelta {
+    /// True when no annotation changed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
+
+    /// Number of changed node entries.
+    pub fn node_changes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of changed directed-link entries.
+    pub fn link_changes(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total changed entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.links.len()
+    }
+
+    /// Removes all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.links.clear();
+    }
+}
+
+/// An immutable, `Arc`-shared annotated topology at one epoch.
+///
+/// Cloning a snapshot is two `Arc` bumps; deriving the next epoch with
+/// [`NetSnapshot::apply`] copies only the touched metric array(s) and
+/// never the structure. Snapshots are `Send + Sync`, so many concurrent
+/// selection requests can share one snapshot stream.
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    structure: Arc<Topology>,
+    epoch: u64,
+    /// Load average per node index (network-node entries are carried but
+    /// never influence derived metrics).
+    load: Arc<[f64]>,
+    /// Consumed bandwidth per directed-link slot
+    /// (`edge_index * 2 + direction`).
+    used: Arc<[f64]>,
+}
+
+impl NetSnapshot {
+    /// Captures the annotations currently stored on `structure` as epoch 0.
+    pub fn capture(structure: Arc<Topology>) -> NetSnapshot {
+        let load: Vec<f64> = (0..structure.node_count())
+            .map(|i| structure.node(NodeId::from_index(i)).load_avg())
+            .collect();
+        let mut used = Vec::with_capacity(structure.link_count() * 2);
+        for e in structure.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                used.push(structure.link(e).used(dir));
+            }
+        }
+        NetSnapshot {
+            structure,
+            epoch: 0,
+            load: load.into(),
+            used: used.into(),
+        }
+    }
+
+    /// Builds an epoch-0 snapshot from explicit metric arrays.
+    ///
+    /// `load` holds one entry per node index; `used` one entry per
+    /// directed-link slot (`edge_index * 2 + direction`).
+    pub fn from_parts(structure: Arc<Topology>, load: Vec<f64>, used: Vec<f64>) -> NetSnapshot {
+        assert_eq!(load.len(), structure.node_count(), "load array length");
+        assert_eq!(
+            used.len(),
+            structure.link_count() * 2,
+            "used array length (one entry per directed slot)"
+        );
+        NetSnapshot {
+            structure,
+            epoch: 0,
+            load: load.into(),
+            used: used.into(),
+        }
+    }
+
+    /// The epoch counter: 0 at capture, +1 per [`NetSnapshot::apply`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared structure.
+    pub fn structure_arc(&self) -> &Arc<Topology> {
+        &self.structure
+    }
+
+    /// True when both snapshots share the *same* structure allocation —
+    /// the cheap test incremental consumers use to rule out structural
+    /// change.
+    pub fn same_structure(&self, other: &NetSnapshot) -> bool {
+        Arc::ptr_eq(&self.structure, &other.structure)
+    }
+
+    /// The raw load-average array (per node index).
+    pub fn load_values(&self) -> &[f64] {
+        &self.load
+    }
+
+    /// The raw utilization array (per directed-link slot).
+    pub fn used_values(&self) -> &[f64] {
+        &self.used
+    }
+
+    /// Derives the next epoch by applying a delta.
+    ///
+    /// Structural sharing: the structure `Arc` is always shared, and a
+    /// metric array is copied only when the delta touches it (an empty
+    /// delta shares both arrays and still advances the epoch).
+    pub fn apply(&self, delta: &NetDelta) -> NetSnapshot {
+        let load = if delta.nodes.is_empty() {
+            Arc::clone(&self.load)
+        } else {
+            let mut v = self.load.to_vec();
+            for &(n, l) in &delta.nodes {
+                v[n.index()] = l;
+            }
+            v.into()
+        };
+        let used = if delta.links.is_empty() {
+            Arc::clone(&self.used)
+        } else {
+            let mut v = self.used.to_vec();
+            for &(e, dir, u) in &delta.links {
+                v[dir_slot(e, dir)] = u;
+            }
+            v.into()
+        };
+        NetSnapshot {
+            structure: Arc::clone(&self.structure),
+            epoch: self.epoch + 1,
+            load,
+            used,
+        }
+    }
+
+    /// The delta that would turn `baseline`'s annotations into this
+    /// snapshot's, in ascending id / slot order. Entries are emitted for
+    /// every bitwise-unequal value.
+    ///
+    /// Both snapshots must annotate the same structure.
+    pub fn diff(&self, baseline: &NetSnapshot) -> NetDelta {
+        assert!(
+            self.same_structure(baseline),
+            "diff requires snapshots of the same structure"
+        );
+        let mut delta = NetDelta::default();
+        for (i, (&new, &old)) in self.load.iter().zip(baseline.load.iter()).enumerate() {
+            if new.to_bits() != old.to_bits() {
+                delta.nodes.push((NodeId::from_index(i), new));
+            }
+        }
+        for e in self.structure.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                let slot = dir_slot(e, dir);
+                if self.used[slot].to_bits() != baseline.used[slot].to_bits() {
+                    delta.links.push((e, dir, self.used[slot]));
+                }
+            }
+        }
+        delta
+    }
+
+    /// Materializes an owned, annotated [`Topology`] — the representation
+    /// the deprecated per-query path returns. Byte-identical to cloning
+    /// the structure and setting each measured annotation on it.
+    pub fn to_topology(&self) -> Topology {
+        let mut topo = (*self.structure).clone();
+        for id in self.structure.compute_nodes() {
+            topo.set_load_avg(id, self.load[id.index()]);
+        }
+        for e in self.structure.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                topo.set_link_used(e, dir, self.used[dir_slot(e, dir)]);
+            }
+        }
+        topo
+    }
+}
+
+impl NetMetrics for NetSnapshot {
+    fn structure(&self) -> &Topology {
+        &self.structure
+    }
+
+    fn load_avg(&self, n: NodeId) -> f64 {
+        self.load[n.index()]
+    }
+
+    fn used(&self, e: EdgeId, dir: Direction) -> f64 {
+        self.used[dir_slot(e, dir)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::star;
+    use crate::units::MBPS;
+
+    fn loaded_star() -> (Arc<Topology>, Vec<NodeId>) {
+        let (mut topo, ids) = star(3, 100.0 * MBPS);
+        topo.set_load_avg(ids[0], 1.0);
+        let e = topo.edge_ids().next().unwrap();
+        topo.set_link_used(e, Direction::AtoB, 40.0 * MBPS);
+        (Arc::new(topo), ids)
+    }
+
+    #[test]
+    fn capture_matches_topology_metrics() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(Arc::clone(&topo));
+        assert_eq!(snap.epoch(), 0);
+        for i in 0..topo.node_count() {
+            let n = NodeId::from_index(i);
+            assert_eq!(snap.cpu(n).to_bits(), topo.node(n).cpu().to_bits());
+            assert_eq!(
+                snap.effective_cpu(n).to_bits(),
+                topo.node(n).effective_cpu().to_bits()
+            );
+        }
+        for e in topo.edge_ids() {
+            assert_eq!(snap.bw(e).to_bits(), topo.link(e).bw().to_bits());
+            assert_eq!(snap.maxbw(e).to_bits(), topo.link(e).maxbw().to_bits());
+            assert_eq!(
+                snap.bwfactor(e).to_bits(),
+                topo.link(e).bwfactor().to_bits()
+            );
+        }
+        let _ = ids;
+    }
+
+    #[test]
+    fn apply_shares_untouched_arrays() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(topo);
+        let next = snap.apply(&NetDelta {
+            nodes: vec![(ids[1], 2.0)],
+            links: vec![],
+        });
+        assert_eq!(next.epoch(), 1);
+        assert!(snap.same_structure(&next));
+        // The untouched array is shared, the touched one is not.
+        assert!(Arc::ptr_eq(&snap.used, &next.used));
+        assert!(!Arc::ptr_eq(&snap.load, &next.load));
+        assert_eq!(next.load_avg(ids[1]), 2.0);
+        assert_eq!(next.load_avg(ids[0]), 1.0);
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let (topo, ids) = loaded_star();
+        let a = NetSnapshot::capture(Arc::clone(&topo));
+        let e = topo.edge_ids().nth(1).unwrap();
+        let b = a.apply(&NetDelta {
+            nodes: vec![(ids[2], 0.5)],
+            links: vec![(e, Direction::BtoA, 7.0 * MBPS)],
+        });
+        let d = b.diff(&a);
+        assert_eq!(d.node_changes(), 1);
+        assert_eq!(d.link_changes(), 1);
+        assert_eq!(d.len(), 2);
+        let b2 = a.apply(&d);
+        assert_eq!(b.load_values(), b2.load_values());
+        assert_eq!(b.used_values(), b2.used_values());
+        assert!(b.diff(&b2).is_empty());
+    }
+
+    #[test]
+    fn to_topology_matches_clone_and_set() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(Arc::clone(&topo)).apply(&NetDelta {
+            nodes: vec![(ids[0], 3.0)],
+            links: vec![],
+        });
+        let t = snap.to_topology();
+        assert_eq!(t.node(ids[0]).load_avg(), 3.0);
+        for e in topo.edge_ids() {
+            assert_eq!(
+                t.link(e).used(Direction::AtoB).to_bits(),
+                snap.used(e, Direction::AtoB).to_bits()
+            );
+        }
+        // The materialized topology reports the same derived metrics.
+        for i in 0..t.node_count() {
+            let n = NodeId::from_index(i);
+            assert_eq!(t.node(n).cpu().to_bits(), snap.cpu(n).to_bits());
+        }
+    }
+}

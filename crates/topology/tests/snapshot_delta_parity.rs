@@ -1,0 +1,189 @@
+//! Properties of the versioned snapshot layer: `apply`/`diff` round-trip
+//! exactly, and a snapshot's derived metrics agree bitwise with the
+//! equivalent mutated [`Topology`].
+//!
+//! Random connected topologies (trees plus chords) with random
+//! annotations, random deltas touching a subset of nodes and directed
+//! links, and chains of several epochs.
+
+use std::sync::Arc;
+
+use nodesel_topology::builders::random_tree;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{Direction, NetDelta, NetMetrics, NetSnapshot, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random connected topology: a random tree plus up to four chords, with
+/// random loads and per-direction link utilization.
+fn random_topology(seed: u64, computes: usize, networks: usize, chords: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut topo, compute_ids) = random_tree(&mut rng, computes, networks, 100.0 * MBPS);
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    for _ in 0..chords {
+        let a = all[rng.random_range(0..all.len())];
+        let b = all[rng.random_range(0..all.len())];
+        if a != b {
+            topo.add_link(a, b, 100.0 * MBPS);
+        }
+    }
+    for n in compute_ids {
+        topo.set_load_avg(n, rng.random_range(0.0..4.0));
+    }
+    for e in topo.edge_ids().collect::<Vec<_>>() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            let cap = topo.link(e).capacity(dir);
+            topo.set_link_used(e, dir, cap * rng.random_range(0.0..0.95));
+        }
+    }
+    topo
+}
+
+/// Random delta in the collector's contract: compute-node loads and
+/// directed-link utilizations, in ascending id / slot order.
+fn random_delta(seed: u64, topo: &Topology) -> NetDelta {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut delta = NetDelta::default();
+    for n in topo.compute_nodes() {
+        if rng.random_range(0..3) == 0 {
+            delta.nodes.push((n, rng.random_range(0.0..4.0)));
+        }
+    }
+    for e in topo.edge_ids() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            if rng.random_range(0..3) == 0 {
+                let cap = topo.link(e).capacity(dir);
+                delta
+                    .links
+                    .push((e, dir, cap * rng.random_range(0.0..0.95)));
+            }
+        }
+    }
+    delta
+}
+
+/// The subset of `delta` whose values actually differ bitwise from what
+/// `base` already holds — the entries `diff` is specified to emit.
+fn effective(delta: &NetDelta, base: &NetSnapshot) -> NetDelta {
+    NetDelta {
+        nodes: delta
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&(n, l)| l.to_bits() != base.load_values()[n.index()].to_bits())
+            .collect(),
+        links: delta
+            .links
+            .iter()
+            .copied()
+            .filter(|&(e, dir, u)| {
+                let slot = e.index() * 2 + dir as usize;
+                u.to_bits() != base.used_values()[slot].to_bits()
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_then_diff_recovers_the_delta(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+    ) {
+        let topo = random_topology(seed, computes, networks, chords);
+        let base = NetSnapshot::capture(Arc::new(topo));
+        let delta = random_delta(seed, base.structure());
+        let next = base.apply(&delta);
+        prop_assert_eq!(next.epoch(), base.epoch() + 1);
+        prop_assert!(next.same_structure(&base));
+        prop_assert_eq!(next.diff(&base), effective(&delta, &base));
+    }
+
+    #[test]
+    fn snapshot_metrics_match_the_mutated_topology(
+        seed in 0u64..100_000,
+        computes in 2usize..12,
+        networks in 0usize..8,
+        chords in 0usize..4,
+    ) {
+        let topo = random_topology(seed, computes, networks, chords);
+        let base = NetSnapshot::capture(Arc::new(topo.clone()));
+        let delta = random_delta(seed, &topo);
+
+        // Reference: the same changes applied to an owned Topology.
+        let mut mutated = topo;
+        for &(n, l) in &delta.nodes {
+            mutated.set_load_avg(n, l);
+        }
+        for &(e, dir, u) in &delta.links {
+            mutated.set_link_used(e, dir, u);
+        }
+
+        let next = base.apply(&delta);
+        for n in mutated.node_ids() {
+            prop_assert_eq!(next.load_avg(n).to_bits(), mutated.load_avg(n).to_bits());
+            prop_assert_eq!(next.cpu(n).to_bits(), mutated.cpu(n).to_bits());
+            prop_assert_eq!(
+                next.effective_cpu(n).to_bits(),
+                mutated.effective_cpu(n).to_bits()
+            );
+        }
+        for e in mutated.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                prop_assert_eq!(next.used(e, dir).to_bits(), mutated.used(e, dir).to_bits());
+                prop_assert_eq!(
+                    next.available(e, dir).to_bits(),
+                    mutated.available(e, dir).to_bits()
+                );
+            }
+            prop_assert_eq!(next.bw(e).to_bits(), mutated.bw(e).to_bits());
+            prop_assert_eq!(next.bwfactor(e).to_bits(), mutated.bwfactor(e).to_bits());
+        }
+
+        // Materialization agrees with the mutated reference everywhere.
+        let owned = next.to_topology();
+        for n in mutated.node_ids() {
+            prop_assert_eq!(
+                owned.node(n).load_avg().to_bits(),
+                mutated.node(n).load_avg().to_bits()
+            );
+        }
+        for e in mutated.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                prop_assert_eq!(
+                    owned.link(e).used(dir).to_bits(),
+                    mutated.link(e).used(dir).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_epochs_diff_and_replay_exactly(
+        seed in 0u64..100_000,
+        computes in 2usize..10,
+        networks in 0usize..6,
+        chords in 0usize..3,
+        steps in 1usize..5,
+    ) {
+        let topo = random_topology(seed, computes, networks, chords);
+        let base = NetSnapshot::capture(Arc::new(topo));
+        let mut tip = base.clone();
+        for step in 0..steps {
+            let delta = random_delta(seed.wrapping_add(step as u64), tip.structure());
+            tip = tip.apply(&delta);
+        }
+        prop_assert_eq!(tip.epoch(), steps as u64);
+        // Replaying the cumulative diff onto the base reproduces every
+        // annotation bitwise.
+        let replayed = base.apply(&tip.diff(&base));
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(replayed.load_values()), bits(tip.load_values()));
+        prop_assert_eq!(bits(replayed.used_values()), bits(tip.used_values()));
+    }
+}

@@ -6,7 +6,7 @@
 //! Run with: `cargo run -p nodesel-experiments --example client_server`
 
 use nodesel_core::{select, Constraints, GreedyPolicy, Objective, SelectionRequest, Weights};
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 use nodesel_topology::units::MBPS;
@@ -24,7 +24,7 @@ fn main() {
     }
     sim.start_transfer(tb.m(2), tb.m(12), 1e15, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
 
     // The server must run on m-7 (say, the only machine with the right
     // binaries); clients may only use the gibraltar pool m-7..m-16.

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run -p nodesel-experiments --example migration`
 
-use nodesel_core::migration::{advise, OwnUsage};
-use nodesel_core::{select, SelectionRequest};
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_core::migration::{Advisor, OwnUsage};
+use nodesel_core::{BalancedSelector, SelectionRequest, Selector};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 
@@ -19,9 +19,11 @@ fn main() {
     let mut sim = Sim::new(tb.topo.clone());
     let remos = Remos::install(&mut sim, CollectorConfig::default());
 
-    // Initial placement on the idle testbed.
+    // Initial placement on the idle testbed, from the collector's
+    // versioned snapshot.
     let request = SelectionRequest::balanced(4);
-    let initial = select(&remos.logical_topology(&sim, Estimator::Latest), &request).unwrap();
+    let mut selector = BalancedSelector::new();
+    let initial = selector.select(&remos.snapshot(&sim), &request).unwrap();
     let name = |n| tb.topo.node(n).name().to_string();
     let placed: Vec<String> = initial.nodes.iter().map(|&n| name(n)).collect();
     println!("initial placement: {placed:?} (score {:.2})", initial.score);
@@ -32,7 +34,10 @@ fn main() {
     }
     let own = OwnUsage::one_process_per_node(&initial.nodes);
 
-    // Check periodically while the environment degrades.
+    // Check periodically while the environment degrades. The advisor
+    // keeps its selector primed across epochs: checks where only node
+    // loads moved are replayed incrementally, not re-solved.
+    let mut advisor = Advisor::new(request.clone(), 0.25);
     println!("\n t(s)  current  best   recommend  move");
     for step in 0..6 {
         sim.run_for(120.0);
@@ -44,8 +49,8 @@ fn main() {
                 }
             }
         }
-        let snapshot = remos.logical_topology(&sim, Estimator::Latest);
-        let advice = advise(&snapshot, &initial.nodes, &own, &request, 0.25).unwrap();
+        let snapshot = remos.snapshot(&sim);
+        let advice = advisor.advise(&snapshot, &initial.nodes, &own).unwrap();
         let vacated: Vec<String> = advice
             .vacated(&initial.nodes)
             .iter()

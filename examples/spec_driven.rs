@@ -6,7 +6,7 @@
 //! Run with: `cargo run -p nodesel-experiments --example spec_driven`
 
 use nodesel_core::spec::{select_for_spec, AppSpec, CommPattern};
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 use std::collections::HashSet;
@@ -22,7 +22,7 @@ fn main() {
     }
     sim.start_transfer(tb.m(9), tb.m(17), 1e15, |_| {});
     sim.run_for(120.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     let names = |nodes: &[nodesel_topology::NodeId]| {
         nodes
             .iter()

@@ -6,7 +6,7 @@ use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_remos::{CollectorConfig, Estimator, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
-use nodesel_topology::Direction;
+use nodesel_topology::{Direction, NetMetrics};
 
 #[test]
 fn measured_topology_tracks_oracle_under_generators() {
@@ -18,18 +18,18 @@ fn measured_topology_tracks_oracle_under_generators() {
     install_traffic(&mut sim, &machines, TrafficConfig::paper_defaults(), 43);
     sim.run_for(1_500.0);
 
-    let measured = remos.logical_topology(&sim, Estimator::Latest);
+    let measured = remos.snapshot(&sim);
     let oracle = sim.oracle_snapshot();
 
     // Load averages: within an absolute band (the collector samples the
     // same damped quantity, so only inter-sample drift separates them).
     for n in oracle.compute_nodes() {
-        let diff = (measured.node(n).load_avg() - oracle.node(n).load_avg()).abs();
+        let diff = (measured.load_avg(n) - oracle.node(n).load_avg()).abs();
         assert!(
             diff < 0.75,
             "load mismatch on {}: measured {}, oracle {}",
             oracle.node(n).name(),
-            measured.node(n).load_avg(),
+            measured.load_avg(n),
             oracle.node(n).load_avg()
         );
     }
@@ -39,7 +39,7 @@ fn measured_topology_tracks_oracle_under_generators() {
     for e in oracle.edge_ids() {
         for dir in [Direction::AtoB, Direction::BtoA] {
             let cap = oracle.link(e).capacity(dir);
-            assert!(measured.link(e).used(dir) <= cap * (1.0 + 1e-9));
+            assert!(measured.used(e, dir) <= cap * (1.0 + 1e-9));
         }
     }
 }
@@ -62,10 +62,7 @@ fn longer_periods_mean_staler_views() {
             sim.start_compute(tb.m(1), 1e9, |_| {});
         }
         sim.run_for(30.0);
-        remos
-            .logical_topology(&sim, Estimator::Latest)
-            .node(tb.m(1))
-            .load_avg()
+        remos.snapshot(&sim).load_avg(tb.m(1))
     };
     // A 5 s collector has seen the burst; a 600 s collector has not.
     let fresh = build(5.0);
@@ -76,20 +73,31 @@ fn longer_periods_mean_staler_views() {
 
 #[test]
 fn window_mean_smooths_but_lags() {
-    let tb = cmu_testbed();
-    let mut sim = Sim::new(tb.topo.clone());
-    let remos = Remos::install(&mut sim, CollectorConfig::default());
-    // Load appears at t=300 and persists.
-    sim.run_for(300.0);
-    for _ in 0..3 {
-        sim.start_compute(tb.m(5), 1e9, |_| {});
-    }
-    sim.run_for(45.0);
-    let latest = remos.logical_topology(&sim, Estimator::Latest);
-    let meaned = remos.logical_topology(&sim, Estimator::WindowMean);
+    // The collector's snapshot stream follows the configured estimator;
+    // run the identical deterministic scenario under each.
+    let view = |estimator: Estimator| {
+        let tb = cmu_testbed();
+        let mut sim = Sim::new(tb.topo.clone());
+        let remos = Remos::install(
+            &mut sim,
+            CollectorConfig {
+                estimator,
+                ..CollectorConfig::default()
+            },
+        );
+        // Load appears at t=300 and persists.
+        sim.run_for(300.0);
+        for _ in 0..3 {
+            sim.start_compute(tb.m(5), 1e9, |_| {});
+        }
+        sim.run_for(45.0);
+        remos.snapshot(&sim).load_avg(tb.m(5))
+    };
+    let latest = view(Estimator::Latest);
+    let meaned = view(Estimator::WindowMean);
     // Both see load, but the windowed view lags the step change.
-    assert!(latest.node(tb.m(5)).load_avg() > meaned.node(tb.m(5)).load_avg());
-    assert!(meaned.node(tb.m(5)).load_avg() > 0.0);
+    assert!(latest > meaned);
+    assert!(meaned > 0.0);
 }
 
 #[test]

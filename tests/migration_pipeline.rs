@@ -4,7 +4,7 @@
 
 use nodesel_core::migration::{advise, OwnUsage};
 use nodesel_core::SelectionRequest;
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 
@@ -20,7 +20,7 @@ fn own_footprint_does_not_trigger_migration() {
     sim.run_for(600.0);
     // The measured topology shows load ≈ 1.0 on our nodes — all of it
     // ours. After discounting, there is nothing to flee from.
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     assert!(snapshot.node(tb.m(1)).load_avg() > 0.9);
     let advice = advise(
         &snapshot,
@@ -49,7 +49,7 @@ fn competing_load_triggers_migration_to_quiet_nodes() {
         sim.start_compute(tb.m(2), 1e9, |_| {});
     }
     sim.run_for(600.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     let advice = advise(
         &snapshot,
         &placed,

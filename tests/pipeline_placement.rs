@@ -4,7 +4,7 @@
 
 use nodesel_apps::{launch_pipeline, PipelineProgram, PipelineStage};
 use nodesel_core::spec::{select_for_spec, AppSpec, CommPattern};
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 use nodesel_topology::units::MBPS;
@@ -51,7 +51,7 @@ fn spec_placed_pipeline_avoids_the_congested_trunk() {
         sim.start_transfer(tb.m(10 + i), tb.m(4 + i), 1e15, |_| {});
     }
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
 
     let spec = AppSpec {
         comm_fraction: 0.7,

@@ -3,7 +3,7 @@
 
 use nodesel_core::{balanced, Constraints, GreedyPolicy, Weights};
 use nodesel_experiments::run_fig4_scenario;
-use nodesel_remos::{CollectorConfig, Estimator, Remos};
+use nodesel_remos::{CollectorConfig, Remos};
 use nodesel_simnet::Sim;
 use nodesel_topology::testbeds::cmu_testbed;
 
@@ -32,7 +32,7 @@ fn selection_avoids_streams_everywhere() {
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         sim.start_transfer(tb.m(src), tb.m(dst), 1e15, |_| {});
         sim.run_for(60.0);
-        let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+        let snapshot = remos.snapshot(&sim).to_topology();
         let sel = balanced(
             &snapshot,
             4,
@@ -65,7 +65,7 @@ fn oversized_requests_still_succeed() {
     let remos = Remos::install(&mut sim, CollectorConfig::default());
     sim.start_transfer(tb.m(16), tb.m(18), 1e15, |_| {});
     sim.run_for(60.0);
-    let snapshot = remos.logical_topology(&sim, Estimator::Latest);
+    let snapshot = remos.snapshot(&sim).to_topology();
     let sel = balanced(
         &snapshot,
         17,
