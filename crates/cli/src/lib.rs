@@ -161,6 +161,9 @@ pub fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         "figure1" => testbeds::figure1().topo,
         "star" => {
             let n = need(pos.next_positional(), "leaf count")?;
+            if n == 0 {
+                return Err(err("star needs at least one leaf"));
+            }
             builders::star(n, builders::DEFAULT_CAPACITY).0
         }
         "dumbbell" => {
@@ -174,16 +177,25 @@ pub fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         }
         "ring" => {
             let n = need(pos.next_positional(), "node count")?;
+            if n < 3 {
+                return Err(err("a ring needs at least three nodes"));
+            }
             builders::ring(n, builders::DEFAULT_CAPACITY).0
         }
         "grid" => {
             let r = need(pos.next_positional(), "rows")?;
             let c = need(pos.next_positional(), "cols")?;
+            if r == 0 || c == 0 {
+                return Err(err("grid needs at least one row and one column"));
+            }
             builders::grid(r, c, builders::DEFAULT_CAPACITY).0
         }
         "random" => {
             let compute = need(pos.next_positional(), "compute count")?;
             let network = need(pos.next_positional(), "network count")?;
+            if compute + network == 0 {
+                return Err(err("random needs at least one node"));
+            }
             let mut rng = StdRng::seed_from_u64(seed);
             builders::random_tree(&mut rng, compute, network, builders::DEFAULT_CAPACITY).0
         }
@@ -198,6 +210,9 @@ pub fn cmd_perturb(json: &str, args: &[String]) -> Result<String, CliError> {
     let seed = parse_usize(args, "--seed")?.unwrap_or(0) as u64;
     let max_load = parse_f64(args, "--max-load")?.unwrap_or(3.0);
     let max_util = parse_f64(args, "--max-util")?.unwrap_or(0.9);
+    if !(max_load >= 0.0 && max_load.is_finite()) {
+        return Err(err("--max-load must be a non-negative number"));
+    }
     if !(0.0..=1.0).contains(&max_util) {
         return Err(err("--max-util must be in [0, 1]"));
     }
@@ -225,9 +240,15 @@ pub fn cmd_select(json: &str, args: &[String]) -> Result<String, CliError> {
 
     let mut weights = Weights::EQUAL;
     if let Some(f) = parse_f64(args, "--compute-priority")? {
+        if !(f > 0.0 && f.is_finite()) {
+            return Err(err("--compute-priority must be a positive number"));
+        }
         weights = Weights::compute_priority(f);
     }
     if let Some(f) = parse_f64(args, "--comm-priority")? {
+        if !(f > 0.0 && f.is_finite()) {
+            return Err(err("--comm-priority must be a positive number"));
+        }
         weights = Weights::comm_priority(f);
     }
 
@@ -247,6 +268,9 @@ pub fn cmd_select(json: &str, args: &[String]) -> Result<String, CliError> {
     }
 
     let selection: Selection = if let Some(ms) = parse_f64(args, "--max-latency")? {
+        if !(ms >= 0.0 && ms.is_finite()) {
+            return Err(err("--max-latency must be a non-negative number"));
+        }
         select_within_latency(&topo, m, ms / 1e3, weights, &constraints, policy)
             .map_err(|e| err(e.to_string()))?
     } else {
@@ -360,6 +384,25 @@ mod tests {
         assert!(cmd_generate(&s(&["star"])).is_err());
         assert!(cmd_generate(&s(&["star", "x"])).is_err());
         assert!(cmd_generate(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn degenerate_sizes_are_errors_not_panics() {
+        // Builder assertions must not be reachable from the command line.
+        assert!(cmd_generate(&s(&["star", "0"])).is_err());
+        assert!(cmd_generate(&s(&["ring", "2"])).is_err());
+        assert!(cmd_generate(&s(&["grid", "0", "3"])).is_err());
+        assert!(cmd_generate(&s(&["random", "0", "0"])).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_flags_are_errors_not_panics() {
+        let json = cmd_generate(&s(&["star", "6"])).unwrap();
+        assert!(cmd_perturb(&json, &s(&["--max-load", "-1"])).is_err());
+        assert!(cmd_perturb(&json, &s(&["--max-load", "NaN"])).is_err());
+        assert!(cmd_select(&json, &s(&["-m", "2", "--compute-priority", "0"])).is_err());
+        assert!(cmd_select(&json, &s(&["-m", "2", "--comm-priority", "-3"])).is_err());
+        assert!(cmd_select(&json, &s(&["-m", "2", "--max-latency", "-1"])).is_err());
     }
 
     #[test]

@@ -177,7 +177,14 @@ impl<'a, T: NetMetrics> Context<'a, T> {
             let ok_cpu = constraints
                 .min_cpu
                 .is_none_or(|c| net.effective_cpu(n) >= c);
-            eligible[n.index()] = ok_allowed && ok_cpu;
+            // Availability gating, uniform across all three algorithms: a
+            // node reported down is never selectable, and a staleness cap
+            // (when requested) excludes nodes whose state is unknown.
+            let ok_health = net.node_available(n)
+                && constraints
+                    .max_staleness
+                    .is_none_or(|s| net.node_staleness(n) <= s);
+            eligible[n.index()] = ok_allowed && ok_cpu && ok_health;
         }
         for &r in &constraints.required {
             if r.index() >= topo.node_count() || !topo.node(r).is_compute() || !eligible[r.index()]
@@ -204,10 +211,19 @@ impl<'a, T: NetMetrics> Context<'a, T> {
         })
     }
 
-    /// The starting view: the measured graph minus every edge that cannot
-    /// satisfy an absolute bandwidth floor (§3.3 fixed requirements).
+    /// The starting view: the measured graph minus every link reported
+    /// down (faulted or partitioned away — no algorithm may route through
+    /// it) and minus every edge that cannot satisfy an absolute bandwidth
+    /// floor (§3.3 fixed requirements).
     fn base_view(&self, constraints: &Constraints) -> GraphView<'a> {
         let mut view = GraphView::new(self.net.structure());
+        let dead: Vec<_> = view
+            .live_edges()
+            .filter(|&e| !self.net.link_available(e))
+            .collect();
+        for e in dead {
+            view.remove_edge(e);
+        }
         if let Some(floor) = constraints.min_bandwidth {
             let below: Vec<_> = view
                 .live_edges()

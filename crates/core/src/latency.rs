@@ -128,6 +128,7 @@ pub fn select_within_latency(
             required: constraints.required.clone(),
             min_cpu: constraints.min_cpu,
             min_bandwidth: constraints.min_bandwidth,
+            max_staleness: constraints.max_staleness,
         };
         let Ok(sel) = balanced(topo, m, weights, &sub, None, policy) else {
             continue;

@@ -29,6 +29,18 @@
 //! topology layer); and dynamic [`migration`] advice that discounts the
 //! application's own footprint.
 //!
+//! # Availability
+//!
+//! Selection consumes the health annotations carried by
+//! [`nodesel_topology::NetMetrics`]: nodes reported down are never
+//! eligible, links reported down are removed from the working view before
+//! any bandwidth reasoning, confidence decay on stale measurements
+//! penalizes candidates with aging data, and
+//! [`Constraints::max_staleness`] excludes them outright. The
+//! [`supervisor`] module layers a re-selection policy (failure-triggered
+//! refresh, hysteresis, exponential backoff) on top for long-running
+//! applications on faulty networks.
+//!
 //! # Ground truth
 //!
 //! [`exhaustive_select`] provides a brute-force optimum for test-sized
@@ -79,6 +91,7 @@ mod request;
 pub mod selector;
 pub mod sizing;
 pub mod spec;
+pub mod supervisor;
 mod weights;
 
 pub use algorithms::{
@@ -98,6 +111,7 @@ pub use selector::{
 };
 pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
 pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};
+pub use supervisor::{Supervisor, SupervisorCheck, SupervisorPolicy, SupervisorVerdict};
 pub use weights::Weights;
 
 /// Errors produced by the selection procedures.

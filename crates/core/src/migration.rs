@@ -307,7 +307,7 @@ mod tests {
         // Three competing jobs pile onto the first node.
         let churn = NetDelta {
             nodes: vec![(ids[0], 4.0)],
-            links: Vec::new(),
+            ..NetDelta::default()
         };
         let next = snap.apply(&churn);
         let second = advisor.advise(&next, &[ids[0], ids[1]], &own).unwrap();

@@ -35,6 +35,12 @@ pub struct Constraints {
     pub min_cpu: Option<f64>,
     /// Minimum available bandwidth (bits/s) between every selected pair.
     pub min_bandwidth: Option<f64>,
+    /// Maximum tolerated measurement staleness, in missed samples: nodes
+    /// whose annotations are older than this are ineligible (their state
+    /// is unknown, not merely degraded). `None` accepts any age — stale
+    /// nodes are then only penalized through confidence decay. Nodes
+    /// reported *down* are always ineligible regardless of this setting.
+    pub max_staleness: Option<u32>,
 }
 
 impl Constraints {
@@ -49,6 +55,7 @@ impl Constraints {
             && self.required.is_empty()
             && self.min_cpu.is_none()
             && self.min_bandwidth.is_none()
+            && self.max_staleness.is_none()
     }
 }
 

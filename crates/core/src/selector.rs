@@ -28,8 +28,11 @@
 //!
 //! `refresh` re-primes (bit-identical to a fresh `select` by
 //! construction) when the snapshot's structure `Arc` changed, when the
-//! delta touches link metrics the cached skeleton depends on, or when the
-//! request itself makes the skeleton metric-dependent: a `required` set
+//! delta touches link metrics the cached skeleton depends on, when the
+//! delta carries any availability or staleness transition (dead links
+//! leave the starting view and dead or too-stale nodes leave the
+//! eligible set, so the skeleton itself moves), or when the request
+//! itself makes the skeleton metric-dependent: a `required` set
 //! or a `min_cpu` floor (eligibility then moves with the metrics), the
 //! [`GreedyPolicy::Faithful`] stopping rule (score-dependent), or a
 //! non-finite/non-positive reference bandwidth.
@@ -214,8 +217,11 @@ impl Selector for MaxComputeSelector {
         let p = self.primed.as_mut().expect(REFRESH_BEFORE_SELECT);
         // Link churn leaves the components and picks alone unless a
         // bandwidth floor filters the starting view by link metrics.
+        // Health transitions always re-solve: they move eligibility and
+        // the starting view.
         let fallback = !Arc::ptr_eq(&p.structure, snap.structure_arc())
             || !p.incremental
+            || delta.has_health_changes()
             || (delta.link_changes() > 0 && p.request.constraints.min_bandwidth.is_some());
         if fallback {
             let request = p.request.clone();
@@ -311,10 +317,13 @@ impl Selector for MaxBandwidthSelector {
 
     fn refresh(&mut self, snap: &NetSnapshot, delta: &NetDelta) -> Result<Selection, SelectError> {
         let p = self.primed.as_mut().expect(REFRESH_BEFORE_SELECT);
-        // Any link churn can reorder the deletion sequence: re-solve.
+        // Any link churn can reorder the deletion sequence, and any
+        // health transition moves eligibility or the starting view:
+        // re-solve.
         let fallback = !Arc::ptr_eq(&p.structure, snap.structure_arc())
             || !p.incremental
-            || delta.link_changes() > 0;
+            || delta.link_changes() > 0
+            || delta.has_health_changes();
         if fallback {
             let request = p.request.clone();
             return self.select(snap, &request);
@@ -503,10 +512,12 @@ impl Selector for BalancedSelector {
     fn refresh(&mut self, snap: &NetSnapshot, delta: &NetDelta) -> Result<Selection, SelectError> {
         let p = self.primed.as_mut().expect(REFRESH_BEFORE_SELECT);
         // Link churn moves edge fractions, hence the deletion order and
-        // the whole recorded history: re-solve.
+        // the whole recorded history; health transitions move eligibility
+        // or the starting view: re-solve.
         let fallback = !Arc::ptr_eq(&p.structure, snap.structure_arc())
             || !p.incremental
-            || delta.link_changes() > 0;
+            || delta.link_changes() > 0
+            || delta.has_health_changes();
         if fallback {
             let request = p.request.clone();
             return self.select(snap, &request);
@@ -561,7 +572,7 @@ mod tests {
             // fresh solve on the churned snapshot exactly.
             let delta = NetDelta {
                 nodes: first.nodes.iter().map(|&n| (n, 4.0)).collect(),
-                links: Vec::new(),
+                ..NetDelta::default()
             };
             let next = snap.apply(&delta);
             let refreshed = sel.refresh(&next, &delta).unwrap();
@@ -587,13 +598,13 @@ mod tests {
         // Congest the access links of the first two nodes.
         let edges: Vec<_> = snap.structure_arc().edge_ids().collect();
         let delta = NetDelta {
-            nodes: Vec::new(),
             links: vec![
                 (edges[0], Direction::AtoB, 90.0 * MBPS),
                 (edges[0], Direction::BtoA, 90.0 * MBPS),
                 (edges[1], Direction::AtoB, 90.0 * MBPS),
                 (edges[1], Direction::BtoA, 90.0 * MBPS),
             ],
+            ..NetDelta::default()
         };
         let next = snap.apply(&delta);
         let refreshed = sel.refresh(&next, &delta).unwrap();
@@ -628,7 +639,7 @@ mod tests {
         ));
         let delta = NetDelta {
             nodes: vec![(ids[0], 1.0)],
-            links: Vec::new(),
+            ..NetDelta::default()
         };
         let next = snap.apply(&delta);
         assert!(matches!(

@@ -203,6 +203,7 @@ pub fn select_for_spec(topo: &Topology, spec: &AppSpec) -> Result<SpecSelection,
                         required: spec.placement.required.clone(),
                         min_cpu: spec.placement.min_cpu,
                         min_bandwidth: None,
+                        ..Constraints::none()
                     },
                 },
                 GroupSpec {
@@ -213,6 +214,7 @@ pub fn select_for_spec(topo: &Topology, spec: &AppSpec) -> Result<SpecSelection,
                         required: Vec::new(),
                         min_cpu: spec.placement.min_cpu,
                         min_bandwidth: None,
+                        ..Constraints::none()
                     },
                 },
             ],

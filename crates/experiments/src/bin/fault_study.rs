@@ -1,0 +1,41 @@
+//! Races random, automatic and supervised placement against seeded fault
+//! plans and prints completion rate, turnaround, time-to-recover and
+//! re-selection counts. `--smoke` shrinks the run for CI.
+
+use nodesel_experiments::fault_study::{render_fault_table, run_fault_study, FaultStudyConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (config, reps) = if smoke {
+        (
+            FaultStudyConfig {
+                units: 3,
+                unit_iterations: 8,
+                warmup: 120.0,
+                deadline: 1200.0,
+                crash_after: 10.0,
+                ..FaultStudyConfig::default()
+            },
+            2,
+        )
+    } else {
+        (FaultStudyConfig::default(), 8)
+    };
+
+    println!("=== Fault study: permanent crash of the best node ===");
+    println!(
+        "{} work units x {} FFT iterations, crash at launch+{:.0}s, deadline {:.0}s, {} seeds",
+        config.units, config.unit_iterations, config.crash_after, config.deadline, reps
+    );
+    let cells = run_fault_study(&config, 42, reps);
+    print!("{}", render_fault_table(&cells));
+
+    let rebooting = FaultStudyConfig {
+        reboot_after: Some(600.0),
+        ..config
+    };
+    println!();
+    println!("=== Fault study: crash with reboot after 600 s ===");
+    let cells = run_fault_study(&rebooting, 42, reps);
+    print!("{}", render_fault_table(&cells));
+}

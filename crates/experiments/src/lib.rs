@@ -8,6 +8,9 @@
 //! * [`service_churn`] — a resident placement service polling the
 //!   collector's versioned snapshot stream and refreshing a primed
 //!   selector from epoch deltas;
+//! * [`fault_study`] — random vs automatic vs supervised placement
+//!   racing seeded fault plans (node crashes, optional reboots) against
+//!   a deadline;
 //! * [`driver`] — the single-trial machinery both are built on, reusable
 //!   by the Criterion benches and ablations. Trials split at the warm-up
 //!   boundary: a warmed simulator is [`nodesel_simnet::Sim::fork`]ed per
@@ -22,6 +25,7 @@
 #![deny(unsafe_code)]
 
 pub mod driver;
+pub mod fault_study;
 pub mod migration_study;
 pub mod scenario;
 pub mod sensitivity;
@@ -32,6 +36,10 @@ pub mod tomography;
 pub use driver::{
     mean, run_trial, run_trials, warm_trial, Condition, Strategy, Testbed, TrialConfig,
     TrialResult, WarmTrial,
+};
+pub use fault_study::{
+    render_fault_table, run_fault_study, run_fault_trial, FaultCell, FaultOutcome, FaultStrategy,
+    FaultStudyConfig,
 };
 pub use scenario::{run_fig4_scenario, Fig4Outcome};
 pub use sensitivity::{

@@ -5,8 +5,11 @@
 //! suite in `nodesel-simnet`.
 
 use nodesel_apps::AppModel;
+use nodesel_core::{BalancedSelector, SelectionRequest, Selector};
 use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
-use nodesel_simnet::FlowEngine;
+use nodesel_loadgen::{install_load, LoadConfig};
+use nodesel_remos::{CollectorConfig, Remos};
+use nodesel_simnet::{install_faults, FaultPlan, FlowEngine};
 
 #[test]
 fn trials_are_engine_independent() {
@@ -34,6 +37,54 @@ fn trials_are_engine_independent() {
                 );
                 assert_eq!(a.nodes, b.nodes, "selection diverged");
             }
+        }
+    }
+}
+
+/// Installing an *empty* `FaultPlan` must be invisible: the driver
+/// schedules nothing, so warm-up, collection, and selection are
+/// bit-identical to a run without the fault subsystem installed at all.
+/// This pins the pre-PR behavior of every fault-free experiment.
+#[test]
+fn empty_fault_plan_is_invisible() {
+    let testbed = Testbed::cmu();
+    for engine in [FlowEngine::Incremental, FlowEngine::Reference] {
+        for seed in [3u64, 11] {
+            let run = |with_plan: bool| {
+                let mut sim = testbed.sim(engine);
+                let remos = Remos::install(&mut sim, CollectorConfig::default());
+                install_load(
+                    &mut sim,
+                    &testbed.machines,
+                    LoadConfig::paper_defaults(),
+                    seed ^ 0x10AD,
+                );
+                if with_plan {
+                    let plan = FaultPlan::default();
+                    assert!(plan.is_empty());
+                    install_faults(&mut sim, &plan);
+                }
+                sim.run_for(600.0);
+                let snap = remos.snapshot(&sim);
+                let bits: Vec<u64> = snap
+                    .load_values()
+                    .iter()
+                    .chain(snap.used_values())
+                    .map(|v| v.to_bits())
+                    .collect();
+                let nodes = BalancedSelector::new()
+                    .select(&snap, &SelectionRequest::balanced(4))
+                    .expect("fault-free selection succeeds")
+                    .nodes;
+                assert!(snap.node_avail_values().iter().all(|&up| up));
+                assert!(snap.node_stale_values().iter().all(|&s| s == 0));
+                (sim.now().as_secs_f64().to_bits(), bits, nodes)
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "empty plan perturbed the run: {engine:?} seed {seed}"
+            );
         }
     }
 }

@@ -10,7 +10,11 @@ use nodesel_apps::AppModel;
 use nodesel_experiments::{
     run_trial, warm_trial, Condition, Strategy as Placement, Testbed, TrialConfig,
 };
-use nodesel_simnet::FlowEngine;
+use nodesel_loadgen::{install_load, LoadConfig};
+use nodesel_remos::{CollectorConfig, Remos};
+use nodesel_simnet::{install_faults, FaultAction, FaultPlan, Flap, FlapTarget, FlowEngine, Sim};
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::{Direction, EdgeId, NetMetrics, NodeId};
 use proptest::prelude::*;
 
 fn config(engine: FlowEngine) -> TrialConfig {
@@ -43,6 +47,100 @@ fn placements() -> impl Strategy<Value = Placement> {
 
 fn engines() -> impl Strategy<Value = FlowEngine> {
     prop_oneof![Just(FlowEngine::Incremental), Just(FlowEngine::Reference)]
+}
+
+/// Decodes raw proptest words into a `FaultPlan` over the CMU testbed:
+/// scheduled actions in `[0, 900)` s plus stochastic flaps with short
+/// dwells. Times are tenths of a second; indices wrap over the edge and
+/// machine lists so every draw is valid.
+fn decode_fault_plan(
+    raw_sched: &[(u32, u8, u16)],
+    raw_flaps: &[(u8, u16, u32, u32)],
+    seed: u64,
+) -> FaultPlan {
+    let tb = cmu_testbed();
+    let edges: Vec<EdgeId> = tb.topo.edge_ids().collect();
+    let machines: Vec<NodeId> = tb.machines.clone();
+    let pick_e = |i: u16| edges[i as usize % edges.len()];
+    let pick_m = |i: u16| machines[i as usize % machines.len()];
+    let group = |i: u16| -> Vec<NodeId> {
+        let len = 1 + i as usize % 4;
+        (0..len)
+            .map(|k| machines[(i as usize + k) % machines.len()])
+            .collect()
+    };
+    let scheduled = raw_sched
+        .iter()
+        .map(|&(t, kind, idx)| {
+            let action = match kind % 6 {
+                0 => FaultAction::LinkDown(pick_e(idx)),
+                1 => FaultAction::LinkUp(pick_e(idx)),
+                2 => FaultAction::CrashNode(pick_m(idx)),
+                3 => FaultAction::RebootNode(pick_m(idx)),
+                4 => FaultAction::Partition(group(idx)),
+                _ => FaultAction::Heal(group(idx)),
+            };
+            (t as f64 * 0.1, action)
+        })
+        .collect();
+    let flaps = raw_flaps
+        .iter()
+        .map(|&(kind, idx, up, down)| Flap {
+            target: if kind % 2 == 0 {
+                FlapTarget::Link(pick_e(idx))
+            } else {
+                FlapTarget::Node(pick_m(idx))
+            },
+            mean_up: 1.0 + up as f64 * 0.01,
+            mean_down: 0.5 + down as f64 * 0.01,
+        })
+        .collect();
+    FaultPlan {
+        scheduled,
+        flaps,
+        seed,
+    }
+}
+
+/// Every observable a fault touches must agree bitwise between two sims:
+/// clock, ground-truth load and utilization, up/down state, and the
+/// degraded collector view (values, availability, staleness).
+fn assert_same_world(
+    a: &Sim,
+    b: &Sim,
+    ra: &Remos,
+    rb: &Remos,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(
+        a.now().as_secs_f64().to_bits(),
+        b.now().as_secs_f64().to_bits(),
+        "clocks diverged"
+    );
+    let (oa, ob) = (a.oracle_snapshot(), b.oracle_snapshot());
+    let (sa, sb) = (ra.snapshot(a), rb.snapshot(b));
+    for n in oa.node_ids() {
+        prop_assert_eq!(
+            oa.node(n).load_avg().to_bits(),
+            ob.node(n).load_avg().to_bits()
+        );
+        prop_assert_eq!(a.node_is_up(n), b.node_is_up(n), "node {:?} up-state", n);
+        prop_assert_eq!(sa.load_avg(n).to_bits(), sb.load_avg(n).to_bits());
+        prop_assert_eq!(sa.node_available(n), sb.node_available(n));
+        prop_assert_eq!(sa.node_staleness(n), sb.node_staleness(n));
+    }
+    for e in oa.edge_ids() {
+        prop_assert_eq!(a.link_is_up(e), b.link_is_up(e), "link {:?} up-state", e);
+        prop_assert_eq!(sa.link_available(e), sb.link_available(e));
+        prop_assert_eq!(sa.link_staleness(e), sb.link_staleness(e));
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            prop_assert_eq!(
+                oa.link(e).used(dir).to_bits(),
+                ob.link(e).used(dir).to_bits()
+            );
+            prop_assert_eq!(sa.used(e, dir).to_bits(), sb.used(e, dir).to_bits());
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -106,5 +204,59 @@ proptest! {
         prop_assert_eq!(a.nodes, sa.nodes);
         prop_assert_eq!(b.elapsed.to_bits(), sb.elapsed.to_bits());
         prop_assert_eq!(b.nodes, sb.nodes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random `FaultPlan` (scheduled actions + stochastic flaps),
+    /// running alongside the background-load generators and a lossy
+    /// collector, replays bit-identically across `Sim::fork`: forking at
+    /// 300 s and continuing to 900 s matches a straight 900 s run in
+    /// every fault-touched observable — clock, ground truth, up/down
+    /// state, and the degraded collector view. The base sim, continued
+    /// after its fork was taken, must match as well.
+    #[test]
+    fn fault_plans_replay_bit_identically_across_fork(
+        seed in 0u64..1_000_000,
+        raw_sched in proptest::collection::vec((0u32..9000, 0u8..6, 0u16..1024), 1..10),
+        raw_flaps in proptest::collection::vec(
+            (0u8..2, 0u16..1024, 0u32..3000, 0u32..3000), 0..4),
+        engine in engines(),
+    ) {
+        let testbed = Testbed::cmu();
+        let plan = decode_fault_plan(&raw_sched, &raw_flaps, seed ^ 0xFA);
+        let build = || {
+            let mut sim = testbed.sim(engine);
+            let remos = Remos::install(
+                &mut sim,
+                CollectorConfig {
+                    loss: 0.1,
+                    seed,
+                    ..CollectorConfig::default()
+                },
+            );
+            install_load(
+                &mut sim,
+                &testbed.machines,
+                LoadConfig::paper_defaults(),
+                seed ^ 0x10AD,
+            );
+            install_faults(&mut sim, &plan);
+            (sim, remos)
+        };
+
+        let (mut straight, remos_s) = build();
+        straight.run_for(900.0);
+
+        let (mut base, remos_b) = build();
+        base.run_for(300.0);
+        let mut forked = base.fork();
+        forked.run_for(600.0);
+        base.run_for(600.0);
+
+        assert_same_world(&straight, &forked, &remos_s, &remos_b)?;
+        assert_same_world(&straight, &base, &remos_s, &remos_b)?;
     }
 }

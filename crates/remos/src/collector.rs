@@ -19,6 +19,16 @@
 //! Everything downstream (the [`crate::Remos`] query API) sees only these
 //! sampled histories — never the simulator's ground truth — so selection
 //! experiments automatically include measurement staleness and noise.
+//!
+//! **Degradation.** Sample attempts can fail: structurally (a crashed
+//! host or a dead link does not answer) or stochastically
+//! ([`CollectorConfig::loss`]). A failed attempt never corrupts the
+//! stream — the history window is left untouched, so the published
+//! estimate holds its last-known-good value, while the entity's
+//! staleness counter and (for reachability failures) availability flag
+//! are published through the same [`NetDelta`] stream. Consumers
+//! therefore always see values that are either fresh or explicitly
+//! flagged stale with decaying confidence, never a silently-fresh lie.
 
 use crate::estimator::Estimator;
 use crate::window::Window;
@@ -39,7 +49,12 @@ pub struct CollectorConfig {
     /// Relative standard deviation of multiplicative measurement noise;
     /// `0.0` gives exact readings.
     pub noise: f64,
-    /// Seed for the noise stream.
+    /// Probability that a sample attempt is lost in transit (an SNMP
+    /// query timing out); `0.0` means every reachable entity is sampled.
+    /// Lost samples leave the published estimate at its last-known-good
+    /// value and bump the entity's staleness counter instead.
+    pub loss: f64,
+    /// Seed for the noise and loss streams.
     pub seed: u64,
     /// Estimator condensing each history window into the annotation
     /// carried by the maintained snapshot stream
@@ -54,6 +69,7 @@ impl Default for CollectorConfig {
             period: 5.0,
             window: 12,
             noise: 0.0,
+            loss: 0.0,
             seed: 0,
             estimator: Estimator::Latest,
         }
@@ -81,6 +97,21 @@ pub(crate) struct Samples {
     pub(crate) link: Vec<Window>,
     /// Octet counter at the previous sample, per slot.
     last_bits: Vec<f64>,
+    /// Time of the last *successful* counter read per directed slot, so
+    /// rates stay gap-correct when an edge misses samples: on recovery
+    /// the counter delta is divided by the true elapsed interval, not one
+    /// period.
+    slot_anchor: Vec<SimTime>,
+    /// Missed-sample streak per node index (0 = fresh); only compute
+    /// entries are maintained.
+    node_misses: Vec<u32>,
+    /// Missed-sample streak per edge index (0 = fresh).
+    link_misses: Vec<u32>,
+    /// Believed-reachable flag per node index, from the last sample
+    /// attempt (a crashed host's daemon does not answer).
+    node_live: Vec<bool>,
+    /// Believed-up flag per edge index, from the last sample attempt.
+    link_live: Vec<bool>,
     /// Time of the most recent sample.
     pub(crate) last_sample: Option<SimTime>,
     /// Total samples taken.
@@ -95,6 +126,9 @@ pub(crate) struct Samples {
     /// Cumulative directed-link entries across all published deltas.
     pub(crate) delta_link_entries: u64,
     rng: StdRng,
+    /// Independent stream for sample-loss draws, so turning loss on does
+    /// not perturb the noise sequence (and `loss == 0.0` draws nothing).
+    loss_rng: StdRng,
 }
 
 impl DriverLogic for Samples {
@@ -127,33 +161,61 @@ impl Samples {
         (x * (1.0 + self.config.noise * z)).max(0.0)
     }
 
+    /// One loss-stream draw; never touches the RNG when loss is disabled
+    /// (bit-parity with the loss-free collector).
+    fn lose_sample(&mut self) -> bool {
+        self.config.loss > 0.0 && self.loss_rng.random::<f64>() < self.config.loss
+    }
+
     fn take_sample(&mut self, sim: &Sim) {
         let now = sim.now();
-        let dt = self
-            .last_sample
-            .map(|t| now.seconds_since(t))
-            .unwrap_or(self.config.period);
         for i in 0..self.computes.len() {
             let id = self.computes[i];
+            // A crashed host's measurement daemon does not answer
+            // (structural loss); a live one may still lose the query in
+            // transit (stochastic loss). Either way the history window is
+            // left untouched — the published estimate stays last-known-good
+            // — and the staleness streak grows; only reachability failures
+            // flip the availability flag.
+            let reachable = sim.node_is_up(id);
+            self.node_live[id.index()] = reachable;
+            if !reachable || self.lose_sample() {
+                self.node_misses[id.index()] = self.node_misses[id.index()].saturating_add(1);
+                continue;
+            }
+            self.node_misses[id.index()] = 0;
             let v = sim.load_avg(id);
             let v = self.noisy(v);
             self.host[id.index()].push(v);
         }
-        for slot in 0..self.links.len() {
-            let (e, dir) = self.links[slot];
-            // Exact octet counter at the sample instant: the flow
-            // table accumulates bits on every rate change and
-            // extrapolates at the current rate on read, so lazy
-            // settlement is invisible to this measurement path.
-            let bits = sim.link_bits(e, dir);
-            let rate = if dt > 0.0 {
-                (bits - self.last_bits[slot]).max(0.0) / dt
-            } else {
-                0.0
-            };
-            self.last_bits[slot] = bits;
-            let rate = self.noisy(rate);
-            self.link[slot].push(rate);
+        // Both directions of an edge share one management query: they are
+        // read, lost, and aged together.
+        for pair in 0..self.link_misses.len() {
+            let reachable = sim.link_effective_up(self.links[pair * 2].0);
+            self.link_live[pair] = reachable;
+            if !reachable || self.lose_sample() {
+                self.link_misses[pair] = self.link_misses[pair].saturating_add(1);
+                continue;
+            }
+            self.link_misses[pair] = 0;
+            for slot in [pair * 2, pair * 2 + 1] {
+                let (e, dir) = self.links[slot];
+                // Exact octet counter at the sample instant: the flow
+                // table accumulates bits on every rate change and
+                // extrapolates at the current rate on read, so lazy
+                // settlement is invisible to this measurement path.
+                let bits = sim.link_bits(e, dir);
+                let dt = now.seconds_since(self.slot_anchor[slot]);
+                let rate = if dt > 0.0 {
+                    (bits - self.last_bits[slot]).max(0.0) / dt
+                } else {
+                    0.0
+                };
+                self.last_bits[slot] = bits;
+                self.slot_anchor[slot] = now;
+                let rate = self.noisy(rate);
+                self.link[slot].push(rate);
+            }
         }
         self.last_sample = Some(now);
         self.sample_count += 1;
@@ -181,6 +243,27 @@ impl Samples {
                 delta.links.push((e, dir, used));
             }
         }
+        // Health transitions: availability flips and staleness movement
+        // ride the same incremental delta stream, so a snapshot value is
+        // always either fresh or explicitly flagged stale — never stale
+        // and presented fresh.
+        for &id in &self.computes {
+            if self.node_live[id.index()] != self.snap.node_available(id) {
+                delta.avail_nodes.push((id, self.node_live[id.index()]));
+            }
+            if self.node_misses[id.index()] != self.snap.node_staleness(id) {
+                delta.stale_nodes.push((id, self.node_misses[id.index()]));
+            }
+        }
+        for pair in 0..self.link_misses.len() {
+            let e = self.links[pair * 2].0;
+            if self.link_live[pair] != self.snap.link_available(e) {
+                delta.avail_links.push((e, self.link_live[pair]));
+            }
+            if self.link_misses[pair] != self.snap.link_staleness(e) {
+                delta.stale_links.push((e, self.link_misses[pair]));
+            }
+        }
         if !delta.is_empty() {
             self.delta_node_entries += delta.nodes.len() as u64;
             self.delta_link_entries += delta.links.len() as u64;
@@ -197,6 +280,10 @@ impl Samples {
 pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
     assert!(config.period > 0.0, "sampling period must be positive");
     assert!(config.window >= 1, "window must hold at least one sample");
+    assert!(
+        (0.0..1.0).contains(&config.loss),
+        "sample-loss probability must be in [0, 1)"
+    );
     let base = sim.topology_shared();
     let computes: Vec<NodeId> = base.compute_nodes().collect();
     let links: Vec<(EdgeId, Direction)> = base
@@ -231,6 +318,8 @@ pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
         annotated.set_link_used(e, dir, 0.0);
     }
     let snap = NetSnapshot::capture(Arc::new(annotated));
+    let node_count = base.node_count();
+    let pair_count = base.link_count();
     let samples = Samples {
         config,
         base,
@@ -239,12 +328,18 @@ pub(crate) fn install(sim: &mut Sim, config: CollectorConfig) -> DriverId {
         host,
         link,
         last_bits,
+        slot_anchor: vec![sim.now(); pair_count * 2],
+        node_misses: vec![0; node_count],
+        link_misses: vec![0; pair_count],
+        node_live: vec![true; node_count],
+        link_live: vec![true; pair_count],
         last_sample: Some(sim.now()),
         sample_count: 0,
         snap,
         delta_node_entries: 0,
         delta_link_entries: 0,
         rng: StdRng::seed_from_u64(config.seed),
+        loss_rng: StdRng::seed_from_u64(config.seed ^ 0x4C05_5E5A),
     };
     let id = sim.install_driver(samples);
     sim.schedule_driver_in(config.period, id);
@@ -365,6 +460,102 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn crashed_node_goes_stale_not_silently_fresh() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let s = install(&mut sim, CollectorConfig::default());
+        sim.start_compute_detached(ids[0], 1e9);
+        sim.run_until(SimTime::from_secs(60));
+        let before = samples(&sim, s).snap.clone();
+        assert!(before.node_available(ids[0]));
+        assert_eq!(before.node_staleness(ids[0]), 0);
+        sim.crash_node(ids[0]);
+        sim.run_until(SimTime::from_secs(120));
+        let st = samples(&sim, s);
+        // Unreachable: flagged down, aging, estimate frozen at the
+        // last-known-good value rather than silently refreshed.
+        assert!(!st.snap.node_available(ids[0]));
+        assert!(st.snap.node_staleness(ids[0]) > 0);
+        assert_eq!(
+            st.snap.load_avg(ids[0]).to_bits(),
+            before.load_avg(ids[0]).to_bits()
+        );
+        assert_eq!(st.snap.effective_cpu(ids[0]), 0.0);
+        // The healthy node keeps sampling fresh.
+        assert!(st.snap.node_available(ids[1]));
+        assert_eq!(st.snap.node_staleness(ids[1]), 0);
+        // Recovery: reboot, next samples are fresh again.
+        sim.reboot_node(ids[0]);
+        sim.run_until(SimTime::from_secs(180));
+        let st = samples(&sim, s);
+        assert!(st.snap.node_available(ids[0]));
+        assert_eq!(st.snap.node_staleness(ids[0]), 0);
+    }
+
+    #[test]
+    fn dead_link_reports_zero_available_bandwidth() {
+        let (topo, ids) = star(2, 100.0 * MBPS);
+        let e = topo.edge_ids().next().unwrap();
+        let mut sim = Sim::new(topo);
+        let s = install(&mut sim, CollectorConfig::default());
+        sim.start_transfer(ids[0], ids[1], 1e18, |_| {});
+        sim.run_until(SimTime::from_secs(30));
+        sim.set_link_up(e, false);
+        sim.run_until(SimTime::from_secs(60));
+        let st = samples(&sim, s);
+        assert!(!st.snap.link_available(e));
+        assert!(st.snap.link_staleness(e) > 0);
+        // Down links advertise zero available bandwidth — never NaN and
+        // never their idle capacity.
+        assert_eq!(st.snap.available(e, Direction::AtoB), 0.0);
+        assert_eq!(st.snap.bw(e), 0.0);
+        assert_eq!(st.snap.bwfactor(e), 0.0);
+        sim.set_link_up(e, true);
+        sim.run_until(SimTime::from_secs(120));
+        let st = samples(&sim, s);
+        assert!(st.snap.link_available(e));
+        assert_eq!(st.snap.link_staleness(e), 0);
+        // The resumed flow saturates the link again: fresh measurement,
+        // finite non-negative availability.
+        assert!(st.snap.used(e, Direction::AtoB) > 0.0 || st.snap.used(e, Direction::BtoA) > 0.0);
+        assert!(st.snap.bw(e) >= 0.0 && st.snap.bw(e).is_finite());
+    }
+
+    #[test]
+    fn sample_loss_ages_estimates_and_is_deterministic() {
+        let run = |seed| {
+            let (topo, ids) = star(3, 100.0 * MBPS);
+            let mut sim = Sim::new(topo);
+            let s = install(
+                &mut sim,
+                CollectorConfig {
+                    loss: 0.5,
+                    seed,
+                    window: 1000,
+                    ..CollectorConfig::default()
+                },
+            );
+            sim.start_compute_detached(ids[0], 1e9);
+            sim.run_until(SimTime::from_secs(300));
+            let st = samples(&sim, s);
+            // Heavy loss: histories are shorter than the sample count,
+            // but every entity remains either fresh or flagged stale.
+            assert!(st.host[ids[0].index()].len() < st.sample_count as usize);
+            for &id in st.compute_nodes() {
+                assert!(st.snap.node_available(id), "loss is not unreachability");
+            }
+            let stale: Vec<u32> = st
+                .compute_nodes()
+                .iter()
+                .map(|&id| st.snap.node_staleness(id))
+                .collect();
+            (stale, st.snap.load_avg(ids[0]).to_bits(), st.snap.epoch())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]

@@ -169,6 +169,17 @@ pub struct Sim {
     drivers: Vec<Option<Box<dyn DriverObj>>>,
     /// Number of queued [`EventKind::User`] events (fork legality).
     user_events: usize,
+    /// Per-node liveness (fault injection); all true in a healthy run.
+    node_up: Vec<bool>,
+    /// Per-link administrative state (fault injection); all true in a
+    /// healthy run. A link carries traffic only when it *and* both its
+    /// endpoint nodes are up ([`Sim::link_effective_up`]).
+    link_up: Vec<bool>,
+    /// Tasks killed by node crashes, awaiting [`Sim::take_killed_tasks`].
+    killed_tasks: Vec<(NodeId, TaskId)>,
+    /// Flows aborted by endpoint crashes, awaiting
+    /// [`Sim::take_aborted_flows`].
+    aborted_flows: Vec<FlowId>,
     stats: SimStats,
     tracer: Option<Tracer>,
 }
@@ -221,6 +232,8 @@ impl Sim {
             .collect();
         let host_generation = vec![0; hosts.len()];
         let flows = FlowTable::with_engine(&topo, engine);
+        let node_up = vec![true; hosts.len()];
+        let link_up = vec![true; topo.link_count()];
         Sim {
             topo,
             routes,
@@ -238,6 +251,10 @@ impl Sim {
             finished_flows: Vec::new(),
             drivers: Vec::new(),
             user_events: 0,
+            node_up,
+            link_up,
+            killed_tasks: Vec::new(),
+            aborted_flows: Vec::new(),
             stats: SimStats::default(),
             tracer: None,
         }
@@ -305,6 +322,10 @@ impl Sim {
                 })
                 .collect(),
             user_events: 0,
+            node_up: self.node_up.clone(),
+            link_up: self.link_up.clone(),
+            killed_tasks: self.killed_tasks.clone(),
+            aborted_flows: self.aborted_flows.clone(),
             stats: self.stats,
             tracer: self.tracer.clone(),
         };
@@ -460,6 +481,14 @@ impl Sim {
     ) -> TaskId {
         let id = TaskId(self.next_task);
         self.next_task += 1;
+        if !self.node_up[node.index()] {
+            // A crashed host refuses work: the task is killed on arrival
+            // and surfaced through `take_killed_tasks`; `on_done` never
+            // fires.
+            self.killed_tasks.push((node, id));
+            self.trace(|at| TraceEvent::TaskKilled { at, node, id });
+            return id;
+        }
         let now = self.time;
         let host = self.host_mut(node);
         host.settle(now);
@@ -476,6 +505,11 @@ impl Sim {
     pub fn start_compute_detached(&mut self, node: NodeId, work: f64) -> TaskId {
         let id = TaskId(self.next_task);
         self.next_task += 1;
+        if !self.node_up[node.index()] {
+            self.killed_tasks.push((node, id));
+            self.trace(|at| TraceEvent::TaskKilled { at, node, id });
+            return id;
+        }
         let now = self.time;
         let host = self.host_mut(node);
         host.settle(now);
@@ -528,6 +562,13 @@ impl Sim {
     ) -> FlowId {
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
+        if !self.node_up[src.index()] || !self.node_up[dst.index()] {
+            // A crashed endpoint aborts the transfer on arrival; `on_done`
+            // never fires. Surfaced through `take_aborted_flows`.
+            self.aborted_flows.push(id);
+            self.trace(|at| TraceEvent::FlowAborted { at, id });
+            return id;
+        }
         if src == dst {
             self.stats.completed_flows += 1;
             self.schedule_in(0.0, on_done);
@@ -564,6 +605,11 @@ impl Sim {
     pub fn start_transfer_detached(&mut self, src: NodeId, dst: NodeId, bits: f64) -> FlowId {
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
+        if !self.node_up[src.index()] || !self.node_up[dst.index()] {
+            self.aborted_flows.push(id);
+            self.trace(|at| TraceEvent::FlowAborted { at, id });
+            return id;
+        }
         if src == dst {
             self.stats.completed_flows += 1;
             return id;
@@ -595,6 +641,135 @@ impl Sim {
             self.trace(|at| TraceEvent::FlowCancelled { at, id });
         }
         removed
+    }
+
+    // ----- Fault injection ------------------------------------------------
+
+    /// True when `node` has not crashed.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.index()]
+    }
+
+    /// True when `edge` is administratively up. Its endpoints may still
+    /// be down; see [`Sim::link_effective_up`].
+    pub fn link_is_up(&self, edge: EdgeId) -> bool {
+        self.link_up[edge.index()]
+    }
+
+    /// True when traffic can actually cross `edge`: the link itself and
+    /// both endpoint nodes are up.
+    pub fn link_effective_up(&self, edge: EdgeId) -> bool {
+        let l = self.topo.link(edge);
+        self.link_up[edge.index()] && self.node_up[l.a().index()] && self.node_up[l.b().index()]
+    }
+
+    /// Re-derives the effective capacity of `edges` from the current
+    /// up/down state and applies any changes to the flow table in one
+    /// cluster re-solve. Flows crossing a dead link starve at rate zero
+    /// (they predict no completion and schedule nothing — the
+    /// administratively-down path); restored links resume at their
+    /// engineered rates.
+    fn refresh_capacities(&mut self, edges: &[EdgeId]) {
+        let mut changes: Vec<(EdgeId, Direction, f64)> = Vec::with_capacity(edges.len() * 2);
+        for &e in edges {
+            let up = self.link_effective_up(e);
+            let l = self.topo.link(e);
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                let cap = if up { l.capacity(dir) } else { 0.0 };
+                changes.push((e, dir, cap));
+            }
+        }
+        self.flows.settle(self.time);
+        if self.flows.set_capacities(&changes) {
+            self.reschedule_net();
+        }
+    }
+
+    /// Takes a link down (`up == false`) or restores it. Flows crossing
+    /// a downed link stall (bytes already carried stay settled) and
+    /// resume when the link returns. Returns true when the state
+    /// actually changed.
+    pub fn set_link_up(&mut self, edge: EdgeId, up: bool) -> bool {
+        if self.link_up[edge.index()] == up {
+            return false;
+        }
+        self.link_up[edge.index()] = up;
+        self.trace(|at| {
+            if up {
+                TraceEvent::LinkUp { at, edge }
+            } else {
+                TraceEvent::LinkDown { at, edge }
+            }
+        });
+        self.refresh_capacities(&[edge]);
+        true
+    }
+
+    /// Crashes a node: every task on its host is killed (surfaced via
+    /// [`Sim::take_killed_tasks`], completion callbacks dropped), every
+    /// flow terminating at it is aborted with its carried bytes settled
+    /// (surfaced via [`Sim::take_aborted_flows`]), and all its incident
+    /// links drop to zero effective capacity so flows routed *through*
+    /// it stall. Returns true when the node was up.
+    pub fn crash_node(&mut self, node: NodeId) -> bool {
+        if !self.node_up[node.index()] {
+            return false;
+        }
+        self.node_up[node.index()] = false;
+        self.trace(|at| TraceEvent::NodeDown { at, node });
+        if self.hosts[node.index()].is_some() {
+            let now = self.time;
+            let host = self.host_mut(node);
+            host.settle(now);
+            let killed = host.kill_all();
+            self.reschedule_host(node);
+            for id in killed {
+                self.task_done.remove(&id);
+                self.killed_tasks.push((node, id));
+                self.trace(|at| TraceEvent::TaskKilled { at, node, id });
+            }
+        }
+        self.flows.settle(self.time);
+        let aborted = self.flows.flows_with_endpoint(node);
+        if !aborted.is_empty() {
+            for id in aborted {
+                self.flows.remove_flow(id);
+                self.flow_done.remove(&id);
+                self.aborted_flows.push(id);
+                self.trace(|at| TraceEvent::FlowAborted { at, id });
+            }
+            self.reschedule_net();
+        }
+        let edges: Vec<EdgeId> = self.topo.neighbors(node).iter().map(|&(e, _)| e).collect();
+        self.refresh_capacities(&edges);
+        true
+    }
+
+    /// Reboots a crashed node: it comes back with an empty run queue and
+    /// its incident links (those not independently down) resume at their
+    /// engineered capacities. Returns true when the node was down.
+    pub fn reboot_node(&mut self, node: NodeId) -> bool {
+        if self.node_up[node.index()] {
+            return false;
+        }
+        self.node_up[node.index()] = true;
+        self.trace(|at| TraceEvent::NodeUp { at, node });
+        let edges: Vec<EdgeId> = self.topo.neighbors(node).iter().map(|&(e, _)| e).collect();
+        self.refresh_capacities(&edges);
+        true
+    }
+
+    /// Drains the `(node, task)` pairs killed by node crashes since the
+    /// last call. The app driver polls this to learn that work it
+    /// submitted will never complete.
+    pub fn take_killed_tasks(&mut self) -> Vec<(NodeId, TaskId)> {
+        std::mem::take(&mut self.killed_tasks)
+    }
+
+    /// Drains the flow ids aborted by endpoint crashes since the last
+    /// call.
+    pub fn take_aborted_flows(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.aborted_flows)
     }
 
     // ----- Measurement interface -----------------------------------------

@@ -384,6 +384,57 @@ impl FlowTable {
         true
     }
 
+    /// Overrides the capacities of directed links and re-solves the
+    /// affected sharing clusters once. This is the fault-injection entry
+    /// point: a downed link (or a link whose endpoint crashed) drops to
+    /// zero capacity — flows crossing it starve at rate 0 and predict
+    /// [`SimTime::NEVER`], the same path as an administratively-down
+    /// link — and a repaired link returns to its engineered rate.
+    ///
+    /// Entries whose capacity is bitwise unchanged are skipped; returns
+    /// true when any slot actually changed. The caller must have settled
+    /// to the current time first.
+    pub fn set_capacities(&mut self, changes: &[(EdgeId, Direction, f64)]) -> bool {
+        let now = self.last_update;
+        self.scratch.seeds.clear();
+        let mut any = false;
+        for &(edge, dir, cap) in changes {
+            assert!(
+                cap >= 0.0 && cap.is_finite(),
+                "link capacity must be finite and non-negative"
+            );
+            let s = DirLink { edge, dir }.slot();
+            if self.capacity[s].to_bits() != cap.to_bits() {
+                self.capacity[s] = cap;
+                self.scratch.seeds.push(s);
+                any = true;
+            }
+        }
+        if any {
+            self.reallocate(now);
+        }
+        any
+    }
+
+    /// Current capacity of a directed link, including any fault override
+    /// applied through [`FlowTable::set_capacities`].
+    pub fn capacity_of(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.capacity[DirLink { edge, dir }.slot()]
+    }
+
+    /// Ids of live flows whose source or destination is `n`, ascending.
+    /// Used by the engine to abort a crashed node's transfers.
+    pub fn flows_with_endpoint(&self, n: NodeId) -> Vec<FlowId> {
+        let mut out: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|f| f.live && (f.src == n || f.dst == n))
+            .map(|f| f.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Pops every flow whose predicted completion has arrived (id order),
     /// then reallocates once if any finished. Allocation-free after
     /// warm-up: `out` is cleared and refilled.

@@ -130,6 +130,17 @@ impl Host {
         self.tasks.len() != before
     }
 
+    /// Removes every task at once (a host crash): the run queue empties
+    /// and the load average starts decaying from its current value.
+    /// Returns the killed task ids in ascending order. The caller must
+    /// have settled the host to the current time first.
+    pub fn kill_all(&mut self) -> Vec<TaskId> {
+        let mut killed: Vec<TaskId> = self.tasks.iter().map(|t| t.id).collect();
+        killed.sort_unstable();
+        self.tasks.clear();
+        killed
+    }
+
     /// Remaining work of a task, if present.
     pub fn remaining(&self, id: TaskId) -> Option<f64> {
         self.tasks.iter().find(|t| t.id == id).map(|t| t.remaining)

@@ -28,6 +28,13 @@
 //!   bit-identical continuations — the mechanism behind shared-warmup
 //!   paired trials in `nodesel-experiments`. Identical inputs give
 //!   identical traces on every platform.
+//! * **Fault injection** ([`FaultPlan`], [`install_faults`]): seeded
+//!   scheduled and stochastic link flaps, node crash/reboot cycles and
+//!   subnet partitions, executed by a fork-safe [`FaultDriver`]. A dead
+//!   link drops to zero capacity and starves crossing flows (they stall,
+//!   bytes settled, without spinning the event loop); a crashed host
+//!   kills its tasks and aborts its endpoint flows, both surfaced to the
+//!   app driver ([`Sim::take_killed_tasks`], [`Sim::take_aborted_flows`]).
 //!
 //! # Example
 //!
@@ -53,12 +60,16 @@
 #![deny(unsafe_code)]
 
 mod engine;
+mod fault;
 mod flows;
 mod host;
 pub mod time;
 mod trace;
 
 pub use engine::{Callback, DriverId, DriverLogic, Sim, SimStats, DEFAULT_LOAD_AVG_TAU};
+pub use fault::{
+    install_faults, FaultAction, FaultDriver, FaultPlan, FaultStats, Flap, FlapTarget,
+};
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
 pub use host::{Host, TaskId};
 pub use time::SimTime;

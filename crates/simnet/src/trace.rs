@@ -9,7 +9,7 @@
 use crate::flows::FlowId;
 use crate::host::TaskId;
 use crate::time::SimTime;
-use nodesel_topology::NodeId;
+use nodesel_topology::{EdgeId, NodeId};
 
 /// One traced lifecycle event.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,52 @@ pub enum TraceEvent {
         /// Flow id.
         id: FlowId,
     },
+    /// A link went down (fault injection or administrative action).
+    LinkDown {
+        /// Event time.
+        at: SimTime,
+        /// The affected link.
+        edge: EdgeId,
+    },
+    /// A previously-down link came back up.
+    LinkUp {
+        /// Event time.
+        at: SimTime,
+        /// The affected link.
+        edge: EdgeId,
+    },
+    /// A node crashed: its tasks were killed and its endpoint flows
+    /// aborted.
+    NodeDown {
+        /// Event time.
+        at: SimTime,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node rebooted (empty run queue, links restored).
+    NodeUp {
+        /// Event time.
+        at: SimTime,
+        /// The rebooted node.
+        node: NodeId,
+    },
+    /// A CPU task was killed by a host crash (its completion callback
+    /// will never fire).
+    TaskKilled {
+        /// Event time.
+        at: SimTime,
+        /// Host node.
+        node: NodeId,
+        /// Task id.
+        id: TaskId,
+    },
+    /// A bulk transfer was aborted because one of its endpoints crashed.
+    FlowAborted {
+        /// Event time.
+        at: SimTime,
+        /// Flow id.
+        id: FlowId,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +127,13 @@ impl TraceEvent {
             | TraceEvent::TaskCancelled { at, .. }
             | TraceEvent::FlowStarted { at, .. }
             | TraceEvent::FlowFinished { at, .. }
-            | TraceEvent::FlowCancelled { at, .. } => at,
+            | TraceEvent::FlowCancelled { at, .. }
+            | TraceEvent::LinkDown { at, .. }
+            | TraceEvent::LinkUp { at, .. }
+            | TraceEvent::NodeDown { at, .. }
+            | TraceEvent::NodeUp { at, .. }
+            | TraceEvent::TaskKilled { at, .. }
+            | TraceEvent::FlowAborted { at, .. } => at,
         }
     }
 }

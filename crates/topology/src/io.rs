@@ -82,10 +82,12 @@ pub fn validate(topo: &Topology) -> Result<(), IoError> {
             }
         }
         for dir in [crate::Direction::AtoB, crate::Direction::BtoA] {
+            // Zero is legal: an administratively-down link carries no
+            // traffic but remains part of the structure.
             let cap = l.capacity(dir);
-            if !(cap > 0.0 && cap.is_finite()) {
+            if !(cap >= 0.0 && cap.is_finite()) {
                 return Err(IoError::Invalid(format!(
-                    "link {e:?} has non-positive capacity {cap}"
+                    "link {e:?} has negative or non-finite capacity {cap}"
                 )));
             }
             let used = l.used(dir);
@@ -192,6 +194,19 @@ mod tests {
         // Negative load average.
         let bad = json.replacen("\"load_avg\": 0.0", "\"load_avg\": -1.0", 1);
         assert!(matches!(from_json(&bad), Err(IoError::Invalid(_))));
+    }
+
+    #[test]
+    fn zero_capacity_links_are_valid() {
+        // Administratively-down links (capacity 0) must round-trip: they
+        // are real structure, just currently carrying nothing.
+        let mut t = Topology::new();
+        let a = t.add_compute_node("a", 1.0);
+        let b = t.add_compute_node("b", 1.0);
+        let e = t.add_link(a, b, 0.0);
+        let back = from_json(&to_json(&t)).unwrap();
+        assert_eq!(back.link(e).capacity(Direction::AtoB), 0.0);
+        assert_eq!(back.link(e).bwfactor(), 0.0);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
 pub use route::{Path, RouteTable, Routes};
-pub use snapshot::{NetDelta, NetMetrics, NetSnapshot};
+pub use snapshot::{staleness_confidence, NetDelta, NetMetrics, NetSnapshot};
 pub use unionfind::UnionFind;
 pub use view::{Component, GraphView};
 

@@ -194,6 +194,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_models_admin_down() {
+        // An administratively-down link is structure without service:
+        // every bandwidth view reads 0, and bwfactor is 0 rather than
+        // NaN from the 0/0 it would otherwise compute.
+        let l = Link::new(NodeId(0), NodeId(1), 0.0, 0.0, 1e-4);
+        assert_eq!(l.maxbw(), 0.0);
+        assert_eq!(l.bw(), 0.0);
+        assert_eq!(l.available(Direction::AtoB), 0.0);
+        assert_eq!(l.bwfactor(), 0.0);
+        assert!(!l.bwfactor().is_nan());
+    }
+
+    #[test]
     fn opposite_and_direction() {
         let l = link();
         assert_eq!(l.opposite(NodeId(0)), NodeId(1));

@@ -23,6 +23,23 @@ use crate::maxmin::dir_slot;
 use crate::{Direction, EdgeId, NodeId, Topology};
 use std::sync::Arc;
 
+/// Confidence multiplier for a metric whose last `misses` measurement
+/// samples were lost: `0.8^misses`, exactly `1.0` for fresh data.
+///
+/// Degraded Remos data decays geometrically toward zero so that a value
+/// is never *silently* presented as fresh: consumers that scale by
+/// confidence (the provided [`NetMetrics`] methods do) discount stale
+/// readings more the older they get, and the multiplier for fresh data
+/// is the bitwise identity, so a fully-fresh snapshot computes exactly
+/// the pre-degradation numbers.
+pub fn staleness_confidence(misses: u32) -> f64 {
+    if misses == 0 {
+        1.0
+    } else {
+        0.8f64.powi(misses.min(4096) as i32)
+    }
+}
+
 /// Read access to an annotated network: graph structure plus the dynamic
 /// per-node / per-directed-link measurements the selection algorithms
 /// consume.
@@ -50,10 +67,53 @@ pub trait NetMetrics {
         }
     }
 
+    /// True when the node is believed reachable and running.
+    /// Implementations without availability data report `true`.
+    fn node_available(&self, _n: NodeId) -> bool {
+        true
+    }
+
+    /// True when the link is believed up (not faulted or partitioned
+    /// away). Implementations without availability data report `true`.
+    fn link_available(&self, _e: EdgeId) -> bool {
+        true
+    }
+
+    /// Consecutive measurement samples missed for this node's metrics;
+    /// 0 means the annotations are fresh. Implementations without
+    /// degradation tracking report 0.
+    fn node_staleness(&self, _n: NodeId) -> u32 {
+        0
+    }
+
+    /// Consecutive measurement samples missed for this link's metrics;
+    /// 0 means the annotations are fresh.
+    fn link_staleness(&self, _e: EdgeId) -> u32 {
+        0
+    }
+
+    /// Confidence in this node's annotations:
+    /// [`staleness_confidence`]`(node_staleness)`.
+    fn node_confidence(&self, n: NodeId) -> f64 {
+        staleness_confidence(self.node_staleness(n))
+    }
+
+    /// Confidence in this link's annotations:
+    /// [`staleness_confidence`]`(link_staleness)`.
+    fn link_confidence(&self, e: EdgeId) -> f64 {
+        staleness_confidence(self.link_staleness(e))
+    }
+
     /// Available computation normalized to the reference node type:
-    /// `cpu * speed`.
+    /// `cpu * speed`, confidence-decayed when the load average is stale
+    /// and 0 when the node is believed down. Fresh data on an available
+    /// node computes bit-identical `cpu * speed` (the confidence
+    /// multiplier is exactly 1.0).
     fn effective_cpu(&self, n: NodeId) -> f64 {
-        self.cpu(n) * self.structure().node(n).speed()
+        if !self.node_available(n) {
+            return 0.0;
+        }
+        self.cpu(n) * self.structure().node(n).speed() * self.node_confidence(n)
     }
 
     /// Peak bandwidth of a link direction, bits/s.
@@ -61,9 +121,15 @@ pub trait NetMetrics {
         self.structure().link(e).capacity(dir)
     }
 
-    /// Available bandwidth of a link direction, bits/s (never negative).
+    /// Available bandwidth of a link direction, bits/s (never negative):
+    /// `capacity - used`, confidence-decayed when the utilization sample
+    /// is stale and 0 when the link is believed down. Fresh data on an
+    /// up link computes bit-identical `(capacity - used).max(0)`.
     fn available(&self, e: EdgeId, dir: Direction) -> f64 {
-        (self.capacity(e, dir) - self.used(e, dir)).max(0.0)
+        if !self.link_available(e) {
+            return 0.0;
+        }
+        (self.capacity(e, dir) - self.used(e, dir)).max(0.0) * self.link_confidence(e)
     }
 
     /// `bw(i, j)`: currently available bandwidth of the link — the
@@ -116,12 +182,30 @@ pub struct NetDelta {
     pub nodes: Vec<(NodeId, f64)>,
     /// Changed directed-link utilizations: `(edge, direction, new_used)`.
     pub links: Vec<(EdgeId, Direction, f64)>,
+    /// Availability transitions for nodes: `(node, now_available)`.
+    pub avail_nodes: Vec<(NodeId, bool)>,
+    /// Availability transitions for links: `(edge, now_available)`.
+    pub avail_links: Vec<(EdgeId, bool)>,
+    /// Changed node staleness counters: `(node, missed_samples)`.
+    pub stale_nodes: Vec<(NodeId, u32)>,
+    /// Changed link staleness counters: `(edge, missed_samples)`.
+    pub stale_links: Vec<(EdgeId, u32)>,
 }
 
 impl NetDelta {
     /// True when no annotation changed.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty() && self.links.is_empty()
+        self.nodes.is_empty() && self.links.is_empty() && !self.has_health_changes()
+    }
+
+    /// True when any availability flag or staleness counter changed —
+    /// the condition under which incremental selectors fall back to a
+    /// full re-solve (eligibility may have changed, not just scores).
+    pub fn has_health_changes(&self) -> bool {
+        !self.avail_nodes.is_empty()
+            || !self.avail_links.is_empty()
+            || !self.stale_nodes.is_empty()
+            || !self.stale_links.is_empty()
     }
 
     /// Number of changed node entries.
@@ -136,13 +220,22 @@ impl NetDelta {
 
     /// Total changed entries.
     pub fn len(&self) -> usize {
-        self.nodes.len() + self.links.len()
+        self.nodes.len()
+            + self.links.len()
+            + self.avail_nodes.len()
+            + self.avail_links.len()
+            + self.stale_nodes.len()
+            + self.stale_links.len()
     }
 
     /// Removes all entries, keeping capacity.
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.links.clear();
+        self.avail_nodes.clear();
+        self.avail_links.clear();
+        self.stale_nodes.clear();
+        self.stale_links.clear();
     }
 }
 
@@ -162,6 +255,14 @@ pub struct NetSnapshot {
     /// Consumed bandwidth per directed-link slot
     /// (`edge_index * 2 + direction`).
     used: Arc<[f64]>,
+    /// Believed-up flag per node index.
+    node_avail: Arc<[bool]>,
+    /// Believed-up flag per edge index.
+    link_avail: Arc<[bool]>,
+    /// Consecutive missed samples per node index (0 = fresh).
+    node_stale: Arc<[u32]>,
+    /// Consecutive missed samples per edge index (0 = fresh).
+    link_stale: Arc<[u32]>,
 }
 
 impl NetSnapshot {
@@ -176,15 +277,21 @@ impl NetSnapshot {
                 used.push(structure.link(e).used(dir));
             }
         }
+        let (nodes, links) = (structure.node_count(), structure.link_count());
         NetSnapshot {
             structure,
             epoch: 0,
             load: load.into(),
             used: used.into(),
+            node_avail: vec![true; nodes].into(),
+            link_avail: vec![true; links].into(),
+            node_stale: vec![0; nodes].into(),
+            link_stale: vec![0; links].into(),
         }
     }
 
-    /// Builds an epoch-0 snapshot from explicit metric arrays.
+    /// Builds an epoch-0 snapshot from explicit metric arrays, with every
+    /// node and link available and every sample fresh.
     ///
     /// `load` holds one entry per node index; `used` one entry per
     /// directed-link slot (`edge_index * 2 + direction`).
@@ -195,11 +302,16 @@ impl NetSnapshot {
             structure.link_count() * 2,
             "used array length (one entry per directed slot)"
         );
+        let (nodes, links) = (structure.node_count(), structure.link_count());
         NetSnapshot {
             structure,
             epoch: 0,
             load: load.into(),
             used: used.into(),
+            node_avail: vec![true; nodes].into(),
+            link_avail: vec![true; links].into(),
+            node_stale: vec![0; nodes].into(),
+            link_stale: vec![0; links].into(),
         }
     }
 
@@ -230,6 +342,26 @@ impl NetSnapshot {
         &self.used
     }
 
+    /// The raw node-availability array (per node index).
+    pub fn node_avail_values(&self) -> &[bool] {
+        &self.node_avail
+    }
+
+    /// The raw link-availability array (per edge index).
+    pub fn link_avail_values(&self) -> &[bool] {
+        &self.link_avail
+    }
+
+    /// The raw node-staleness array (per node index).
+    pub fn node_stale_values(&self) -> &[u32] {
+        &self.node_stale
+    }
+
+    /// The raw link-staleness array (per edge index).
+    pub fn link_stale_values(&self) -> &[u32] {
+        &self.link_stale
+    }
+
     /// Derives the next epoch by applying a delta.
     ///
     /// Structural sharing: the structure `Arc` is always shared, and a
@@ -254,11 +386,51 @@ impl NetSnapshot {
             }
             v.into()
         };
+        let node_avail = if delta.avail_nodes.is_empty() {
+            Arc::clone(&self.node_avail)
+        } else {
+            let mut v = self.node_avail.to_vec();
+            for &(n, up) in &delta.avail_nodes {
+                v[n.index()] = up;
+            }
+            v.into()
+        };
+        let link_avail = if delta.avail_links.is_empty() {
+            Arc::clone(&self.link_avail)
+        } else {
+            let mut v = self.link_avail.to_vec();
+            for &(e, up) in &delta.avail_links {
+                v[e.index()] = up;
+            }
+            v.into()
+        };
+        let node_stale = if delta.stale_nodes.is_empty() {
+            Arc::clone(&self.node_stale)
+        } else {
+            let mut v = self.node_stale.to_vec();
+            for &(n, s) in &delta.stale_nodes {
+                v[n.index()] = s;
+            }
+            v.into()
+        };
+        let link_stale = if delta.stale_links.is_empty() {
+            Arc::clone(&self.link_stale)
+        } else {
+            let mut v = self.link_stale.to_vec();
+            for &(e, s) in &delta.stale_links {
+                v[e.index()] = s;
+            }
+            v.into()
+        };
         NetSnapshot {
             structure: Arc::clone(&self.structure),
             epoch: self.epoch + 1,
             load,
             used,
+            node_avail,
+            link_avail,
+            node_stale,
+            link_stale,
         }
     }
 
@@ -286,12 +458,34 @@ impl NetSnapshot {
                 }
             }
         }
+        for i in 0..self.node_avail.len() {
+            if self.node_avail[i] != baseline.node_avail[i] {
+                delta
+                    .avail_nodes
+                    .push((NodeId::from_index(i), self.node_avail[i]));
+            }
+            if self.node_stale[i] != baseline.node_stale[i] {
+                delta
+                    .stale_nodes
+                    .push((NodeId::from_index(i), self.node_stale[i]));
+            }
+        }
+        for e in self.structure.edge_ids() {
+            if self.link_avail[e.index()] != baseline.link_avail[e.index()] {
+                delta.avail_links.push((e, self.link_avail[e.index()]));
+            }
+            if self.link_stale[e.index()] != baseline.link_stale[e.index()] {
+                delta.stale_links.push((e, self.link_stale[e.index()]));
+            }
+        }
         delta
     }
 
     /// Materializes an owned, annotated [`Topology`] — the representation
     /// the deprecated per-query path returns. Byte-identical to cloning
     /// the structure and setting each measured annotation on it.
+    /// Availability flags and staleness counters are snapshot-only
+    /// (a `Topology` has no storage for them) and are dropped.
     pub fn to_topology(&self) -> Topology {
         let mut topo = (*self.structure).clone();
         for id in self.structure.compute_nodes() {
@@ -317,6 +511,22 @@ impl NetMetrics for NetSnapshot {
 
     fn used(&self, e: EdgeId, dir: Direction) -> f64 {
         self.used[dir_slot(e, dir)]
+    }
+
+    fn node_available(&self, n: NodeId) -> bool {
+        self.node_avail[n.index()]
+    }
+
+    fn link_available(&self, e: EdgeId) -> bool {
+        self.link_avail[e.index()]
+    }
+
+    fn node_staleness(&self, n: NodeId) -> u32 {
+        self.node_stale[n.index()]
+    }
+
+    fn link_staleness(&self, e: EdgeId) -> u32 {
+        self.link_stale[e.index()]
     }
 }
 
@@ -364,7 +574,7 @@ mod tests {
         let snap = NetSnapshot::capture(topo);
         let next = snap.apply(&NetDelta {
             nodes: vec![(ids[1], 2.0)],
-            links: vec![],
+            ..NetDelta::default()
         });
         assert_eq!(next.epoch(), 1);
         assert!(snap.same_structure(&next));
@@ -383,6 +593,7 @@ mod tests {
         let b = a.apply(&NetDelta {
             nodes: vec![(ids[2], 0.5)],
             links: vec![(e, Direction::BtoA, 7.0 * MBPS)],
+            ..NetDelta::default()
         });
         let d = b.diff(&a);
         assert_eq!(d.node_changes(), 1);
@@ -399,7 +610,7 @@ mod tests {
         let (topo, ids) = loaded_star();
         let snap = NetSnapshot::capture(Arc::clone(&topo)).apply(&NetDelta {
             nodes: vec![(ids[0], 3.0)],
-            links: vec![],
+            ..NetDelta::default()
         });
         let t = snap.to_topology();
         assert_eq!(t.node(ids[0]).load_avg(), 3.0);
@@ -413,6 +624,95 @@ mod tests {
         for i in 0..t.node_count() {
             let n = NodeId::from_index(i);
             assert_eq!(t.node(n).cpu().to_bits(), snap.cpu(n).to_bits());
+        }
+    }
+
+    #[test]
+    fn fresh_snapshots_are_available_and_confident() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(Arc::clone(&topo));
+        for i in 0..topo.node_count() {
+            let n = NodeId::from_index(i);
+            assert!(snap.node_available(n));
+            assert_eq!(snap.node_staleness(n), 0);
+            assert_eq!(snap.node_confidence(n).to_bits(), 1.0f64.to_bits());
+        }
+        for e in topo.edge_ids() {
+            assert!(snap.link_available(e));
+            assert_eq!(snap.link_confidence(e).to_bits(), 1.0f64.to_bits());
+        }
+        // Fresh + available == bit-identical to the pre-health formulas.
+        assert_eq!(
+            snap.effective_cpu(ids[0]).to_bits(),
+            topo.node(ids[0]).effective_cpu().to_bits()
+        );
+    }
+
+    #[test]
+    fn health_delta_applies_and_diffs_round_trip() {
+        let (topo, ids) = loaded_star();
+        let a = NetSnapshot::capture(Arc::clone(&topo));
+        let e = topo.edge_ids().next().unwrap();
+        let b = a.apply(&NetDelta {
+            avail_nodes: vec![(ids[1], false)],
+            avail_links: vec![(e, false)],
+            stale_nodes: vec![(ids[2], 3)],
+            stale_links: vec![(e, 2)],
+            ..NetDelta::default()
+        });
+        // Metric arrays untouched: still shared.
+        assert!(Arc::ptr_eq(&a.load, &b.load));
+        assert!(Arc::ptr_eq(&a.used, &b.used));
+        assert!(!b.node_available(ids[1]));
+        assert!(!b.link_available(e));
+        assert_eq!(b.node_staleness(ids[2]), 3);
+        assert_eq!(b.link_staleness(e), 2);
+        let d = b.diff(&a);
+        assert!(d.has_health_changes());
+        assert_eq!(d.len(), 4);
+        let b2 = a.apply(&d);
+        assert!(b.diff(&b2).is_empty());
+    }
+
+    #[test]
+    fn degraded_health_decays_derived_metrics() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(Arc::clone(&topo));
+        let e = topo.edge_ids().next().unwrap();
+        // A down node contributes zero compute; a down link zero bandwidth.
+        let dead = snap.apply(&NetDelta {
+            avail_nodes: vec![(ids[0], false)],
+            avail_links: vec![(e, false)],
+            ..NetDelta::default()
+        });
+        assert_eq!(dead.effective_cpu(ids[0]), 0.0);
+        assert_eq!(dead.bw(e), 0.0);
+        assert_eq!(dead.bwfactor(e), 0.0);
+        // Staleness decays confidence monotonically, never below zero.
+        let mut last_cpu = snap.effective_cpu(ids[0]);
+        let mut last_bw = snap.bw(e);
+        for misses in 1..6u32 {
+            let s = snap.apply(&NetDelta {
+                stale_nodes: vec![(ids[0], misses)],
+                stale_links: vec![(e, misses)],
+                ..NetDelta::default()
+            });
+            let cpu = s.effective_cpu(ids[0]);
+            let bw = s.bw(e);
+            assert!(cpu < last_cpu && cpu >= 0.0);
+            assert!(bw < last_bw && bw >= 0.0);
+            last_cpu = cpu;
+            last_bw = bw;
+        }
+    }
+
+    #[test]
+    fn staleness_confidence_is_identity_when_fresh() {
+        assert_eq!(staleness_confidence(0).to_bits(), 1.0f64.to_bits());
+        assert!(staleness_confidence(1) < 1.0);
+        assert!(staleness_confidence(100_000) >= 0.0);
+        for m in 0..20 {
+            assert!(staleness_confidence(m + 1) < staleness_confidence(m));
         }
     }
 }

@@ -82,6 +82,7 @@ fn effective(delta: &NetDelta, base: &NetSnapshot) -> NetDelta {
                 u.to_bits() != base.used_values()[slot].to_bits()
             })
             .collect(),
+        ..NetDelta::default()
     }
 }
 
