@@ -38,6 +38,7 @@ fn main() {
             required: vec![server],
             min_cpu: None,
             min_bandwidth: Some(40.0 * MBPS),
+            max_staleness: None,
         },
         reference_bandwidth: Some(100.0 * MBPS),
         policy: GreedyPolicy::Sweep,
