@@ -2,7 +2,7 @@
 
 use crate::flows::{FlowEngine, FlowId, FlowTable};
 use crate::host::{Host, TaskId};
-use crate::time::SimTime;
+use crate::time::{EventKey, SimTime};
 use crate::trace::{TraceEvent, Tracer};
 use nodesel_topology::{Direction, EdgeId, NodeId, RouteTable, Topology};
 use std::any::Any;
@@ -71,8 +71,7 @@ enum EventKind {
 }
 
 struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
+    key: EventKey,
     kind: EventKind,
 }
 
@@ -87,8 +86,7 @@ impl QueuedEvent {
             EventKind::User(_) => unreachable!("fork with a pending user closure"),
         };
         QueuedEvent {
-            at: self.at,
-            seq: self.seq,
+            key: self.key,
             kind,
         }
     }
@@ -96,7 +94,7 @@ impl QueuedEvent {
 
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for QueuedEvent {}
@@ -107,7 +105,7 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -131,10 +129,25 @@ pub struct SimStats {
 ///
 /// # Determinism
 ///
-/// Events at equal timestamps dispatch in scheduling order (a strictly
-/// monotone sequence number breaks ties), and every internal algorithm
-/// iterates in dense-index order, so a run is a pure function of the
-/// topology and the scheduled events.
+/// Events dispatch in [`EventKey`] order: time first, then the owning
+/// partition domain, then that domain's strictly monotone sequence
+/// number. Every internal algorithm iterates in dense-index order, so a
+/// run is a pure function of the topology and the scheduled events —
+/// *independent of the order unrelated domains were populated in*. An
+/// unpartitioned simulator homes everything in domain 0, which
+/// reproduces the historical global-insertion-order tie-break
+/// bit-for-bit.
+///
+/// # Partitioning
+///
+/// [`Sim::set_partition`] assigns every node a *domain* (shard) index.
+/// Each event is homed in the domain of the entity it targets: a host
+/// wake in its node's domain, a driver firing in the domain it was
+/// installed at ([`Sim::install_driver_at`]), a flow in its source
+/// node's domain. Task and flow ids are minted from per-domain counters
+/// (`domain << 48 | counter`), so ids, sequence numbers, and therefore
+/// the whole dispatch order are per-domain properties — the foundation
+/// the parallel engine's bit-exactness rests on.
 ///
 /// # Checkpointing
 ///
@@ -153,13 +166,23 @@ pub struct Sim {
     routes: Arc<RouteTable>,
     time: SimTime,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
-    seq: u64,
+    /// Per-domain event sequence counters (index = domain).
+    seqs: Vec<u64>,
+    /// Domain of each node (empty when unpartitioned: everything is
+    /// domain 0).
+    node_domain: Vec<u16>,
+    /// Number of partition domains (1 when unpartitioned).
+    num_domains: u16,
+    /// Home domain of each installed driver slot.
+    driver_home: Vec<u16>,
     hosts: Vec<Option<Host>>,
     host_generation: Vec<u64>,
     flows: FlowTable,
     net_generation: u64,
-    next_task: u64,
-    next_flow: u64,
+    /// Per-domain task-id counters; ids are `domain << 48 | counter`.
+    next_task: Vec<u64>,
+    /// Per-domain flow-id counters; ids are `domain << 48 | counter`.
+    next_flow: Vec<u64>,
     task_done: HashMap<TaskId, Callback>,
     flow_done: HashMap<FlowId, (f64, Callback)>,
     /// Reused drain buffer for finished flows (no per-event allocation).
@@ -239,13 +262,16 @@ impl Sim {
             routes,
             time: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            seq: 0,
+            seqs: vec![0],
+            node_domain: Vec::new(),
+            num_domains: 1,
+            driver_home: Vec::new(),
             hosts,
             host_generation,
             flows,
             net_generation: 0,
-            next_task: 1,
-            next_flow: 1,
+            next_task: vec![1],
+            next_flow: vec![1],
             task_done: HashMap::new(),
             flow_done: HashMap::new(),
             finished_flows: Vec::new(),
@@ -300,13 +326,16 @@ impl Sim {
                 .iter()
                 .map(|Reverse(e)| Reverse(e.clone_data()))
                 .collect(),
-            seq: self.seq,
+            seqs: self.seqs.clone(),
+            node_domain: self.node_domain.clone(),
+            num_domains: self.num_domains,
+            driver_home: self.driver_home.clone(),
             hosts: self.hosts.clone(),
             host_generation: self.host_generation.clone(),
             flows: self.flows.clone(),
             net_generation: self.net_generation,
-            next_task: self.next_task,
-            next_flow: self.next_flow,
+            next_task: self.next_task.clone(),
+            next_flow: self.next_flow.clone(),
             task_done: HashMap::new(),
             flow_done: HashMap::new(),
             finished_flows: Vec::new(),
@@ -331,11 +360,72 @@ impl Sim {
         };
         debug_assert_eq!(forked.queue.len(), self.queue.len());
         debug_assert_eq!(
-            forked.queue.peek().map(|Reverse(e)| (e.at, e.seq)),
-            self.queue.peek().map(|Reverse(e)| (e.at, e.seq)),
+            forked.queue.peek().map(|Reverse(e)| e.key),
+            self.queue.peek().map(|Reverse(e)| e.key),
             "fork perturbed the event order"
         );
         forked
+    }
+
+    // ----- Partitioning ---------------------------------------------------
+
+    /// Partitions the simulator into event-ordering domains: `node_domain`
+    /// assigns every node (by index) a domain id. Must be called on a
+    /// pristine simulator — before any event is scheduled, any driver is
+    /// installed, or any task/flow is started — because domains govern
+    /// sequence numbering and id minting from the very first action.
+    ///
+    /// Two runs that install the same per-domain drivers in *different*
+    /// orders produce bit-identical traces, because every tie-break and
+    /// every minted id is derived from per-domain counters rather than
+    /// global program order.
+    pub fn set_partition(&mut self, node_domain: &[u16]) {
+        assert_eq!(
+            node_domain.len(),
+            self.hosts.len(),
+            "partition must assign every node a domain"
+        );
+        assert!(
+            self.time == SimTime::ZERO
+                && self.queue.is_empty()
+                && self.drivers.is_empty()
+                && self.flows.is_empty()
+                && self.seqs.iter().all(|&s| s == 0),
+            "set_partition requires a pristine simulator"
+        );
+        let num_domains = node_domain.iter().copied().max().unwrap_or(0) + 1;
+        self.node_domain = node_domain.to_vec();
+        self.num_domains = num_domains;
+        let n = num_domains as usize;
+        self.seqs = vec![0; n];
+        self.next_task = vec![1; n];
+        self.next_flow = vec![1; n];
+    }
+
+    /// Number of partition domains (1 when unpartitioned).
+    pub fn num_domains(&self) -> u16 {
+        self.num_domains
+    }
+
+    /// Domain of a node (0 when unpartitioned).
+    pub fn domain_of(&self, node: NodeId) -> u16 {
+        self.node_domain.get(node.index()).copied().unwrap_or(0)
+    }
+
+    fn mint_task(&mut self, domain: u16) -> TaskId {
+        let ctr = &mut self.next_task[domain as usize];
+        debug_assert!(*ctr < 1 << 48, "task-id counter overflow");
+        let id = TaskId((u64::from(domain) << 48) | *ctr);
+        *ctr += 1;
+        id
+    }
+
+    fn mint_flow(&mut self, domain: u16) -> FlowId {
+        let ctr = &mut self.next_flow[domain as usize];
+        debug_assert!(*ctr < 1 << 48, "flow-id counter overflow");
+        let id = FlowId((u64::from(domain) << 48) | *ctr);
+        *ctr += 1;
+        id
     }
 
     // ----- Drivers --------------------------------------------------------
@@ -343,9 +433,24 @@ impl Sim {
     /// Installs a recurring data-driven event source and returns its id.
     /// The driver fires only when scheduled (see
     /// [`Sim::schedule_driver_in`]); installation alone schedules nothing.
+    /// The driver is homed in domain 0; partition-aware callers should
+    /// use [`Sim::install_driver_at`].
     pub fn install_driver<T: DriverLogic>(&mut self, driver: T) -> DriverId {
         let slot = u32::try_from(self.drivers.len()).expect("too many drivers");
         self.drivers.push(Some(Box::new(driver)));
+        self.driver_home.push(0);
+        DriverId(slot)
+    }
+
+    /// Installs a driver *homed at a node*: its firings are sequenced in
+    /// (and, under the parallel engine, executed by) that node's
+    /// partition domain. On an unpartitioned simulator this is identical
+    /// to [`Sim::install_driver`].
+    pub fn install_driver_at<T: DriverLogic>(&mut self, home: NodeId, driver: T) -> DriverId {
+        let slot = u32::try_from(self.drivers.len()).expect("too many drivers");
+        let domain = self.domain_of(home);
+        self.drivers.push(Some(Box::new(driver)));
+        self.driver_home.push(domain);
         DriverId(slot)
     }
 
@@ -354,7 +459,8 @@ impl Sim {
     /// [`DriverLogic::fire`] once.
     pub fn schedule_driver_in(&mut self, delay_secs: f64, id: DriverId) {
         let at = self.time.after_secs_f64(delay_secs);
-        self.push(at, EventKind::Driver { slot: id.0 });
+        let domain = self.driver_home[id.0 as usize];
+        self.push(at, domain, EventKind::Driver { slot: id.0 });
     }
 
     /// Immutable access to an installed driver's state.
@@ -423,25 +529,30 @@ impl Sim {
         self.stats
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
+    fn push(&mut self, at: SimTime, domain: u16, kind: EventKind) {
         debug_assert!(at >= self.time);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        let seq = self.seqs[domain as usize];
+        self.seqs[domain as usize] += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            key: EventKey { at, domain, seq },
+            kind,
+        }));
     }
 
-    /// Schedules `f` to run at absolute time `at` (clamped to now).
+    /// Schedules `f` to run at absolute time `at` (clamped to now). User
+    /// closures are homed in domain 0: they exist only in serial phases
+    /// (application launch and drain), never under the parallel engine.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
         let at = at.max(self.time);
         self.user_events += 1;
-        self.push(at, EventKind::User(Box::new(f)));
+        self.push(at, 0, EventKind::User(Box::new(f)));
     }
 
     /// Schedules `f` to run `delay_secs` from now.
     pub fn schedule_in(&mut self, delay_secs: f64, f: impl FnOnce(&mut Sim) + 'static) {
         let at = self.time.after_secs_f64(delay_secs);
         self.user_events += 1;
-        self.push(at, EventKind::User(Box::new(f)));
+        self.push(at, 0, EventKind::User(Box::new(f)));
     }
 
     // ----- CPU tasks ------------------------------------------------------
@@ -461,8 +572,10 @@ impl Sim {
             .expect("compute node")
             .next_completion();
         if at != SimTime::NEVER {
+            let domain = self.domain_of(node);
             self.push(
                 at.max(self.time),
+                domain,
                 EventKind::HostWake {
                     host: idx,
                     generation,
@@ -479,8 +592,7 @@ impl Sim {
         work: f64,
         on_done: impl FnOnce(&mut Sim) + 'static,
     ) -> TaskId {
-        let id = TaskId(self.next_task);
-        self.next_task += 1;
+        let id = self.mint_task(self.domain_of(node));
         if !self.node_up[node.index()] {
             // A crashed host refuses work: the task is killed on arrival
             // and surfaced through `take_killed_tasks`; `on_done` never
@@ -503,8 +615,7 @@ impl Sim {
     /// no completion callback, so it leaves no closure behind and keeps
     /// the simulator forkable. Background load generators use this.
     pub fn start_compute_detached(&mut self, node: NodeId, work: f64) -> TaskId {
-        let id = TaskId(self.next_task);
-        self.next_task += 1;
+        let id = self.mint_task(self.domain_of(node));
         if !self.node_up[node.index()] {
             self.killed_tasks.push((node, id));
             self.trace(|at| TraceEvent::TaskKilled { at, node, id });
@@ -543,7 +654,7 @@ impl Sim {
         // zero-capacity link report NEVER and schedule nothing.
         let at = self.flows.next_wake();
         if at != SimTime::NEVER {
-            self.push(at.max(self.time), EventKind::NetWake { generation });
+            self.push(at.max(self.time), 0, EventKind::NetWake { generation });
         }
     }
 
@@ -560,8 +671,7 @@ impl Sim {
         bits: f64,
         on_done: impl FnOnce(&mut Sim) + 'static,
     ) -> FlowId {
-        let id = FlowId(self.next_flow);
-        self.next_flow += 1;
+        let id = self.mint_flow(self.domain_of(src));
         if !self.node_up[src.index()] || !self.node_up[dst.index()] {
             // A crashed endpoint aborts the transfer on arrival; `on_done`
             // never fires. Surfaced through `take_aborted_flows`.
@@ -603,8 +713,7 @@ impl Sim {
     /// behind so the simulator stays forkable. Background traffic
     /// generators use this.
     pub fn start_transfer_detached(&mut self, src: NodeId, dst: NodeId, bits: f64) -> FlowId {
-        let id = FlowId(self.next_flow);
-        self.next_flow += 1;
+        let id = self.mint_flow(self.domain_of(src));
         if !self.node_up[src.index()] || !self.node_up[dst.index()] {
             self.aborted_flows.push(id);
             self.trace(|at| TraceEvent::FlowAborted { at, id });
@@ -844,8 +953,8 @@ impl Sim {
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.time, "event from the past");
-        self.time = ev.at;
+        debug_assert!(ev.key.at >= self.time, "event from the past");
+        self.time = ev.key.at;
         self.stats.events += 1;
         match ev.kind {
             EventKind::User(f) => {
@@ -919,7 +1028,7 @@ impl Sim {
     /// `limit`. Later events stay queued.
     pub fn run_until(&mut self, limit: SimTime) {
         while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > limit {
+            if ev.key.at > limit {
                 break;
             }
             self.step();
@@ -1289,6 +1398,59 @@ mod tests {
         let mut sim = Sim::new(topo);
         sim.schedule_in(1.0, |_| {});
         let _ = sim.fork();
+    }
+
+    /// Two disconnected 3-host subnets plus the node → domain map.
+    fn federated_pair() -> (Topology, Vec<Vec<NodeId>>, Vec<u16>) {
+        let mut topo = Topology::new();
+        let mut subnets = Vec::new();
+        let mut node_domain = Vec::new();
+        for s in 0..2u16 {
+            let sw = topo.add_network_node(format!("s{s}-sw"));
+            node_domain.push(s);
+            let mut hosts = Vec::new();
+            for h in 0..3 {
+                let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
+                node_domain.push(s);
+                topo.add_link(sw, n, 100.0 * MBPS);
+                hosts.push(n);
+            }
+            subnets.push(hosts);
+        }
+        (topo, subnets, node_domain)
+    }
+
+    #[test]
+    fn permuted_installation_runs_identically() {
+        // The ISSUE-6 regression: with domain-scoped event keys, the order
+        // in which unrelated subnets' drivers are *installed* must not
+        // change the dispatch order (it used to, via the global insertion
+        // counter that broke timestamp ties).
+        let run = |order: [usize; 2]| {
+            let (topo, subnets, node_domain) = federated_pair();
+            let mut sim = Sim::new(topo);
+            sim.set_partition(&node_domain);
+            sim.enable_trace(usize::MAX);
+            for &s in &order {
+                let d = sim.install_driver_at(
+                    subnets[s][0],
+                    Churn {
+                        nodes: subnets[s].clone(),
+                        state: 1000 + s as u64,
+                        fired: 0,
+                    },
+                );
+                sim.schedule_driver_in(0.0, d);
+            }
+            sim.run_for(50.0);
+            (sim.now(), sim.stats(), sim.take_trace().0)
+        };
+        let ab = run([0, 1]);
+        let ba = run([1, 0]);
+        assert_eq!(ab.0, ba.0);
+        assert_eq!(ab.1, ba.1);
+        assert_eq!(ab.2, ba.2);
+        assert!(ab.1.events > 100, "churn drivers barely ran");
     }
 
     #[test]

@@ -72,5 +72,5 @@ pub use fault::{
 };
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
 pub use host::{Host, TaskId};
-pub use time::SimTime;
+pub use time::{EventKey, SimTime};
 pub use trace::TraceEvent;

@@ -90,6 +90,32 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// Total dispatch order of simulator events: time first, then the owning
+/// *domain* (shard), then that domain's monotone sequence number.
+///
+/// The old event heap broke timestamp ties by a single global insertion
+/// counter — deterministic only as long as every piece of state was
+/// mutated in exactly the same program order, so permuting driver
+/// installation silently permuted same-time dispatch. Keying ties by
+/// `(domain, seq)` makes the order a property of the simulated system
+/// itself: events homed in one domain are sequenced by that domain's own
+/// counter, and domains are ordered by their stable partition index. An
+/// unpartitioned simulator homes everything in domain 0, where
+/// `(time, 0, seq)` reproduces the historical `(time, seq)` order
+/// bit-for-bit.
+///
+/// The derived lexicographic `Ord` on the field order below is the
+/// contract the parallel engine's trace merge relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Dispatch time.
+    pub at: SimTime,
+    /// Partition domain the event is homed in (0 when unpartitioned).
+    pub domain: u16,
+    /// The domain's monotone event sequence number.
+    pub seq: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +138,22 @@ mod tests {
     #[test]
     fn infinite_delay_is_never() {
         assert_eq!(SimTime::ZERO.after_secs_f64(f64::INFINITY), SimTime::NEVER);
+    }
+
+    #[test]
+    fn event_key_orders_time_then_domain_then_seq() {
+        let k = |at, domain, seq| EventKey {
+            at: SimTime(at),
+            domain,
+            seq,
+        };
+        // Time dominates.
+        assert!(k(1, 9, 9) < k(2, 0, 0));
+        // At equal times, the lower domain dispatches first...
+        assert!(k(5, 0, 7) < k(5, 1, 0));
+        // ...and within a domain its own sequence decides.
+        assert!(k(5, 3, 1) < k(5, 3, 2));
+        assert_eq!(k(5, 3, 1), k(5, 3, 1));
     }
 
     #[test]
