@@ -60,6 +60,7 @@ pub mod maxmin;
 pub mod metrics;
 mod node;
 pub mod route;
+pub mod shard;
 pub mod snapshot;
 pub mod testbeds;
 pub mod unionfind;
@@ -71,6 +72,7 @@ pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
 pub use route::{Path, RouteTable, Routes};
+pub use shard::ShardPlan;
 pub use snapshot::{staleness_confidence, NetDelta, NetMetrics, NetSnapshot};
 pub use unionfind::UnionFind;
 pub use view::{Component, GraphView};
