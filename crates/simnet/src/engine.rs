@@ -6,6 +6,7 @@ use crate::time::{EventKey, SimTime};
 use crate::trace::{TraceEvent, Tracer};
 use nodesel_topology::{Direction, EdgeId, NodeId, RouteTable, Topology};
 use std::any::Any;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -65,7 +66,7 @@ impl<T: DriverLogic> DriverObj for T {
 
 enum EventKind {
     HostWake { host: usize, generation: u64 },
-    NetWake { generation: u64 },
+    NetWake { domain: u16, generation: u64 },
     Driver { slot: u32 },
     User(Callback),
 }
@@ -81,7 +82,7 @@ impl QueuedEvent {
     fn clone_data(&self) -> QueuedEvent {
         let kind = match self.kind {
             EventKind::HostWake { host, generation } => EventKind::HostWake { host, generation },
-            EventKind::NetWake { generation } => EventKind::NetWake { generation },
+            EventKind::NetWake { domain, generation } => EventKind::NetWake { domain, generation },
             EventKind::Driver { slot } => EventKind::Driver { slot },
             EventKind::User(_) => unreachable!("fork with a pending user closure"),
         };
@@ -178,7 +179,10 @@ pub struct Sim {
     hosts: Vec<Option<Host>>,
     host_generation: Vec<u64>,
     flows: FlowTable,
-    net_generation: u64,
+    /// Per-domain network-wake generation counters: each domain's wake
+    /// event tracks only that domain's flows, so one domain's churn never
+    /// invalidates another's scheduled wake.
+    net_generation: Vec<u64>,
     /// Per-domain task-id counters; ids are `domain << 48 | counter`.
     next_task: Vec<u64>,
     /// Per-domain flow-id counters; ids are `domain << 48 | counter`.
@@ -205,6 +209,20 @@ pub struct Sim {
     aborted_flows: Vec<FlowId>,
     stats: SimStats,
     tracer: Option<Tracer>,
+    /// Key of the event currently dispatching (stale outside
+    /// [`Sim::step`]). Trace records carry it so per-shard traces can be
+    /// merged back into exact serial dispatch order.
+    dispatch_key: EventKey,
+    /// Domains this simulator executes (`None` = all of them). A shard
+    /// produced by [`Sim::shard_fork`] owns a subset; touching anything
+    /// outside it trips `escalated` instead of silently diverging.
+    owned: Option<Box<[bool]>>,
+    /// Set when a foreign-domain interaction happened: the shard's state
+    /// is no longer a faithful slice of the serial execution and must be
+    /// discarded (the parallel engine replays serially instead).
+    escalated: Cell<bool>,
+    /// Reused buffer for the homes rescheduled after a flow mutation.
+    resched_buf: Vec<u16>,
 }
 
 impl Sim {
@@ -269,7 +287,7 @@ impl Sim {
             hosts,
             host_generation,
             flows,
-            net_generation: 0,
+            net_generation: vec![0],
             next_task: vec![1],
             next_flow: vec![1],
             task_done: HashMap::new(),
@@ -283,6 +301,14 @@ impl Sim {
             aborted_flows: Vec::new(),
             stats: SimStats::default(),
             tracer: None,
+            dispatch_key: EventKey {
+                at: SimTime::ZERO,
+                domain: 0,
+                seq: 0,
+            },
+            owned: None,
+            escalated: Cell::new(false),
+            resched_buf: Vec::new(),
         }
     }
 
@@ -333,7 +359,7 @@ impl Sim {
             hosts: self.hosts.clone(),
             host_generation: self.host_generation.clone(),
             flows: self.flows.clone(),
-            net_generation: self.net_generation,
+            net_generation: self.net_generation.clone(),
             next_task: self.next_task.clone(),
             next_flow: self.next_flow.clone(),
             task_done: HashMap::new(),
@@ -357,6 +383,10 @@ impl Sim {
             aborted_flows: self.aborted_flows.clone(),
             stats: self.stats,
             tracer: self.tracer.clone(),
+            dispatch_key: self.dispatch_key,
+            owned: self.owned.clone(),
+            escalated: Cell::new(self.escalated.get()),
+            resched_buf: Vec::new(),
         };
         debug_assert_eq!(forked.queue.len(), self.queue.len());
         debug_assert_eq!(
@@ -400,6 +430,90 @@ impl Sim {
         self.seqs = vec![0; n];
         self.next_task = vec![1; n];
         self.next_flow = vec![1; n];
+        self.net_generation = vec![0; n];
+        self.flows.set_num_homes(num_domains);
+    }
+
+    /// Forks this simulator into a *shard* that executes only
+    /// `owned_domains`: the event queue is filtered to those domains'
+    /// events, the trace buffer starts empty (records before the split
+    /// belong to the parent), and the crash/abort drain lists are
+    /// cleared. Any interaction with a foreign domain — scheduling into
+    /// it, starting a transfer touching it, reading its state — trips the
+    /// shard's escalation flag (see [`Sim::run_until_or_escalate`])
+    /// instead of silently computing with stale foreign state.
+    ///
+    /// Same legality rule as [`Sim::fork`]: panics while a user closure
+    /// is pending.
+    pub(crate) fn shard_fork(&self, owned_domains: &[u16]) -> Sim {
+        let mut mask = vec![false; self.num_domains as usize];
+        for &d in owned_domains {
+            mask[d as usize] = true;
+        }
+        let mut shard = self.fork();
+        shard.queue = self
+            .queue
+            .iter()
+            .filter(|Reverse(e)| mask[e.key.domain as usize])
+            .map(|Reverse(e)| Reverse(e.clone_data()))
+            .collect();
+        shard.killed_tasks.clear();
+        shard.aborted_flows.clear();
+        shard.tracer = self.tracer.as_ref().map(|t| Tracer::new(t.limit()));
+        shard.owned = Some(mask.into_boxed_slice());
+        shard.escalated = Cell::new(false);
+        shard
+    }
+
+    /// True when this simulator executes `domain` (always true outside
+    /// shards).
+    #[inline]
+    fn owns(&self, domain: u16) -> bool {
+        match &self.owned {
+            None => true,
+            Some(mask) => mask[domain as usize],
+        }
+    }
+
+    /// Records that `domain` was touched; in a shard that does not own
+    /// it, this trips escalation.
+    #[inline]
+    fn note_domain(&self, domain: u16) {
+        if !self.owns(domain) {
+            self.escalated.set(true);
+        }
+    }
+
+    /// Records that both endpoint domains of `edge` were touched.
+    #[inline]
+    fn note_link(&self, edge: EdgeId) {
+        if self.owned.is_some() {
+            let l = self.topo.link(edge);
+            self.note_domain(self.domain_of(l.a()));
+            self.note_domain(self.domain_of(l.b()));
+        }
+    }
+
+    /// Records a whole-network observation (oracle snapshots, global flow
+    /// counts): escalates unless this simulator owns every domain.
+    #[inline]
+    fn note_global(&self) {
+        if let Some(mask) = &self.owned {
+            if mask.iter().any(|&o| !o) {
+                self.escalated.set(true);
+            }
+        }
+    }
+
+    /// True when a foreign-domain interaction has invalidated this shard.
+    pub(crate) fn escalated(&self) -> bool {
+        self.escalated.get()
+    }
+
+    /// Home domain of a flow id (its top 16 bits).
+    #[inline]
+    fn flow_home(id: FlowId) -> u16 {
+        (id.0 >> 48) as u16
     }
 
     /// Number of partition domains (1 when unpartitioned).
@@ -504,8 +618,19 @@ impl Sim {
     fn trace(&mut self, make: impl FnOnce(SimTime) -> TraceEvent) {
         if let Some(t) = self.tracer.as_mut() {
             let at = self.time;
-            t.record(make(at));
+            let key = self.dispatch_key;
+            t.record(key, make(at));
         }
+    }
+
+    /// Drains the trace buffer with each record's dispatch key attached.
+    /// Keys are unique per dispatch and strictly increasing within one
+    /// simulator, so shard traces merge back into exact serial order.
+    pub(crate) fn take_keyed_trace(&mut self) -> (Vec<(EventKey, TraceEvent)>, u64) {
+        self.tracer
+            .as_mut()
+            .map(Tracer::take_keyed)
+            .unwrap_or_default()
     }
 
     /// Current simulation time.
@@ -531,6 +656,12 @@ impl Sim {
 
     fn push(&mut self, at: SimTime, domain: u16, kind: EventKind) {
         debug_assert!(at >= self.time);
+        if !self.owns(domain) {
+            // A shard scheduling into a foreign domain: the event would
+            // execute elsewhere. Drop it and mark the shard invalid.
+            self.escalated.set(true);
+            return;
+        }
         let seq = self.seqs[domain as usize];
         self.seqs[domain as usize] += 1;
         self.queue.push(Reverse(QueuedEvent {
@@ -592,6 +723,7 @@ impl Sim {
         work: f64,
         on_done: impl FnOnce(&mut Sim) + 'static,
     ) -> TaskId {
+        self.note_domain(self.domain_of(node));
         let id = self.mint_task(self.domain_of(node));
         if !self.node_up[node.index()] {
             // A crashed host refuses work: the task is killed on arrival
@@ -615,6 +747,7 @@ impl Sim {
     /// no completion callback, so it leaves no closure behind and keeps
     /// the simulator forkable. Background load generators use this.
     pub fn start_compute_detached(&mut self, node: NodeId, work: f64) -> TaskId {
+        self.note_domain(self.domain_of(node));
         let id = self.mint_task(self.domain_of(node));
         if !self.node_up[node.index()] {
             self.killed_tasks.push((node, id));
@@ -633,6 +766,7 @@ impl Sim {
     /// Cancels a running CPU task; its completion callback is dropped.
     /// Returns true when the task was live on `node`.
     pub fn cancel_compute(&mut self, node: NodeId, id: TaskId) -> bool {
+        self.note_domain(self.domain_of(node));
         let now = self.time;
         let host = self.host_mut(node);
         host.settle(now);
@@ -647,15 +781,46 @@ impl Sim {
 
     // ----- Flows ----------------------------------------------------------
 
-    fn reschedule_net(&mut self) {
-        self.net_generation += 1;
-        let generation = self.net_generation;
-        // O(log heap) via the completion heap; flows starved by a
-        // zero-capacity link report NEVER and schedule nothing.
-        let at = self.flows.next_wake();
+    fn reschedule_net(&mut self, domain: u16) {
+        let g = &mut self.net_generation[domain as usize];
+        *g += 1;
+        let generation = *g;
+        // O(log heap) via the domain's completion heap; flows starved by
+        // a zero-capacity link report NEVER and schedule nothing.
+        let at = self.flows.next_wake_home(domain);
         if at != SimTime::NEVER {
-            self.push(at.max(self.time), 0, EventKind::NetWake { generation });
+            self.push(
+                at.max(self.time),
+                domain,
+                EventKind::NetWake { domain, generation },
+            );
         }
+    }
+
+    /// Reschedules the network wake of every home the last flow mutation
+    /// touched (rate changes reported by the flow table) plus `extras`
+    /// (the homes of the flows added/removed/finished by the mutation
+    /// itself, whose rates may be unchanged). Each home is rescheduled
+    /// once, in ascending order. Unpartitioned this is exactly one
+    /// reschedule of domain 0 — the historical behaviour.
+    fn resched_net_homes(&mut self, extras: &[u16]) {
+        let mut homes = std::mem::take(&mut self.resched_buf);
+        self.flows.drain_touched_into(&mut homes);
+        for &d in extras {
+            if !homes.contains(&d) {
+                homes.push(d);
+            }
+        }
+        homes.sort_unstable();
+        for &d in &homes {
+            self.reschedule_net(d);
+        }
+        homes.clear();
+        self.resched_buf = homes;
+    }
+
+    fn resched_net(&mut self, trigger: u16) {
+        self.resched_net_homes(&[trigger]);
     }
 
     /// Starts a bulk transfer of `bits` from `src` to `dst` along the fixed
@@ -671,6 +836,10 @@ impl Sim {
         bits: f64,
         on_done: impl FnOnce(&mut Sim) + 'static,
     ) -> FlowId {
+        if self.owned.is_some() {
+            self.note_domain(self.domain_of(src));
+            self.note_domain(self.domain_of(dst));
+        }
         let id = self.mint_flow(self.domain_of(src));
         if !self.node_up[src.index()] || !self.node_up[dst.index()] {
             // A crashed endpoint aborts the transfer on arrival; `on_done`
@@ -688,6 +857,11 @@ impl Sim {
             .routes
             .resolve(&self.topo, src, dst)
             .expect("transfer endpoints must be connected");
+        if self.owned.is_some() {
+            for &(e, _) in &path.hops {
+                self.note_link(e);
+            }
+        }
         let latency: f64 = path
             .hops
             .iter()
@@ -696,7 +870,7 @@ impl Sim {
         self.flows.settle(self.time);
         self.flows.add_flow(id, &path, bits);
         self.flow_done.insert(id, (latency, Box::new(on_done)));
-        self.reschedule_net();
+        self.resched_net(Self::flow_home(id));
         self.trace(|at| TraceEvent::FlowStarted {
             at,
             id,
@@ -713,6 +887,10 @@ impl Sim {
     /// behind so the simulator stays forkable. Background traffic
     /// generators use this.
     pub fn start_transfer_detached(&mut self, src: NodeId, dst: NodeId, bits: f64) -> FlowId {
+        if self.owned.is_some() {
+            self.note_domain(self.domain_of(src));
+            self.note_domain(self.domain_of(dst));
+        }
         let id = self.mint_flow(self.domain_of(src));
         if !self.node_up[src.index()] || !self.node_up[dst.index()] {
             self.aborted_flows.push(id);
@@ -727,9 +905,14 @@ impl Sim {
             .routes
             .resolve(&self.topo, src, dst)
             .expect("transfer endpoints must be connected");
+        if self.owned.is_some() {
+            for &(e, _) in &path.hops {
+                self.note_link(e);
+            }
+        }
         self.flows.settle(self.time);
         self.flows.add_flow(id, &path, bits);
-        self.reschedule_net();
+        self.resched_net(Self::flow_home(id));
         self.trace(|at| TraceEvent::FlowStarted {
             at,
             id,
@@ -742,11 +925,12 @@ impl Sim {
 
     /// Cancels a live flow, dropping its callback. Returns true when live.
     pub fn cancel_transfer(&mut self, id: FlowId) -> bool {
+        self.note_domain(Self::flow_home(id));
         self.flows.settle(self.time);
         let removed = self.flows.remove_flow(id);
         if removed {
             self.flow_done.remove(&id);
-            self.reschedule_net();
+            self.resched_net(Self::flow_home(id));
             self.trace(|at| TraceEvent::FlowCancelled { at, id });
         }
         removed
@@ -756,18 +940,21 @@ impl Sim {
 
     /// True when `node` has not crashed.
     pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.note_domain(self.domain_of(node));
         self.node_up[node.index()]
     }
 
     /// True when `edge` is administratively up. Its endpoints may still
     /// be down; see [`Sim::link_effective_up`].
     pub fn link_is_up(&self, edge: EdgeId) -> bool {
+        self.note_link(edge);
         self.link_up[edge.index()]
     }
 
     /// True when traffic can actually cross `edge`: the link itself and
     /// both endpoint nodes are up.
     pub fn link_effective_up(&self, edge: EdgeId) -> bool {
+        self.note_link(edge);
         let l = self.topo.link(edge);
         self.link_up[edge.index()] && self.node_up[l.a().index()] && self.node_up[l.b().index()]
     }
@@ -778,7 +965,7 @@ impl Sim {
     /// (they predict no completion and schedule nothing — the
     /// administratively-down path); restored links resume at their
     /// engineered rates.
-    fn refresh_capacities(&mut self, edges: &[EdgeId]) {
+    fn refresh_capacities(&mut self, trigger: u16, edges: &[EdgeId]) {
         let mut changes: Vec<(EdgeId, Direction, f64)> = Vec::with_capacity(edges.len() * 2);
         for &e in edges {
             let up = self.link_effective_up(e);
@@ -790,7 +977,7 @@ impl Sim {
         }
         self.flows.settle(self.time);
         if self.flows.set_capacities(&changes) {
-            self.reschedule_net();
+            self.resched_net(trigger);
         }
     }
 
@@ -799,6 +986,7 @@ impl Sim {
     /// resume when the link returns. Returns true when the state
     /// actually changed.
     pub fn set_link_up(&mut self, edge: EdgeId, up: bool) -> bool {
+        self.note_link(edge);
         if self.link_up[edge.index()] == up {
             return false;
         }
@@ -810,7 +998,8 @@ impl Sim {
                 TraceEvent::LinkDown { at, edge }
             }
         });
-        self.refresh_capacities(&[edge]);
+        let trigger = self.domain_of(self.topo.link(edge).a());
+        self.refresh_capacities(trigger, &[edge]);
         true
     }
 
@@ -821,6 +1010,7 @@ impl Sim {
     /// links drop to zero effective capacity so flows routed *through*
     /// it stall. Returns true when the node was up.
     pub fn crash_node(&mut self, node: NodeId) -> bool {
+        self.note_domain(self.domain_of(node));
         if !self.node_up[node.index()] {
             return false;
         }
@@ -841,16 +1031,21 @@ impl Sim {
         self.flows.settle(self.time);
         let aborted = self.flows.flows_with_endpoint(node);
         if !aborted.is_empty() {
+            let mut homes: Vec<u16> = Vec::with_capacity(aborted.len());
             for id in aborted {
                 self.flows.remove_flow(id);
                 self.flow_done.remove(&id);
                 self.aborted_flows.push(id);
                 self.trace(|at| TraceEvent::FlowAborted { at, id });
+                let home = Self::flow_home(id);
+                if !homes.contains(&home) {
+                    homes.push(home);
+                }
             }
-            self.reschedule_net();
+            self.resched_net_homes(&homes);
         }
         let edges: Vec<EdgeId> = self.topo.neighbors(node).iter().map(|&(e, _)| e).collect();
-        self.refresh_capacities(&edges);
+        self.refresh_capacities(self.domain_of(node), &edges);
         true
     }
 
@@ -858,13 +1053,14 @@ impl Sim {
     /// its incident links (those not independently down) resume at their
     /// engineered capacities. Returns true when the node was down.
     pub fn reboot_node(&mut self, node: NodeId) -> bool {
+        self.note_domain(self.domain_of(node));
         if self.node_up[node.index()] {
             return false;
         }
         self.node_up[node.index()] = true;
         self.trace(|at| TraceEvent::NodeUp { at, node });
         let edges: Vec<EdgeId> = self.topo.neighbors(node).iter().map(|&(e, _)| e).collect();
-        self.refresh_capacities(&edges);
+        self.refresh_capacities(self.domain_of(node), &edges);
         true
     }
 
@@ -885,6 +1081,7 @@ impl Sim {
 
     /// Instantaneous run-queue length of a compute node.
     pub fn run_queue(&self, node: NodeId) -> usize {
+        self.note_domain(self.domain_of(node));
         self.hosts[node.index()]
             .as_ref()
             .expect("compute node")
@@ -894,6 +1091,7 @@ impl Sim {
     /// Load average of a compute node as of now (damped analytically; does
     /// not mutate state).
     pub fn load_avg(&self, node: NodeId) -> f64 {
+        self.note_domain(self.domain_of(node));
         let host = self.hosts[node.index()].as_ref().expect("compute node");
         // Analytic continuation of the host EWMA to the current instant.
         let mut h = host.clone();
@@ -903,6 +1101,7 @@ impl Sim {
 
     /// Aggregate flow rate on a directed link right now, bits/s.
     pub fn link_rate(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.note_link(edge);
         self.flows.link_rate(edge, dir)
     }
 
@@ -910,16 +1109,19 @@ impl Sim {
     /// octet counter). Exact at any instant: the flow table accumulates on
     /// rate change and extrapolates to the engine clock on read.
     pub fn link_bits(&self, edge: EdgeId, dir: Direction) -> f64 {
+        self.note_link(edge);
         self.flows.link_bits_at(edge, dir, self.time)
     }
 
-    /// Number of live flows.
+    /// Number of live flows (a whole-network observation).
     pub fn flow_count(&self) -> usize {
+        self.note_global();
         self.flows.len()
     }
 
     /// Reference-seconds of CPU work completed on a node so far.
     pub fn completed_work(&self, node: NodeId) -> f64 {
+        self.note_domain(self.domain_of(node));
         self.hosts[node.index()]
             .as_ref()
             .expect("compute node")
@@ -932,6 +1134,7 @@ impl Sim {
     /// oracle" measurement; `nodesel-remos` layers realistic sampling on
     /// top.
     pub fn oracle_snapshot(&self) -> Topology {
+        self.note_global();
         let mut t = (*self.topo).clone();
         let computes: Vec<NodeId> = t.compute_nodes().collect();
         for n in computes {
@@ -955,6 +1158,7 @@ impl Sim {
         };
         debug_assert!(ev.key.at >= self.time, "event from the past");
         self.time = ev.key.at;
+        self.dispatch_key = ev.key;
         self.stats.events += 1;
         match ev.kind {
             EventKind::User(f) => {
@@ -966,9 +1170,9 @@ impl Sim {
                     self.on_host_wake(host);
                 }
             }
-            EventKind::NetWake { generation } => {
-                if generation == self.net_generation {
-                    self.on_net_wake();
+            EventKind::NetWake { domain, generation } => {
+                if generation == self.net_generation[domain as usize] {
+                    self.on_net_wake(domain);
                 }
             }
             EventKind::Driver { slot } => {
@@ -1001,11 +1205,11 @@ impl Sim {
         }
     }
 
-    fn on_net_wake(&mut self) {
+    fn on_net_wake(&mut self, domain: u16) {
         self.flows.settle(self.time);
         let mut finished = std::mem::take(&mut self.finished_flows);
-        self.flows.take_finished_into(&mut finished);
-        self.reschedule_net();
+        self.flows.take_finished_home_into(domain, &mut finished);
+        self.resched_net(domain);
         for &id in &finished {
             self.stats.completed_flows += 1;
             self.trace(|at| TraceEvent::FlowFinished { at, id });
@@ -1040,6 +1244,33 @@ impl Sim {
     pub fn run_for(&mut self, secs: f64) {
         let limit = self.time.after_secs_f64(secs);
         self.run_until(limit);
+    }
+
+    /// Timestamp of the earliest queued event, if any. The parallel
+    /// engine uses this to size conservative windows.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.key.at)
+    }
+
+    /// [`Sim::run_until`] that stops at the first foreign-domain
+    /// interaction. Returns true when the run completed cleanly; false
+    /// when the shard escalated (its state is invalid and must be
+    /// discarded — the clock is left wherever the run stopped).
+    pub(crate) fn run_until_or_escalate(&mut self, limit: SimTime) -> bool {
+        if self.escalated.get() {
+            return false;
+        }
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.key.at > limit {
+                break;
+            }
+            self.step();
+            if self.escalated.get() {
+                return false;
+            }
+        }
+        self.time = self.time.max(limit);
+        true
     }
 }
 
@@ -1451,6 +1682,145 @@ mod tests {
         assert_eq!(ab.1, ba.1);
         assert_eq!(ab.2, ba.2);
         assert!(ab.1.events > 100, "churn drivers barely ran");
+    }
+
+    /// Installs per-subnet load for the sharding tests: churn traffic
+    /// plus scheduled and stochastic faults, all homed inside `hosts`.
+    fn install_subnet_churn(sim: &mut Sim, hosts: &[NodeId], seed: u64) {
+        use crate::fault::{install_faults_at, FaultAction, FaultPlan, Flap, FlapTarget};
+        let d = sim.install_driver_at(
+            hosts[0],
+            Churn {
+                nodes: hosts.to_vec(),
+                state: seed,
+                fired: 0,
+            },
+        );
+        sim.schedule_driver_in(0.0, d);
+        install_faults_at(
+            sim,
+            hosts[0],
+            &FaultPlan {
+                scheduled: vec![
+                    (40.0, FaultAction::CrashNode(hosts[2])),
+                    (55.0, FaultAction::RebootNode(hosts[2])),
+                ],
+                flaps: vec![Flap {
+                    target: FlapTarget::Node(hosts[1]),
+                    mean_up: 25.0,
+                    mean_down: 4.0,
+                }],
+                seed: seed ^ 0xF00D,
+            },
+        );
+    }
+
+    #[test]
+    fn sharded_forks_reproduce_serial_partitioned_run() {
+        let build = || {
+            let (topo, subnets, node_domain) = federated_pair();
+            let mut sim = Sim::new(topo);
+            sim.set_partition(&node_domain);
+            sim.enable_trace(usize::MAX);
+            for (s, hosts) in subnets.iter().enumerate() {
+                install_subnet_churn(&mut sim, hosts, 7 + s as u64);
+            }
+            sim
+        };
+        let horizon = t(150.0);
+
+        let mut serial = build();
+        serial.run_until(horizon);
+        let serial_stats = serial.stats();
+        let (serial_trace, _) = serial.take_keyed_trace();
+        assert!(serial_stats.events > 500, "churn barely ran");
+
+        // Split at t=0 into one shard per domain, run them to the same
+        // horizon independently, and merge by dispatch key.
+        let master = build();
+        let base = master.stats();
+        let mut total = base;
+        let mut merged = Vec::new();
+        for domain in 0..2u16 {
+            let mut shard = master.shard_fork(&[domain]);
+            assert!(
+                shard.run_until_or_escalate(horizon),
+                "disconnected subnets must not escalate"
+            );
+            assert_eq!(shard.now(), horizon);
+            let s = shard.stats();
+            total.completed_tasks += s.completed_tasks - base.completed_tasks;
+            total.completed_flows += s.completed_flows - base.completed_flows;
+            total.events += s.events - base.events;
+            let (tr, dropped) = shard.take_keyed_trace();
+            assert_eq!(dropped, 0);
+            merged.extend(tr);
+        }
+        merged.sort_by_key(|&(k, _)| k);
+        assert_eq!(total, serial_stats, "merged stats diverge from serial");
+        assert_eq!(merged, serial_trace, "merged trace diverges from serial");
+    }
+
+    #[test]
+    fn shard_owning_every_domain_is_a_plain_fork() {
+        let (topo, subnets, node_domain) = federated_pair();
+        let mut sim = Sim::new(topo);
+        sim.set_partition(&node_domain);
+        sim.enable_trace(usize::MAX);
+        for (s, hosts) in subnets.iter().enumerate() {
+            install_subnet_churn(&mut sim, hosts, 31 + s as u64);
+        }
+        let mut shard = sim.shard_fork(&[0, 1]);
+        assert!(shard.run_until_or_escalate(t(80.0)));
+        sim.run_until(t(80.0));
+        assert_eq!(shard.stats(), sim.stats());
+        assert_eq!(shard.take_keyed_trace(), sim.take_keyed_trace());
+    }
+
+    /// Two subnets joined by a trunk, cut along the trunk: a *connected*
+    /// partition, so cross-domain actions are routable and must trip
+    /// escalation rather than compute with stale foreign state.
+    fn trunked_pair() -> (Topology, Vec<Vec<NodeId>>, Vec<u16>) {
+        let (mut topo, subnets, node_domain) = federated_pair();
+        let sw0 = topo.node_by_name("s0-sw").unwrap();
+        let sw1 = topo.node_by_name("s1-sw").unwrap();
+        topo.add_link_full(sw0, sw1, 50.0 * MBPS, 50.0 * MBPS, 2e-3);
+        (topo, subnets, node_domain)
+    }
+
+    #[test]
+    fn foreign_interaction_escalates_shard() {
+        let (topo, subnets, node_domain) = trunked_pair();
+        let mut sim = Sim::new(topo);
+        sim.set_partition(&node_domain);
+        install_subnet_churn(&mut sim, &subnets[0], 3);
+        install_subnet_churn(&mut sim, &subnets[1], 4);
+
+        // A cross-domain transfer invalidates the shard immediately.
+        let mut shard = sim.shard_fork(&[0]);
+        assert!(!shard.escalated());
+        shard.start_transfer_detached(subnets[0][0], subnets[1][0], 1e9);
+        assert!(shard.escalated());
+        assert!(!shard.run_until_or_escalate(t(10.0)));
+
+        // So does merely *reading* foreign state mid-run.
+        let mut shard = sim.shard_fork(&[0]);
+        let probe = subnets[1][1];
+        shard.schedule_in(5.0, move |s| {
+            let _ = s.load_avg(probe);
+        });
+        assert!(!shard.run_until_or_escalate(t(10.0)));
+        assert!(shard.escalated());
+
+        // Whole-network observations escalate too.
+        let shard = sim.shard_fork(&[0]);
+        let _ = shard.flow_count();
+        assert!(shard.escalated());
+
+        // Domain-internal work on the same cut runs clean.
+        let mut shard = sim.shard_fork(&[0]);
+        assert!(shard.run_until_or_escalate(t(10.0)));
+        assert!(shard.stats().events > 0);
     }
 
     #[test]

@@ -68,7 +68,8 @@ mod trace;
 
 pub use engine::{Callback, DriverId, DriverLogic, Sim, SimStats, DEFAULT_LOAD_AVG_TAU};
 pub use fault::{
-    install_faults, FaultAction, FaultDriver, FaultPlan, FaultStats, Flap, FlapTarget,
+    install_faults, install_faults_at, FaultAction, FaultDriver, FaultPlan, FaultStats, Flap,
+    FlapTarget,
 };
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
 pub use host::{Host, TaskId};
