@@ -35,7 +35,13 @@ pub struct DriverId(u32);
 /// temporarily removed from the registry (it may freely mutate the
 /// simulator, including scheduling its next firing via
 /// [`Sim::schedule_driver_in`], but cannot re-enter itself).
-pub trait DriverLogic: Clone + 'static {
+///
+/// Drivers must be `Send`: the parallel engine moves shards — including
+/// their cloned driver state — onto worker threads. Driver state is plain
+/// data (RNGs, counters, sample windows), so this costs implementors
+/// nothing; it rules out thread-bound handles like `Rc`, which would be
+/// unsoundly shared between sibling shards after a fork.
+pub trait DriverLogic: Clone + Send + 'static {
     /// Handles one scheduled firing. `me` is the driver's own id, for
     /// rescheduling.
     fn fire(&mut self, sim: &mut Sim, me: DriverId);

@@ -1,0 +1,152 @@
+//! The window barrier of the parallel engine.
+//!
+//! Conservative window synchronization needs one primitive: all workers
+//! rendezvous between windows, one of them computes the next window
+//! boundary from everyone's published next-event times, and nobody runs
+//! ahead until that boundary is visible to all. [`WindowGate::arrive`]
+//! packs the whole handshake into a generation barrier whose *last*
+//! arriver runs the leader closure under the gate lock — so anything the
+//! leader publishes happens-before every worker's return from `arrive`.
+//!
+//! Built with `--cfg loom` the gate uses loom's model-checked `Mutex` and
+//! `Condvar` instead of std's, so the handshake can be exhaustively
+//! verified (`RUSTFLAGS="--cfg loom" cargo test -p nodesel-simnet loom`
+//! on a machine with the `loom` crate available); the normal build never
+//! compiles any loom code.
+
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex};
+
+/// A reusable generation barrier electing one leader per generation.
+#[derive(Debug)]
+pub(crate) struct WindowGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct GateState {
+    workers: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+impl WindowGate {
+    pub(crate) fn new(workers: usize) -> WindowGate {
+        assert!(workers >= 1, "a gate needs at least one worker");
+        WindowGate {
+            state: Mutex::new(GateState {
+                workers,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all workers of the current generation have arrived.
+    /// The last arriver — the generation's leader — runs `leader_work`
+    /// under the gate lock before releasing the others, so whatever it
+    /// publishes (even with relaxed atomics) is visible to every worker
+    /// when its `arrive` returns. Returns `true` to the leader only.
+    pub(crate) fn arrive(&self, leader_work: impl FnOnce()) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == st.workers {
+            st.arrived = 0;
+            leader_work();
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                st = self.cv.wait(st).unwrap();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn one_leader_per_round_and_publication_precedes_release() {
+        const WORKERS: usize = 4;
+        const ROUNDS: u64 = 300;
+        let gate = WindowGate::new(WORKERS);
+        let slot = AtomicU64::new(0);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                s.spawn(|| {
+                    for round in 1..=ROUNDS {
+                        gate.arrive(|| {
+                            slot.store(round, Ordering::Relaxed);
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        });
+                        // The leader's store is visible to every worker as
+                        // soon as its own arrive returns.
+                        assert_eq!(slot.load(Ordering::Relaxed), round);
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), ROUNDS);
+    }
+
+    #[test]
+    fn single_worker_always_leads() {
+        let gate = WindowGate::new(1);
+        for _ in 0..10 {
+            assert!(gate.arrive(|| {}));
+        }
+    }
+}
+
+/// Loom model of the handshake the parallel engine relies on: workers
+/// publish next-event times with relaxed atomics, one leader folds them
+/// into a window boundary, and every worker observes that boundary after
+/// the barrier. Exhaustively checked under loom's memory model.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn window_handshake_publishes_and_elects_one_leader() {
+        loom::model(|| {
+            let gate = Arc::new(WindowGate::new(2));
+            let nexts = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+            let window = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2u64)
+                .map(|w| {
+                    let gate = Arc::clone(&gate);
+                    let nexts = Arc::clone(&nexts);
+                    let window = Arc::clone(&window);
+                    thread::spawn(move || {
+                        nexts[w as usize].store(w + 1, Ordering::Relaxed);
+                        let led = gate.arrive(|| {
+                            let m = nexts[0]
+                                .load(Ordering::Relaxed)
+                                .min(nexts[1].load(Ordering::Relaxed));
+                            window.store(m + 10, Ordering::Relaxed);
+                        });
+                        // Both publications and the fold are visible.
+                        assert_eq!(window.load(Ordering::Relaxed), 11);
+                        led as u64
+                    })
+                })
+                .collect();
+            let leaders: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(leaders, 1);
+        });
+    }
+}

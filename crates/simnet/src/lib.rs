@@ -62,7 +62,9 @@
 mod engine;
 mod fault;
 mod flows;
+mod gate;
 mod host;
+mod parallel;
 pub mod time;
 mod trace;
 
@@ -72,6 +74,7 @@ pub use fault::{
     FlapTarget,
 };
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
+pub use parallel::ParallelSim;
 pub use host::{Host, TaskId};
 pub use time::{EventKey, SimTime};
 pub use trace::TraceEvent;

@@ -1,0 +1,704 @@
+//! Parallel discrete-event execution: one worker per shard of the
+//! partitioned simulator, conservative window synchronization, and a
+//! serial replay oracle.
+//!
+//! # Model
+//!
+//! [`ParallelSim`] splits a partitioned [`Sim`] (see
+//! [`Sim::set_partition`]) into shards — filtered forks each executing a
+//! contiguous group of domains — and drives them on scoped worker
+//! threads in lock-step *windows*. Before each window every worker
+//! publishes its shard's next-event time; the window barrier's leader
+//! (see [`WindowGate`]) folds them into a boundary
+//! `min(next) + lookahead`, where the lookahead is the minimum latency
+//! of the links crossing the partition ([`ShardPlan::lookahead_secs`]);
+//! then every shard runs its own event queue up to the boundary. With an
+//! empty boundary (fully disconnected domains) the window is unbounded
+//! and the whole run is a single pass per shard.
+//!
+//! # Escalate-and-replay
+//!
+//! Unlike classical conservative PDES, shards exchange **no** events:
+//! bandwidth allocation is global max-min, so a single cross-domain flow
+//! couples the shards it touches *continuously*, not at discrete message
+//! times. Instead, every cross-domain interaction — scheduling into a
+//! foreign domain, a transfer whose path leaves the owned domains, even
+//! reading a foreign node's state — trips the shard's escalation flag.
+//! The run then discards **all** shard state and replays the untouched
+//! pre-split master serially, which *is* the bit-exact semantics, and
+//! stays serial from then on. The window barrier's role in this hybrid
+//! is honest but modest: it bounds how far shards can run past an
+//! escalation before it is detected, so the wasted optimistic work per
+//! escalation is one window, not the whole horizon.
+//!
+//! The payoff is the common case this repo benches: federated topologies
+//! whose subnets exchange nothing never escalate, and the parallel run
+//! produces **byte-identical** event traces, completion times, and
+//! collector samples to the serial engine — dispatch keys
+//! ([`crate::EventKey`]) totally order events across shards, so a k-way
+//! merge of per-shard traces reproduces the serial trace exactly (see
+//! `sharded_forks_reproduce_serial_partitioned_run` in the engine
+//! tests).
+//!
+//! # Fallbacks
+//!
+//! Plans that cannot or should not parallelize run the plain serial
+//! engine behind the same API: a single domain, a single worker thread,
+//! or a zero-lookahead boundary (a zero-latency cross-domain link, where
+//! conservative windows would have zero width and deadlock the
+//! lock-step; rejected with a warning as required — never a hang).
+
+use crate::engine::{Sim, SimStats};
+use crate::gate::WindowGate;
+use crate::time::{EventKey, SimTime};
+use crate::trace::TraceEvent;
+use nodesel_topology::ShardPlan;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A shard owned by exactly one worker thread at a time.
+///
+/// `Sim` is `!Send` because it may hold boxed user closures
+/// (`Sim::schedule_in`, completion callbacks). A shard is created from a
+/// fork with no pending user closures (`Sim::can_fork` is asserted by
+/// the fork), every closure created afterwards is created *and consumed*
+/// on the worker that owns the shard, and [`crate::DriverLogic`]'s
+/// `Send` bound keeps cloned driver state free of thread-bound types —
+/// so moving a whole shard to a worker and back is sound.
+#[allow(unsafe_code)]
+mod send_sim {
+    use crate::engine::Sim;
+
+    pub(super) struct SendSim(pub(super) Sim);
+
+    // SAFETY: see the module comment — a SendSim is only ever accessed by
+    // one thread at a time (moved via `&mut` into exactly one scoped
+    // worker), and no `!Send` content crosses a shard boundary.
+    unsafe impl Send for SendSim {}
+}
+use send_sim::SendSim;
+
+/// Sentinel window boundary broadcast by the leader when any shard has
+/// escalated: workers stop instead of opening another window.
+const STOP: u64 = u64::MAX;
+
+/// The parallel engine. See the module docs for the execution model.
+pub struct ParallelSim {
+    /// Always `Some` between method calls; taken temporarily when the
+    /// sharded mode collapses into serial replay.
+    mode: Option<Mode>,
+}
+
+enum Mode {
+    /// Degenerate, rejected, or escalated configurations run the plain
+    /// serial engine behind the same API.
+    Serial {
+        sim: Sim,
+        fallback: Option<&'static str>,
+    },
+    Sharded(Sharded),
+}
+
+struct Sharded {
+    /// The pre-split simulator, untouched since the split: the replay
+    /// oracle if any shard escalates, and the holder of pre-split
+    /// history (stats, trace).
+    master: Sim,
+    shards: Vec<SendSim>,
+    /// Domain id → index into `shards`.
+    shard_of: Vec<usize>,
+    /// `master.stats()` at the split, subtracted from each shard's
+    /// totals when merging (every shard inherited these counts).
+    base_stats: SimStats,
+    /// Conservative window width; `None` = unbounded (empty boundary).
+    lookahead_secs: Option<f64>,
+    /// The horizon reached by completed `run_until` calls.
+    now: SimTime,
+}
+
+impl ParallelSim {
+    /// Splits `sim` across up to `threads` workers according to `plan`.
+    ///
+    /// `sim` must already be partitioned with exactly `plan`'s
+    /// assignment ([`Sim::set_partition`]) and hold no pending user
+    /// closures ([`Sim::can_fork`]). Degenerate configurations — one
+    /// domain, one thread — fall back to the serial engine silently; a
+    /// zero-lookahead plan falls back with a warning (conservative
+    /// windows would deadlock on zero width).
+    pub fn new(sim: Sim, plan: &ShardPlan, threads: usize) -> ParallelSim {
+        assert_eq!(
+            plan.num_domains(),
+            sim.num_domains(),
+            "simulator was not partitioned with this plan"
+        );
+        assert!(
+            (0..sim.topology().node_count())
+                .all(|i| sim.domain_of(nodesel_topology::NodeId::from_index(i))
+                    == plan.node_domain()[i]),
+            "simulator was partitioned with a different assignment"
+        );
+        let fallback = if plan.zero_lookahead() {
+            eprintln!(
+                "nodesel-simnet: zero-lookahead shard plan (zero-latency boundary link); \
+                 falling back to serial execution"
+            );
+            Some("zero lookahead")
+        } else if plan.is_single() {
+            Some("single domain")
+        } else if threads <= 1 {
+            Some("single thread")
+        } else {
+            None
+        };
+        if fallback.is_some() {
+            return ParallelSim {
+                mode: Some(Mode::Serial { sim, fallback }),
+            };
+        }
+        let groups = contiguous_groups(plan.num_domains(), threads);
+        let mut shard_of = vec![0usize; plan.num_domains() as usize];
+        for (i, group) in groups.iter().enumerate() {
+            for &d in group {
+                shard_of[d as usize] = i;
+            }
+        }
+        let shards = groups
+            .iter()
+            .map(|group| SendSim(sim.shard_fork(group)))
+            .collect();
+        let base_stats = sim.stats();
+        let now = sim.now();
+        ParallelSim {
+            mode: Some(Mode::Sharded(Sharded {
+                master: sim,
+                shards,
+                shard_of,
+                base_stats,
+                lookahead_secs: plan.lookahead_secs(),
+                now,
+            })),
+        }
+    }
+
+    /// True while shards are actually executing in parallel.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.mode(), Mode::Sharded(_))
+    }
+
+    /// Why this engine is running serially, if it is: `"single domain"`,
+    /// `"single thread"`, `"zero lookahead"`, or `"escalated"` after a
+    /// cross-domain interaction forced a replay.
+    pub fn fallback(&self) -> Option<&'static str> {
+        match self.mode() {
+            Mode::Serial { fallback, .. } => *fallback,
+            Mode::Sharded(_) => None,
+        }
+    }
+
+    /// Current simulated time: the horizon reached by `run_until`.
+    pub fn now(&self) -> SimTime {
+        match self.mode() {
+            Mode::Serial { sim, .. } => sim.now(),
+            Mode::Sharded(sh) => sh.now,
+        }
+    }
+
+    /// Merged statistics across shards (pre-split counts attributed
+    /// once).
+    pub fn stats(&self) -> SimStats {
+        match self.mode() {
+            Mode::Serial { sim, .. } => sim.stats(),
+            Mode::Sharded(sh) => {
+                let mut total = sh.base_stats;
+                for shard in &sh.shards {
+                    let s = shard.0.stats();
+                    total.completed_tasks += s.completed_tasks - sh.base_stats.completed_tasks;
+                    total.completed_flows += s.completed_flows - sh.base_stats.completed_flows;
+                    total.events += s.events - sh.base_stats.events;
+                }
+                total
+            }
+        }
+    }
+
+    /// The simulator executing `domain`, for domain-local reads between
+    /// runs (collector sample stores, driver state). Reading *foreign*
+    /// domains' ground truth through the returned shard trips its
+    /// escalation flag and forces the next run to replay serially.
+    pub fn shard(&self, domain: u16) -> &Sim {
+        match self.mode() {
+            Mode::Serial { sim, .. } => sim,
+            Mode::Sharded(sh) => &sh.shards[sh.shard_of[domain as usize]].0,
+        }
+    }
+
+    /// Drains the merged trace: pre-split events plus every shard's
+    /// window of history, k-way merged by dispatch key into exact serial
+    /// order. After an escalation replay, the replayed span is recorded
+    /// afresh — interleave `take_trace` with runs only on runs that did
+    /// not escalate, or take it once at the end.
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.mode_mut() {
+            Mode::Serial { sim, .. } => sim.take_trace(),
+            Mode::Sharded(sh) => {
+                let (mut keyed, mut dropped) = sh.master.take_keyed_trace();
+                for shard in &mut sh.shards {
+                    let (k, d) = shard.0.take_keyed_trace();
+                    keyed.extend(k);
+                    dropped += d;
+                }
+                keyed.sort_by_key(|&(k, _): &(EventKey, TraceEvent)| k);
+                (keyed.into_iter().map(|(_, e)| e).collect(), dropped)
+            }
+        }
+    }
+
+    /// Advances all shards to `limit` (finite). On escalation the shards
+    /// are discarded and the pre-split master replays serially — the
+    /// bit-exact semantics — and the engine stays serial.
+    pub fn run_until(&mut self, limit: SimTime) {
+        assert!(
+            limit < SimTime::NEVER,
+            "parallel runs need a finite horizon"
+        );
+        match self.mode_mut() {
+            Mode::Serial { sim, .. } => {
+                sim.run_until(limit);
+                return;
+            }
+            Mode::Sharded(sh) => {
+                if limit <= sh.now {
+                    return;
+                }
+                if sh.run_windows(limit) {
+                    sh.now = limit;
+                    return;
+                }
+            }
+        }
+        // A shard escalated: its state (and its siblings') may depend on
+        // foreign domains it never saw. Replay the untouched master from
+        // the split serially and stay serial.
+        eprintln!(
+            "nodesel-simnet: cross-domain interaction escalated a shard; \
+             replaying serially from the split point"
+        );
+        let Some(Mode::Sharded(sh)) = self.mode.take() else {
+            unreachable!("escalation only arises in sharded mode");
+        };
+        let mut sim = sh.master;
+        sim.run_until(limit);
+        self.mode = Some(Mode::Serial {
+            sim,
+            fallback: Some("escalated"),
+        });
+    }
+
+    /// Runs for `secs` simulated seconds past the current horizon.
+    pub fn run_for(&mut self, secs: f64) {
+        let limit = self.now().after_secs_f64(secs);
+        self.run_until(limit);
+    }
+
+    /// Collapses into a single serial [`Sim`] at the current horizon.
+    /// A sharded engine replays its pre-split master serially — the
+    /// shards' merged results are bit-identical to that replay by the
+    /// parity invariant, so this trades time for a plain simulator that
+    /// supports every serial-only operation (forking, global reads).
+    pub fn into_sim(mut self) -> Sim {
+        match self.mode.take().expect("mode is always present") {
+            Mode::Serial { sim, .. } => sim,
+            Mode::Sharded(sh) => {
+                let mut sim = sh.master;
+                sim.run_until(sh.now);
+                sim
+            }
+        }
+    }
+
+    fn mode(&self) -> &Mode {
+        self.mode.as_ref().expect("mode is always present")
+    }
+
+    fn mode_mut(&mut self) -> &mut Mode {
+        self.mode.as_mut().expect("mode is always present")
+    }
+}
+
+impl Sharded {
+    /// Runs every shard to `limit` in conservative windows. Returns
+    /// false as soon as any shard escalates (shard state is then
+    /// invalid).
+    fn run_windows(&mut self, limit: SimTime) -> bool {
+        let workers = self.shards.len();
+        let gate = WindowGate::new(workers);
+        let nexts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let window = AtomicU64::new(0);
+        let escalated = AtomicBool::new(false);
+        let lookahead_ticks = self
+            .lookahead_secs
+            .map(|la| SimTime::ZERO.after_secs_f64(la).0);
+        std::thread::scope(|scope| {
+            for (w, shard) in self.shards.iter_mut().enumerate() {
+                let (gate, nexts, window, escalated) = (&gate, &nexts, &window, &escalated);
+                scope.spawn(move || {
+                    let sim = &mut shard.0;
+                    // True once the previous window reached the horizon;
+                    // identical across workers (derived from the shared
+                    // boundary), so all exit in the same round.
+                    let mut covered = false;
+                    loop {
+                        nexts[w].store(
+                            sim.next_event_time().map_or(u64::MAX, |t| t.0),
+                            Ordering::Relaxed,
+                        );
+                        gate.arrive(|| {
+                            let end = if escalated.load(Ordering::Relaxed) {
+                                STOP
+                            } else {
+                                let m = nexts
+                                    .iter()
+                                    .map(|n| n.load(Ordering::Relaxed))
+                                    .min()
+                                    .expect("at least one worker");
+                                match lookahead_ticks {
+                                    // Empty boundary: domains are fully
+                                    // independent, one unbounded window.
+                                    None => limit.0,
+                                    Some(la) => {
+                                        if m >= limit.0 {
+                                            limit.0
+                                        } else {
+                                            limit.0.min(m.saturating_add(la))
+                                        }
+                                    }
+                                }
+                            };
+                            window.store(end, Ordering::Relaxed);
+                        });
+                        let end = window.load(Ordering::Relaxed);
+                        // Escalation from the previous window (including
+                        // the final one) stops everyone here, before the
+                        // horizon check.
+                        if end == STOP {
+                            return;
+                        }
+                        if covered {
+                            return;
+                        }
+                        sim.run_until_or_escalate(SimTime(end));
+                        if sim.escalated() {
+                            // Keep participating in the barrier so the
+                            // leader can broadcast STOP — returning now
+                            // would strand the other workers.
+                            escalated.store(true, Ordering::Relaxed);
+                        }
+                        covered = end >= limit.0;
+                    }
+                });
+            }
+        });
+        !escalated.load(Ordering::Relaxed)
+    }
+}
+
+/// Splits domains `0..n` into up to `t` contiguous, size-balanced
+/// groups. Contiguity keeps each shard's owned set a compact range —
+/// and, with component-ordered plans, keeps whole subnets together.
+fn contiguous_groups(num_domains: u16, t: usize) -> Vec<Vec<u16>> {
+    let n = num_domains as usize;
+    let t = t.clamp(1, n);
+    let (base, extra) = (n / t, n % t);
+    let mut groups = Vec::with_capacity(t);
+    let mut d = 0u16;
+    for i in 0..t {
+        let len = (base + usize::from(i < extra)) as u16;
+        groups.push((d..d + len).collect());
+        d += len;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DriverId, DriverLogic};
+    use crate::fault::{install_faults_at, FaultAction, FaultPlan};
+    use nodesel_topology::units::MBPS;
+    use nodesel_topology::{NodeId, Topology};
+
+    /// Deterministic churn confined to one node set: periodic compute
+    /// jobs and intra-set transfers.
+    #[derive(Clone)]
+    struct Pulse {
+        nodes: Vec<NodeId>,
+        k: u64,
+    }
+
+    impl DriverLogic for Pulse {
+        fn fire(&mut self, sim: &mut Sim, me: DriverId) {
+            self.k += 1;
+            let a = self.nodes[(self.k as usize) % self.nodes.len()];
+            let b = self.nodes[(self.k as usize * 7 + 3) % self.nodes.len()];
+            sim.start_compute_detached(a, 0.3 + (self.k % 5) as f64 * 0.1);
+            if a != b {
+                sim.start_transfer_detached(a, b, 2.0 * MBPS * (1 + self.k % 7) as f64);
+            }
+            sim.schedule_driver_in(0.07 + (self.k % 11) as f64 * 0.013, me);
+        }
+    }
+
+    /// Fires once at its scheduled time: a transfer that may cross the
+    /// partition (the escalation trigger for the replay tests).
+    #[derive(Clone)]
+    struct CrossShot {
+        src: NodeId,
+        dst: NodeId,
+        fired: bool,
+    }
+
+    impl DriverLogic for CrossShot {
+        fn fire(&mut self, sim: &mut Sim, _me: DriverId) {
+            if !self.fired {
+                self.fired = true;
+                sim.start_transfer_detached(self.src, self.dst, 1e9);
+            }
+        }
+    }
+
+    /// `k` disconnected 3-host star subnets; optionally trunked in a
+    /// chain with the given latency (connecting all subnets).
+    fn federation(k: usize, trunk_latency: Option<f64>) -> (Topology, Vec<Vec<NodeId>>) {
+        let mut topo = Topology::new();
+        let mut subnets = Vec::new();
+        let mut hubs = Vec::new();
+        for s in 0..k {
+            let hub = topo.add_network_node(format!("s{s}-hub"));
+            let mut hosts = Vec::new();
+            for h in 0..3 {
+                let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
+                topo.add_link(hub, n, 100.0 * MBPS);
+                hosts.push(n);
+            }
+            hubs.push(hub);
+            subnets.push(hosts);
+        }
+        if let Some(lat) = trunk_latency {
+            for w in hubs.windows(2) {
+                topo.add_link_full(w[0], w[1], 50.0 * MBPS, 50.0 * MBPS, lat);
+            }
+        }
+        (topo, subnets)
+    }
+
+    fn install_load(sim: &mut Sim, subnets: &[Vec<NodeId>]) {
+        for (s, hosts) in subnets.iter().enumerate() {
+            let d = sim.install_driver_at(
+                hosts[0],
+                Pulse {
+                    nodes: hosts.clone(),
+                    k: s as u64 * 1000,
+                },
+            );
+            sim.schedule_driver_in(0.0, d);
+            install_faults_at(
+                sim,
+                hosts[0],
+                &FaultPlan {
+                    scheduled: vec![
+                        (20.0, FaultAction::CrashNode(hosts[2])),
+                        (31.0, FaultAction::RebootNode(hosts[2])),
+                    ],
+                    ..FaultPlan::default()
+                },
+            );
+        }
+    }
+
+    fn run_serial(
+        topo: &Topology,
+        subnets: &[Vec<NodeId>],
+        plan: &ShardPlan,
+        horizon: f64,
+    ) -> (SimTime, SimStats, Vec<TraceEvent>) {
+        let mut sim = Sim::new(topo.clone());
+        sim.set_partition(plan.node_domain());
+        sim.enable_trace(usize::MAX);
+        install_load(&mut sim, subnets);
+        sim.run_until(SimTime::from_secs_f64(horizon));
+        let (trace, dropped) = sim.take_trace();
+        assert_eq!(dropped, 0);
+        (sim.now(), sim.stats(), trace)
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        let (topo, subnets) = federation(4, None);
+        let plan = ShardPlan::components(&topo);
+        assert_eq!(plan.num_domains(), 4);
+        let serial = run_serial(&topo, &subnets, &plan, 60.0);
+        assert!(serial.1.events > 1000, "churn barely ran");
+
+        for threads in [2, 3, 4, 8] {
+            let mut sim = Sim::new(topo.clone());
+            sim.set_partition(plan.node_domain());
+            sim.enable_trace(usize::MAX);
+            install_load(&mut sim, &subnets);
+            let mut par = ParallelSim::new(sim, &plan, threads);
+            assert!(par.is_parallel(), "threads={threads}");
+            // Split the horizon to exercise repeated window phases.
+            par.run_until(SimTime::from_secs(25));
+            par.run_for(35.0);
+            assert!(par.is_parallel(), "disconnected subnets escalated");
+            let trace = par.take_trace();
+            assert_eq!(par.now(), serial.0, "threads={threads}");
+            assert_eq!(par.stats(), serial.1, "threads={threads}");
+            assert_eq!(trace.0, serial.2, "threads={threads}");
+            assert_eq!(trace.1, 0);
+        }
+    }
+
+    #[test]
+    fn trunked_federation_runs_windowed_and_matches_serial() {
+        // Connected subnets with a real boundary: finite lookahead, so
+        // the run proceeds in conservative windows — and with purely
+        // domain-local load it must still match the serial run exactly.
+        let (topo, subnets) = federation(3, Some(2e-3));
+        let domains: Vec<u16> = (0..topo.node_count()).map(|i| (i / 4) as u16).collect();
+        let plan = ShardPlan::from_assignment(&topo, &domains);
+        assert_eq!(plan.boundary_links().len(), 2);
+        assert_eq!(plan.lookahead_secs(), Some(2e-3));
+        let serial = run_serial(&topo, &subnets, &plan, 40.0);
+
+        let mut sim = Sim::new(topo.clone());
+        sim.set_partition(plan.node_domain());
+        sim.enable_trace(usize::MAX);
+        install_load(&mut sim, &subnets);
+        let mut par = ParallelSim::new(sim, &plan, 3);
+        par.run_until(SimTime::from_secs(40));
+        assert!(par.is_parallel(), "domain-local load must not escalate");
+        let trace = par.take_trace();
+        assert_eq!((par.now(), par.stats(), trace.0), serial);
+    }
+
+    #[test]
+    fn degenerate_plans_fall_back_silently() {
+        let (topo, subnets) = federation(2, None);
+        let plan = ShardPlan::components(&topo);
+
+        // One worker thread.
+        let mut sim = Sim::new(topo.clone());
+        sim.set_partition(plan.node_domain());
+        install_load(&mut sim, &subnets);
+        let par = ParallelSim::new(sim, &plan, 1);
+        assert!(!par.is_parallel());
+        assert_eq!(par.fallback(), Some("single thread"));
+
+        // One domain.
+        let single = ShardPlan::single(&topo);
+        let mut sim = Sim::new(topo.clone());
+        install_load(&mut sim, &subnets);
+        let mut par = ParallelSim::new(sim, &single, 8);
+        assert!(!par.is_parallel());
+        assert_eq!(par.fallback(), Some("single domain"));
+        par.run_until(SimTime::from_secs(30));
+        assert!(par.stats().events > 100);
+    }
+
+    #[test]
+    fn zero_lookahead_is_rejected_not_deadlocked() {
+        // A zero-latency trunk makes conservative windows zero-width;
+        // the engine must refuse and run serially, not hang.
+        let (topo, subnets) = federation(2, Some(0.0));
+        let domains: Vec<u16> = (0..topo.node_count()).map(|i| (i / 4) as u16).collect();
+        let plan = ShardPlan::from_assignment(&topo, &domains);
+        assert!(plan.zero_lookahead());
+
+        let serial = run_serial(&topo, &subnets, &plan, 30.0);
+        let mut sim = Sim::new(topo.clone());
+        sim.set_partition(plan.node_domain());
+        sim.enable_trace(usize::MAX);
+        install_load(&mut sim, &subnets);
+        let mut par = ParallelSim::new(sim, &plan, 4);
+        assert!(!par.is_parallel());
+        assert_eq!(par.fallback(), Some("zero lookahead"));
+        par.run_until(SimTime::from_secs(30));
+        let trace = par.take_trace();
+        assert_eq!((par.now(), par.stats(), trace.0), serial);
+    }
+
+    #[test]
+    fn escalation_replays_serially_and_stays_serial() {
+        let (topo, subnets) = federation(2, Some(2e-3));
+        let domains: Vec<u16> = (0..topo.node_count()).map(|i| (i / 4) as u16).collect();
+        let plan = ShardPlan::from_assignment(&topo, &domains);
+
+        let build = || {
+            let mut sim = Sim::new(topo.clone());
+            sim.set_partition(plan.node_domain());
+            sim.enable_trace(usize::MAX);
+            install_load(&mut sim, &subnets);
+            // At t=5 a transfer crosses the cut: under the parallel
+            // engine this trips escalation mid-run.
+            let d = sim.install_driver_at(
+                subnets[0][1],
+                CrossShot {
+                    src: subnets[0][1],
+                    dst: subnets[1][1],
+                    fired: false,
+                },
+            );
+            sim.schedule_driver_in(5.0, d);
+            sim
+        };
+
+        let mut serial = build();
+        serial.run_until(SimTime::from_secs(40));
+        let expect = (serial.now(), serial.stats(), serial.take_trace().0);
+
+        let mut par = ParallelSim::new(build(), &plan, 2);
+        assert!(par.is_parallel());
+        par.run_until(SimTime::from_secs(40));
+        assert!(!par.is_parallel(), "escalation must force serial replay");
+        assert_eq!(par.fallback(), Some("escalated"));
+        let trace = par.take_trace();
+        assert_eq!((par.now(), par.stats(), trace.0), expect);
+
+        // into_sim returns a plain simulator that can keep running.
+        let mut sim = par.into_sim();
+        sim.run_for(10.0);
+        assert!(sim.stats().events > expect.1.events);
+    }
+
+    #[test]
+    fn into_sim_replays_sharded_state_exactly() {
+        let (topo, subnets) = federation(2, None);
+        let plan = ShardPlan::components(&topo);
+        let serial = run_serial(&topo, &subnets, &plan, 30.0);
+
+        let mut sim = Sim::new(topo.clone());
+        sim.set_partition(plan.node_domain());
+        sim.enable_trace(usize::MAX);
+        install_load(&mut sim, &subnets);
+        let mut par = ParallelSim::new(sim, &plan, 2);
+        par.run_until(SimTime::from_secs(30));
+        assert!(par.is_parallel());
+        let mut sim = par.into_sim();
+        let (trace, _) = sim.take_trace();
+        assert_eq!((sim.now(), sim.stats(), trace), serial);
+    }
+
+    #[test]
+    fn groups_are_contiguous_and_balanced() {
+        assert_eq!(contiguous_groups(1, 8), vec![vec![0]]);
+        assert_eq!(contiguous_groups(4, 2), vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(
+            contiguous_groups(5, 3),
+            vec![vec![0, 1], vec![2, 3], vec![4]]
+        );
+        let g = contiguous_groups(32, 8);
+        assert_eq!(g.len(), 8);
+        assert!(g.iter().all(|grp| grp.len() == 4));
+        let flat: Vec<u16> = g.into_iter().flatten().collect();
+        assert_eq!(flat, (0..32).collect::<Vec<u16>>());
+    }
+}
