@@ -3,10 +3,12 @@
 //! to the full-recompute reference on arbitrary churn sequences — same
 //! rates, link rates, remaining bits, byte counters, and completion order.
 
+mod common;
+
 use nodesel_simnet::{FlowEngine, FlowId, FlowTable, Sim, SimTime};
 use nodesel_topology::builders::random_tree;
 use nodesel_topology::units::MBPS;
-use nodesel_topology::{Direction, Topology};
+use nodesel_topology::{Direction, ShardPlan, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -185,6 +187,30 @@ proptest! {
             ft.settle(SimTime::from_secs(86_400));
             prop_assert!(ft.take_finished().is_empty());
             prop_assert_eq!(ft.remaining(FlowId(1)).map(f64::to_bits), Some(bits.to_bits()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The parallel engine is flow-engine independent too: on a
+    /// federated topology, sharded runs over the incremental and the
+    /// reference engine both reproduce the serial incremental run —
+    /// crossing the two parity dimensions (flow solver × executor).
+    #[test]
+    fn parallel_runs_are_engine_independent(seed in 0u64..100_000) {
+        let (topo, subnets) = common::federation(4, None);
+        let plan = ShardPlan::components(&topo);
+        let serial = common::serial_run(
+            &topo, &plan, &subnets, true, seed, 14.0, FlowEngine::Incremental,
+        );
+        for engine in [FlowEngine::Incremental, FlowEngine::Reference] {
+            let (got, fallback) = common::parallel_run(
+                &topo, &plan, &subnets, true, seed, 14.0, 4, engine,
+            );
+            prop_assert_eq!(fallback, None);
+            prop_assert_eq!(&got, &serial, "diverged on {:?}", engine);
         }
     }
 }

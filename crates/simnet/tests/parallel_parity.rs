@@ -1,0 +1,170 @@
+//! The parallel engine's bit-exactness contract, as an integration
+//! matrix: federated 2/8/32-subnet topologies × fault plans × thread
+//! counts 1/2/4/8, disconnected and trunked, with every observable —
+//! final clock, statistics, and the full event trace (task and flow
+//! completions included) — byte-identical to the single-threaded
+//! oracle. Plus the degenerate single-domain plan and the
+//! zero-lookahead rejection path.
+
+mod common;
+
+use common::{federation, parallel_run, serial_run, subnet_domains};
+use nodesel_simnet::FlowEngine;
+use nodesel_topology::ShardPlan;
+use proptest::prelude::*;
+
+const SIZES: [usize; 3] = [2, 8, 32];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Disconnected federations (every subnet an island, unbounded
+    /// windows): all thread counts reproduce the serial run exactly,
+    /// with and without fault injection.
+    #[test]
+    fn disconnected_federations_match_serial(
+        seed in 0u64..10_000,
+        size_sel in 0usize..3,
+        fault_sel in 0u8..2,
+    ) {
+        let (size, faults) = (SIZES[size_sel], fault_sel == 1);
+        let (topo, subnets) = federation(size, None);
+        let plan = ShardPlan::components(&topo);
+        prop_assert_eq!(plan.num_domains() as usize, size);
+        let serial = serial_run(
+            &topo, &plan, &subnets, faults, seed, 16.0, FlowEngine::Incremental,
+        );
+        prop_assert!(serial.1.events > 200, "churn barely ran");
+        for threads in THREADS {
+            let (got, fallback) = parallel_run(
+                &topo, &plan, &subnets, faults, seed, 16.0, threads,
+                FlowEngine::Incremental,
+            );
+            let expect_fallback = if threads == 1 { Some("single thread") } else { None };
+            prop_assert_eq!(fallback, expect_fallback, "threads={}", threads);
+            prop_assert_eq!(&got, &serial, "diverged at threads={}", threads);
+        }
+    }
+
+    /// Trunked (connected) federations: a real boundary, finite
+    /// lookahead, conservative windows — still bit-identical as long
+    /// as the load stays domain-local.
+    #[test]
+    fn trunked_federations_match_serial(
+        seed in 0u64..10_000,
+        size_sel in 0usize..2,
+        fault_sel in 0u8..2,
+    ) {
+        let (size, faults) = (SIZES[size_sel], fault_sel == 1);
+        let (topo, subnets) = federation(size, Some(1.5e-3));
+        let plan = ShardPlan::from_assignment(&topo, &subnet_domains(&topo));
+        prop_assert_eq!(plan.boundary_links().len(), size - 1);
+        prop_assert_eq!(plan.lookahead_secs(), Some(1.5e-3));
+        let serial = serial_run(
+            &topo, &plan, &subnets, faults, seed, 12.0, FlowEngine::Incremental,
+        );
+        for threads in THREADS {
+            let (got, fallback) = parallel_run(
+                &topo, &plan, &subnets, faults, seed, 12.0, threads,
+                FlowEngine::Incremental,
+            );
+            prop_assert!(
+                fallback.is_none() || threads == 1,
+                "domain-local load escalated at threads={}", threads
+            );
+            prop_assert_eq!(&got, &serial, "diverged at threads={}", threads);
+        }
+    }
+}
+
+/// The headline bench scenario — 32 trunked subnets at 8 threads —
+/// is bit-identical too (deterministic, one shot: the windowed run
+/// crosses thousands of barrier rounds).
+#[test]
+fn trunked_32_subnet_federation_matches_serial_at_8_threads() {
+    let (topo, subnets) = federation(32, Some(1.5e-3));
+    let plan = ShardPlan::from_assignment(&topo, &subnet_domains(&topo));
+    let serial = serial_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        7,
+        8.0,
+        FlowEngine::Incremental,
+    );
+    let (got, fallback) = parallel_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        7,
+        8.0,
+        8,
+        FlowEngine::Incremental,
+    );
+    assert_eq!(fallback, None);
+    assert_eq!(got, serial);
+}
+
+/// A connected topology under component analysis is one domain: the
+/// engine falls back to a plain serial run behind the same API.
+#[test]
+fn single_domain_plan_degenerates_to_serial() {
+    let (topo, subnets) = federation(3, Some(2e-3));
+    let plan = ShardPlan::components(&topo);
+    assert!(plan.is_single());
+    let serial = serial_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        5,
+        14.0,
+        FlowEngine::Incremental,
+    );
+    let (got, fallback) = parallel_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        5,
+        14.0,
+        8,
+        FlowEngine::Incremental,
+    );
+    assert_eq!(fallback, Some("single domain"));
+    assert_eq!(got, serial);
+}
+
+/// Zero-latency boundary links make conservative windows zero-width;
+/// the engine must refuse the partition and run serially — matching
+/// the oracle, not deadlocking or diverging.
+#[test]
+fn zero_lookahead_is_rejected_not_deadlocked() {
+    let (topo, subnets) = federation(4, Some(0.0));
+    let plan = ShardPlan::from_assignment(&topo, &subnet_domains(&topo));
+    assert!(plan.zero_lookahead());
+    let serial = serial_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        9,
+        14.0,
+        FlowEngine::Incremental,
+    );
+    let (got, fallback) = parallel_run(
+        &topo,
+        &plan,
+        &subnets,
+        true,
+        9,
+        14.0,
+        4,
+        FlowEngine::Incremental,
+    );
+    assert_eq!(fallback, Some("zero lookahead"));
+    assert_eq!(got, serial);
+}
