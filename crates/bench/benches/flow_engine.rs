@@ -10,12 +10,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nodesel_apps::AppModel;
+use nodesel_bench::federated;
 use nodesel_experiments::{run_trial, Condition, Strategy, Testbed, TrialConfig};
 use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
 use nodesel_simnet::{FlowEngine, Sim};
 use nodesel_topology::testbeds::cmu_testbed;
-use nodesel_topology::units::MBPS;
-use nodesel_topology::{NodeId, Topology};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -43,31 +42,9 @@ fn run_busy(engine: FlowEngine, mult: f64) -> u64 {
     sim.stats().events
 }
 
-/// `k` independent subnets in one simulator: a two-router backbone with
-/// eight hosts each. Flows share bandwidth within their subnet only, so
-/// the sharing graph has `k` components and the incremental engine
-/// re-solves one of them per event while the reference re-solves all.
-fn federated(k: usize) -> (Topology, Vec<Vec<NodeId>>) {
-    let mut topo = Topology::new();
-    let mut subnets = Vec::new();
-    for s in 0..k {
-        let r0 = topo.add_network_node(format!("s{s}-r0"));
-        let r1 = topo.add_network_node(format!("s{s}-r1"));
-        topo.add_link(r0, r1, 100.0 * MBPS);
-        let mut hosts = Vec::new();
-        for h in 0..8 {
-            let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
-            topo.add_link(n, if h % 2 == 0 { r0 } else { r1 }, 100.0 * MBPS);
-            hosts.push(n);
-        }
-        subnets.push(hosts);
-    }
-    (topo, subnets)
-}
-
 /// One federated run; returns the number of events dispatched.
 fn run_federated(engine: FlowEngine, k: usize, mult: f64) -> u64 {
-    let (topo, subnets) = federated(k);
+    let (topo, subnets) = federated(k, None);
     let mut sim = Sim::with_flow_engine(topo, engine);
     for (s, hosts) in subnets.iter().enumerate() {
         install_traffic(&mut sim, hosts, traffic_at(mult), 100 + s as u64);
@@ -162,8 +139,19 @@ fn emit_summary(c: &mut Criterion) {
         "federated": fed_rows,
         "table1_trial": { "app": app.name(), "wall_secs": trial_wall },
     });
+    // Read-modify-write: this bench owns its keys only, so sections
+    // written by other benches (`throughput` from simnet_throughput)
+    // survive a re-run.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simnet.json");
-    match std::fs::write(path, format!("{:#}\n", summary)) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .filter(|v| v.as_object().is_some())
+        .unwrap_or_else(|| serde_json::json!({}));
+    for (k, v) in summary.as_object().expect("summary is an object") {
+        doc[k.as_str()] = v.clone();
+    }
+    match std::fs::write(path, format!("{:#}\n", doc)) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

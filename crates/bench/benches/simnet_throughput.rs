@@ -1,41 +1,229 @@
-//! Substrate bench: raw event throughput of the discrete-event simulator
-//! under Table-1-like activity (generators + application traffic on the
-//! CMU testbed). Not a paper artifact; it bounds how much experimentation
-//! per CPU-second the harness can deliver.
+//! Substrate bench: raw event throughput of the simulator, serial vs
+//! parallel, across the thread axis. Not a paper artifact; it bounds how
+//! much experimentation per CPU-second the harness can deliver and
+//! tracks the parallel engine's scaling across PRs.
+//!
+//! Scenarios:
+//! * `cmu` — the paper's single-testbed network. One connected domain,
+//!   so the parallel engine falls back to serial: the honest ~1× case,
+//!   reported as measured.
+//! * `fed8` / `fed32` — disconnected federations (8/32 subnets). Every
+//!   domain is an island, so shards run one unbounded window each: the
+//!   best case for the parallel engine.
+//! * `fed32-trunk` — the 32 subnets chained into one connected
+//!   federation by 2 ms trunks: shards advance in conservative windows,
+//!   paying the barrier synchronization the disconnected case skips.
+//!
+//! Every parallel run is asserted to dispatch exactly the serial event
+//! count (the engine's bit-exactness contract). Results land in
+//! `BENCH_simnet.json` under `"throughput"` as machine-readable rows
+//! `{scenario, engine, threads, events, events_per_sec, speedup}`; the
+//! file is read-modify-written so the `flow_engine` sections survive,
+//! and the written document is validated against the expected schema
+//! (the CI smoke step fails on drift). `--test`/`--smoke` runs a short
+//! horizon; measured numbers are whatever this machine gives — a
+//! single-core runner shows no parallel speedup, and that is reported
+//! as measured, not corrected.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nodesel_loadgen::{install_load, install_traffic, LoadConfig, TrafficConfig};
-use nodesel_simnet::Sim;
+use nodesel_bench::{federated, federated_domains};
+use nodesel_loadgen::{
+    install_load, install_load_at, install_traffic, install_traffic_at, LoadConfig, TrafficConfig,
+};
+use nodesel_simnet::{ParallelSim, Sim};
 use nodesel_topology::testbeds::cmu_testbed;
-use std::hint::black_box;
+use nodesel_topology::ShardPlan;
+use std::time::Instant;
 
-fn bench_throughput(c: &mut Criterion) {
-    // Measure how many simulated seconds of a busy testbed run per call.
-    let mut group = c.benchmark_group("simnet");
-    let sim_seconds = 600.0;
-    // Count events once for the throughput label.
-    let events = {
-        let tb = cmu_testbed();
-        let mut sim = Sim::new(tb.topo.clone());
-        install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
-        install_traffic(&mut sim, &tb.machines, TrafficConfig::paper_defaults(), 2);
-        sim.run_for(sim_seconds);
-        sim.stats().events
-    };
-    group.throughput(Throughput::Elements(events));
-    group.bench_function("busy_testbed_600s", |b| {
-        b.iter(|| {
-            let tb = cmu_testbed();
-            let mut sim = Sim::new(tb.topo.clone());
-            install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
-            install_traffic(&mut sim, &tb.machines, TrafficConfig::paper_defaults(), 2);
-            sim.run_for(sim_seconds);
-            black_box(sim.stats())
-        })
-    });
-    group.finish();
-    eprintln!("\nbusy testbed, {sim_seconds} simulated seconds: {events} events");
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn traffic_at(mult: f64) -> TrafficConfig {
+    let mut t = TrafficConfig::paper_defaults();
+    t.arrival_rate *= mult;
+    t
 }
 
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);
+/// The paper's CMU testbed under Table-1-like activity; one domain.
+fn build_cmu() -> (Sim, ShardPlan) {
+    let tb = cmu_testbed();
+    let plan = ShardPlan::components(&tb.topo);
+    let mut sim = Sim::new(tb.topo.clone());
+    sim.set_partition(plan.node_domain());
+    install_load(&mut sim, &tb.machines, LoadConfig::paper_defaults(), 1);
+    install_traffic(&mut sim, &tb.machines, traffic_at(4.0), 2);
+    (sim, plan)
+}
+
+/// A `k`-subnet federation with intensified per-subnet load and
+/// traffic, every generator homed inside its own domain.
+fn build_fed(k: usize, trunk: Option<f64>) -> (Sim, ShardPlan) {
+    let (topo, subnets) = federated(k, trunk);
+    let plan = match trunk {
+        None => ShardPlan::components(&topo),
+        Some(_) => ShardPlan::from_assignment(&topo, &federated_domains(&topo)),
+    };
+    assert_eq!(plan.num_domains() as usize, k);
+    let mut sim = Sim::new(topo);
+    sim.set_partition(plan.node_domain());
+    for (s, hosts) in subnets.iter().enumerate() {
+        install_load_at(
+            &mut sim,
+            hosts,
+            LoadConfig::paper_defaults(),
+            1_000 + s as u64,
+        );
+        install_traffic_at(&mut sim, hosts[0], hosts, traffic_at(4.0), 100 + s as u64);
+    }
+    (sim, plan)
+}
+
+/// One run; returns (events dispatched, wall seconds, ran sharded).
+fn run_once(
+    build: &dyn Fn() -> (Sim, ShardPlan),
+    threads: usize,
+    sim_seconds: f64,
+) -> (u64, f64, bool) {
+    let (sim, plan) = build();
+    if threads <= 1 {
+        let mut sim = sim;
+        let t = Instant::now();
+        sim.run_for(sim_seconds);
+        (sim.stats().events, t.elapsed().as_secs_f64(), false)
+    } else {
+        let mut par = ParallelSim::new(sim, &plan, threads);
+        let t = Instant::now();
+        par.run_for(sim_seconds);
+        (
+            par.stats().events,
+            t.elapsed().as_secs_f64(),
+            par.is_parallel(),
+        )
+    }
+}
+
+/// Median wall time over `iters` runs (events are identical per run).
+fn measure(
+    build: &dyn Fn() -> (Sim, ShardPlan),
+    threads: usize,
+    sim_seconds: f64,
+    iters: usize,
+) -> (u64, f64, bool) {
+    let mut events = 0;
+    let mut sharded = false;
+    let mut walls: Vec<f64> = (0..iters)
+        .map(|_| {
+            let (ev, wall, sh) = run_once(build, threads, sim_seconds);
+            events = ev;
+            sharded = sh;
+            wall
+        })
+        .collect();
+    walls.sort_by(f64::total_cmp);
+    (events, walls[walls.len() / 2], sharded)
+}
+
+/// Panics unless `doc` carries the throughput section this bench (and
+/// the CI smoke step) promises: the schema-drift tripwire.
+fn validate_schema(doc: &serde_json::Value) {
+    let t = doc
+        .get("throughput")
+        .expect("BENCH_simnet.json lost its throughput section");
+    for key in ["sim_seconds", "smoke", "threads_axis", "rows"] {
+        assert!(t.get(key).is_some(), "throughput section lost `{key}`");
+    }
+    let rows = t["rows"].as_array().expect("throughput rows is an array");
+    assert!(!rows.is_empty(), "throughput rows is empty");
+    for row in rows {
+        for key in [
+            "scenario",
+            "engine",
+            "threads",
+            "events",
+            "events_per_sec",
+            "speedup",
+        ] {
+            assert!(row.get(key).is_some(), "throughput row lost `{key}`: {row}");
+        }
+        let engine = row["engine"].as_str().expect("engine is a string");
+        assert!(
+            ["serial", "parallel", "serial-fallback"].contains(&engine),
+            "unknown engine label {engine:?}"
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let (sim_seconds, iters) = if smoke { (20.0, 1) } else { (300.0, 3) };
+
+    let scenarios: [(&str, Box<dyn Fn() -> (Sim, ShardPlan)>); 4] = [
+        ("cmu", Box::new(build_cmu)),
+        ("fed8", Box::new(|| build_fed(8, None))),
+        ("fed32", Box::new(|| build_fed(32, None))),
+        ("fed32-trunk", Box::new(|| build_fed(32, Some(2e-3)))),
+    ];
+
+    eprintln!("\n=== simnet throughput: serial vs parallel, {sim_seconds} simulated seconds ===");
+    eprintln!(
+        "{:<12} {:>16} {:>8} {:>10} {:>14} {:>8}",
+        "scenario", "engine", "threads", "events", "events/sec", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (name, build) in &scenarios {
+        let mut serial_eps = 0.0;
+        let mut serial_events = 0;
+        for threads in THREADS {
+            let (events, wall, sharded) = measure(build.as_ref(), threads, sim_seconds, iters);
+            let eps = events as f64 / wall;
+            if threads == 1 {
+                serial_eps = eps;
+                serial_events = events;
+            } else {
+                assert_eq!(
+                    events, serial_events,
+                    "parallel run diverged from serial event count on {name}"
+                );
+            }
+            let engine = match (threads, sharded) {
+                (1, _) => "serial",
+                (_, true) => "parallel",
+                (_, false) => "serial-fallback",
+            };
+            let speedup = eps / serial_eps;
+            eprintln!(
+                "{name:<12} {engine:>16} {threads:>8} {events:>10} {eps:>14.0} {speedup:>7.2}x"
+            );
+            rows.push(serde_json::json!({
+                "scenario": name,
+                "engine": engine,
+                "threads": threads,
+                "events": events,
+                "events_per_sec": eps,
+                "speedup": speedup,
+            }));
+        }
+    }
+
+    // Read-modify-write: own only the throughput section so the
+    // flow_engine sections survive a re-run, then re-validate.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simnet.json");
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .filter(|v| v.as_object().is_some())
+        .unwrap_or_else(|| serde_json::json!({}));
+    doc["throughput"] = serde_json::json!({
+        "sim_seconds": sim_seconds,
+        "smoke": smoke,
+        "threads_axis": THREADS,
+        "rows": rows,
+    });
+    validate_schema(&doc);
+    match std::fs::write(path, format!("{:#}\n", doc)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let reread: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).expect("just wrote the bench summary"))
+            .expect("bench summary is valid JSON");
+    validate_schema(&reread);
+}

@@ -10,6 +10,7 @@
 #![deny(unsafe_code)]
 
 use nodesel_topology::builders::{random_tree, randomize_conditions};
+use nodesel_topology::units::MBPS;
 use nodesel_topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,9 +26,68 @@ pub fn conditioned_tree(seed: u64, nodes: usize) -> (Topology, Vec<NodeId>) {
     (topo, ids)
 }
 
+/// `k` subnets in one simulator — a two-router backbone with eight hosts
+/// each — the standard federated input for the simulator benches. Flows
+/// share bandwidth within their subnet only, so the sharing graph has
+/// `k` components (and the incremental flow engine re-solves one per
+/// event). With `trunk_latency` the subnets are chained router-to-router
+/// into one connected federation whose inter-subnet links carry that
+/// latency — the boundary the parallel engine's conservative windows
+/// synchronize on. Returns the topology and each subnet's host list.
+pub fn federated(k: usize, trunk_latency: Option<f64>) -> (Topology, Vec<Vec<NodeId>>) {
+    let mut topo = Topology::new();
+    let mut subnets = Vec::new();
+    let mut routers = Vec::new();
+    for s in 0..k {
+        let r0 = topo.add_network_node(format!("s{s}-r0"));
+        let r1 = topo.add_network_node(format!("s{s}-r1"));
+        topo.add_link(r0, r1, 100.0 * MBPS);
+        let mut hosts = Vec::new();
+        for h in 0..8 {
+            let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
+            topo.add_link(n, if h % 2 == 0 { r0 } else { r1 }, 100.0 * MBPS);
+            hosts.push(n);
+        }
+        routers.push((r0, r1));
+        subnets.push(hosts);
+    }
+    if let Some(lat) = trunk_latency {
+        for w in routers.windows(2) {
+            topo.add_link_full(w[0].1, w[1].0, 50.0 * MBPS, 50.0 * MBPS, lat);
+        }
+    }
+    (topo, subnets)
+}
+
+/// The per-subnet domain assignment matching [`federated`]'s node order
+/// (ten nodes per subnet: two routers, eight hosts), for trunked
+/// federations where connected-component analysis would find a single
+/// domain.
+pub fn federated_domains(topo: &Topology) -> Vec<u16> {
+    (0..topo.node_count()).map(|i| (i / 10) as u16).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn federated_layout_matches_domain_helper() {
+        let (disc, subnets) = federated(3, None);
+        assert_eq!(disc.node_count(), 30);
+        assert_eq!(subnets.len(), 3);
+        assert!(!disc.is_connected());
+
+        let (conn, _) = federated(3, Some(2e-3));
+        assert!(conn.is_connected());
+        let domains = federated_domains(&conn);
+        // Every host shares its routers' domain.
+        for (s, hosts) in subnets.iter().enumerate() {
+            for &h in hosts {
+                assert_eq!(domains[h.index()], s as u16);
+            }
+        }
+    }
 
     #[test]
     fn conditioned_tree_is_connected_and_seeded() {

@@ -23,5 +23,5 @@ pub mod dist;
 mod load;
 mod traffic;
 
-pub use load::{install_load, JobDurationModel, LoadConfig, LoadHandle};
-pub use traffic::{install_traffic, TrafficConfig, TrafficHandle};
+pub use load::{install_load, install_load_at, JobDurationModel, LoadConfig, LoadHandle};
+pub use traffic::{install_traffic, install_traffic_at, TrafficConfig, TrafficHandle};

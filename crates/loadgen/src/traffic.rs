@@ -120,17 +120,46 @@ pub fn install_traffic(
     config: TrafficConfig,
     seed: u64,
 ) -> TrafficHandle {
+    install_traffic_impl(sim, None, endpoints, config, seed)
+}
+
+/// Like [`install_traffic`], but homes the generator at `home` (see
+/// [`Sim::install_driver_at`]), so on a partitioned simulator whose
+/// `endpoints` all live in `home`'s domain the generator is domain-local
+/// and the parallel engine can run it inside its shard. On an
+/// unpartitioned simulator this is bit-identical to [`install_traffic`].
+pub fn install_traffic_at(
+    sim: &mut Sim,
+    home: NodeId,
+    endpoints: &[NodeId],
+    config: TrafficConfig,
+    seed: u64,
+) -> TrafficHandle {
+    install_traffic_impl(sim, Some(home), endpoints, config, seed)
+}
+
+fn install_traffic_impl(
+    sim: &mut Sim,
+    home: Option<NodeId>,
+    endpoints: &[NodeId],
+    config: TrafficConfig,
+    seed: u64,
+) -> TrafficHandle {
     assert!(endpoints.len() >= 2, "traffic needs at least two endpoints");
     let mut rng = StdRng::seed_from_u64(split_seed(seed, 0x7AFF));
     let gap = Exponential::new(config.arrival_rate).sample(&mut rng);
-    let id = sim.install_driver(TrafficDriver {
+    let driver = TrafficDriver {
         endpoints: endpoints.to_vec(),
         config,
         rng,
         sizes: LogNormal::from_median_mean(config.median_size, config.mean_size),
         enabled: true,
         messages_started: 0,
-    });
+    };
+    let id = match home {
+        Some(node) => sim.install_driver_at(node, driver),
+        None => sim.install_driver(driver),
+    };
     sim.schedule_driver_in(gap, id);
     TrafficHandle { driver: id }
 }
@@ -138,10 +167,40 @@ pub fn install_traffic(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::load::{install_load, install_load_at};
+    use crate::LoadConfig;
     use nodesel_simnet::SimTime;
     use nodesel_topology::builders::{dumbbell, star};
     use nodesel_topology::units::MBPS;
     use nodesel_topology::Direction;
+
+    /// On an unpartitioned simulator, homing the generators changes
+    /// nothing: every event fires at the same time in the same order.
+    #[test]
+    fn homed_installation_is_bit_identical_on_unpartitioned_sim() {
+        let (topo, ids) = star(5, 100.0 * MBPS);
+        let run = |homed: bool| {
+            let mut sim = Sim::new(topo.clone());
+            let (load, traffic) = if homed {
+                (
+                    install_load_at(&mut sim, &ids, LoadConfig::paper_defaults(), 3),
+                    install_traffic_at(&mut sim, ids[0], &ids, TrafficConfig::paper_defaults(), 4),
+                )
+            } else {
+                (
+                    install_load(&mut sim, &ids, LoadConfig::paper_defaults(), 3),
+                    install_traffic(&mut sim, &ids, TrafficConfig::paper_defaults(), 4),
+                )
+            };
+            sim.run_until(SimTime::from_secs(900));
+            (
+                sim.stats(),
+                load.jobs_started(&sim),
+                traffic.messages_started(&sim),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
 
     #[test]
     fn traffic_moves_bits() {
