@@ -155,7 +155,8 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
     let (sim_seconds, iters) = if smoke { (20.0, 1) } else { (300.0, 3) };
 
-    let scenarios: [(&str, Box<dyn Fn() -> (Sim, ShardPlan)>); 4] = [
+    type Scenario = Box<dyn Fn() -> (Sim, ShardPlan)>;
+    let scenarios: [(&str, Scenario); 4] = [
         ("cmu", Box::new(build_cmu)),
         ("fed8", Box::new(|| build_fed(8, None))),
         ("fed32", Box::new(|| build_fed(32, None))),

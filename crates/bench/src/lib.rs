@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use nodesel_topology::builders::{random_tree, randomize_conditions};
+use nodesel_topology::builders::{hierarchical, random_tree, randomize_conditions};
 use nodesel_topology::units::MBPS;
 use nodesel_topology::{NodeId, Topology};
 use rand::rngs::StdRng;
@@ -24,6 +24,24 @@ pub fn conditioned_tree(seed: u64, nodes: usize) -> (Topology, Vec<NodeId>) {
     let (mut topo, ids) = random_tree(&mut rng, computes, nodes - computes, 1e8);
     randomize_conditions(&mut topo, &mut rng, 3.0, 0.9);
     (topo, ids)
+}
+
+/// A seeded hierarchical fabric (star domains on a binary trunk tree,
+/// see [`hierarchical`]) with random load and traffic conditions — the
+/// standard input for the two-level scaling benches. The domain
+/// assignment is carried on the returned topology, so
+/// `TwoLevelSelector` and `Hierarchy::new` pick it up directly. Returns
+/// the topology and each domain's host list.
+pub fn conditioned_hierarchy(
+    seed: u64,
+    domains: usize,
+    hosts_per_domain: usize,
+) -> (Topology, Vec<Vec<NodeId>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut topo, members) =
+        hierarchical(domains, hosts_per_domain, 100.0 * MBPS, 40.0 * MBPS, 2e-3);
+    randomize_conditions(&mut topo, &mut rng, 3.0, 0.9);
+    (topo, members)
 }
 
 /// `k` subnets in one simulator — a two-router backbone with eight hosts
@@ -86,6 +104,24 @@ mod tests {
             for &h in hosts {
                 assert_eq!(domains[h.index()], s as u16);
             }
+        }
+    }
+
+    #[test]
+    fn conditioned_hierarchy_carries_its_assignment() {
+        let (topo, members) = conditioned_hierarchy(3, 4, 5);
+        assert_eq!(topo.node_count(), 4 * 6); // hub + 5 hosts per domain
+        assert_eq!(members.len(), 4);
+        let domains = topo.domains().expect("assignment travels on the graph");
+        for (d, hosts) in members.iter().enumerate() {
+            for &h in hosts {
+                assert_eq!(domains[h.index()], d as u16);
+            }
+        }
+        // Same seed, same conditions.
+        let (again, _) = conditioned_hierarchy(3, 4, 5);
+        for n in topo.compute_nodes() {
+            assert_eq!(topo.node(n).load_avg(), again.node(n).load_avg());
         }
     }
 

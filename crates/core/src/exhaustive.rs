@@ -258,10 +258,7 @@ fn scan_first(
     let mut inner = Combinations::new(cache.len() - first - 1, m - 1);
     let mut local: Option<(f64, Vec<usize>)> = None;
     let mut dirty = 0usize;
-    loop {
-        let Some(cur) = inner.current() else {
-            break;
-        };
+    while let Some(cur) = inner.current() {
         // Re-evaluate levels from the lowest position that changed; a
         // failing level prunes its whole subtree.
         let mut pruned_at: Option<usize> = None;

@@ -92,6 +92,7 @@ pub mod selector;
 pub mod sizing;
 pub mod spec;
 pub mod supervisor;
+pub mod twolevel;
 mod weights;
 
 pub use algorithms::{
@@ -112,6 +113,7 @@ pub use selector::{
 pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
 pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};
 pub use supervisor::{Supervisor, SupervisorCheck, SupervisorPolicy, SupervisorVerdict};
+pub use twolevel::{TwoLevelConfig, TwoLevelOutcome, TwoLevelSelector};
 pub use weights::Weights;
 
 /// Errors produced by the selection procedures.

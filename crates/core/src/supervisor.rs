@@ -1,8 +1,8 @@
 //! Supervised availability-aware re-selection.
 //!
-//! The migration [`Advisor`](crate::Advisor) answers "is there a better
+//! The migration [`Advisor`] answers "is there a better
 //! placement?" per epoch; it has no notion of *failure*. A [`Supervisor`]
-//! wraps the same persistent-[`Selector`] machinery with a re-selection
+//! wraps the same persistent-[`Selector`](crate::Selector) machinery with a re-selection
 //! policy built for faulty networks:
 //!
 //! * **Failure-triggered refresh** — when a placed node is reported down

@@ -75,7 +75,7 @@ fn random_constraints(seed: u64, ids: &[NodeId]) -> Constraints {
 /// One epoch of churn: some compute-node loads move, and (when `links`
 /// is set) some directed-link utilizations move too.
 fn random_delta(seed: u64, topo: &Topology, links: bool) -> NetDelta {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5DE1_7A);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5DE17A);
     let mut delta = NetDelta::default();
     for n in topo.compute_nodes() {
         if rng.random_range(0..2) == 0 {

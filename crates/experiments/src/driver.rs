@@ -404,6 +404,7 @@ pub(crate) fn run_cells(
 /// per-trial turnaround times in seed order. Repetitions drain through
 /// the flat work queue — idle workers pull the next trial as they
 /// finish, instead of the old barrier-per-chunk split.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trials(
     testbed: &Testbed,
     app: &AppModel,

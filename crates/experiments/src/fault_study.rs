@@ -142,7 +142,7 @@ pub fn run_fault_trial(
     let tb = cmu_testbed();
     let machines = tb.machines.clone();
     let mut sim = Sim::new(tb.topo.clone());
-    let remos = Remos::install(&mut sim, config.collector.clone());
+    let remos = Remos::install(&mut sim, config.collector);
     install_load(&mut sim, &machines, config.load, seed ^ 0x10AD);
     sim.run_for(config.warmup);
 

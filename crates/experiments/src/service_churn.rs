@@ -7,7 +7,7 @@
 //! the collector's versioned snapshot each period, feeds only the
 //! epoch-to-epoch delta to a primed [`Selector`](nodesel_core::Selector),
 //! and reports the measurement-layer counters
-//! ([`QueryStats`](nodesel_remos::QueryStats)) that show how much of the
+//! ([`QueryStats`]) that show how much of the
 //! stream was shared rather than recomputed.
 
 use nodesel_core::{selector_for, SelectionRequest};

@@ -505,7 +505,6 @@ mod tests {
                 mean_down: 5.0,
             }],
             seed: 99,
-            ..FaultPlan::default()
         };
         let id = install_faults(&mut sim, &plan);
         sim.run_for(50.0);

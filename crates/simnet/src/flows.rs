@@ -145,7 +145,7 @@ fn predict_finish(anchor: SimTime, remaining: f64, rate: f64) -> SimTime {
     // point; bump until the closed-form remaining is actually zero.
     let mut step = 1u64;
     while t != SimTime::NEVER && remaining - rate * t.seconds_since(anchor) > 0.0 {
-        t = t + step;
+        t += step;
         step = step.saturating_mul(2);
     }
     t

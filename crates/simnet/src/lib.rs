@@ -74,7 +74,7 @@ pub use fault::{
     FlapTarget,
 };
 pub use flows::{DirLink, FlowEngine, FlowId, FlowTable};
-pub use parallel::ParallelSim;
 pub use host::{Host, TaskId};
+pub use parallel::ParallelSim;
 pub use time::{EventKey, SimTime};
 pub use trace::TraceEvent;

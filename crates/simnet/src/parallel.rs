@@ -12,9 +12,13 @@
 //! (see [`WindowGate`]) folds them into a boundary
 //! `min(next) + lookahead`, where the lookahead is the minimum latency
 //! of the links crossing the partition ([`ShardPlan::lookahead_secs`]);
-//! then every shard runs its own event queue up to the boundary. With an
-//! empty boundary (fully disconnected domains) the window is unbounded
-//! and the whole run is a single pass per shard.
+//! then every shard runs its own event queue up to the boundary — and,
+//! on the same barrier round, one further sub-window to
+//! `boundary + lookahead`: once every shard has drained to the shared
+//! boundary, that second bound is already conservative without another
+//! next-event exchange, so each barrier round covers two windows. With
+//! an empty boundary (fully disconnected domains) the window is
+//! unbounded and the whole run is a single pass per shard.
 //!
 //! # Escalate-and-replay
 //!
@@ -29,7 +33,8 @@
 //! stays serial from then on. The window barrier's role in this hybrid
 //! is honest but modest: it bounds how far shards can run past an
 //! escalation before it is detected, so the wasted optimistic work per
-//! escalation is one window, not the whole horizon.
+//! escalation is at most the two sub-windows of one barrier round, not
+//! the whole horizon.
 //!
 //! The payoff is the common case this repo benches: federated topologies
 //! whose subnets exchange nothing never escalate, and the parallel run
@@ -342,10 +347,6 @@ impl Sharded {
                 let (gate, nexts, window, escalated) = (&gate, &nexts, &window, &escalated);
                 scope.spawn(move || {
                     let sim = &mut shard.0;
-                    // True once the previous window reached the horizon;
-                    // identical across workers (derived from the shared
-                    // boundary), so all exit in the same round.
-                    let mut covered = false;
                     loop {
                         nexts[w].store(
                             sim.next_event_time().map_or(u64::MAX, |t| t.0),
@@ -376,13 +377,10 @@ impl Sharded {
                             window.store(end, Ordering::Relaxed);
                         });
                         let end = window.load(Ordering::Relaxed);
-                        // Escalation from the previous window (including
+                        // Escalation from the previous round (including
                         // the final one) stops everyone here, before the
                         // horizon check.
                         if end == STOP {
-                            return;
-                        }
-                        if covered {
                             return;
                         }
                         sim.run_until_or_escalate(SimTime(end));
@@ -392,7 +390,36 @@ impl Sharded {
                             // would strand the other workers.
                             escalated.store(true, Ordering::Relaxed);
                         }
-                        covered = end >= limit.0;
+                        // Every exit below depends only on values shared
+                        // by all workers (`end`, `end2`, constants), so
+                        // the workers always leave in the same round and
+                        // nobody is stranded at the barrier.
+                        if end >= limit.0 {
+                            return;
+                        }
+                        // Second sub-window on the same barrier round:
+                        // once every shard has drained to `end`, the next
+                        // conservative bound `end + lookahead` is already
+                        // known — no new next-event exchange can lower it
+                        // below that. Windows never affect correctness in
+                        // this hybrid (escalation discards shard state and
+                        // the master replays serially); they only pace
+                        // escalation detection, so running one more
+                        // sub-window per round halves the barrier traffic
+                        // at the cost of at most one extra window of
+                        // discarded optimistic work.
+                        let la =
+                            lookahead_ticks.expect("a bounded window implies a finite lookahead");
+                        let end2 = limit.0.min(end.saturating_add(la));
+                        if !sim.escalated() {
+                            sim.run_until_or_escalate(SimTime(end2));
+                            if sim.escalated() {
+                                escalated.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        if end2 >= limit.0 {
+                            return;
+                        }
                     }
                 });
             }

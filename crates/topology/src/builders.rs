@@ -114,6 +114,48 @@ pub fn switch_tree(depth: usize, fanout: usize, capacity: f64) -> (Topology, Vec
     (t, leaves)
 }
 
+/// A hierarchical fabric for two-level selection: `domains` star domains
+/// of `hosts_per_domain` compute hosts each (host links at `host_cap`),
+/// whose hub switches form a balanced binary tree of trunk links at
+/// `trunk_cap` / `trunk_latency`. Each domain's hub is its only border
+/// node, and the topology carries the matching persisted domain
+/// assignment ([`Topology::domains`]), so
+/// [`crate::hierarchy::Hierarchy::new`] picks the intended partition up
+/// directly. Returns the topology and the host ids grouped by domain.
+pub fn hierarchical(
+    domains: usize,
+    hosts_per_domain: usize,
+    host_cap: f64,
+    trunk_cap: f64,
+    trunk_latency: f64,
+) -> (Topology, Vec<Vec<NodeId>>) {
+    assert!(domains > 0, "need at least one domain");
+    let mut t = Topology::new();
+    let mut hubs = Vec::with_capacity(domains);
+    let mut hosts = Vec::with_capacity(domains);
+    for d in 0..domains {
+        let hub = t.add_network_node(format!("d{d}-sw"));
+        if d > 0 {
+            let parent = hubs[(d - 1) / 2];
+            t.add_link_full(parent, hub, trunk_cap, trunk_cap, trunk_latency);
+        }
+        let members = (0..hosts_per_domain)
+            .map(|i| {
+                let h = t.add_compute_node(format!("d{d}-h{i}"), 1.0);
+                t.add_link(hub, h, host_cap);
+                h
+            })
+            .collect();
+        hubs.push(hub);
+        hosts.push(members);
+    }
+    let assignment: Vec<u16> = (0..t.node_count())
+        .map(|i| (i / (hosts_per_domain + 1)) as u16)
+        .collect();
+    t.set_domains(assignment);
+    (t, hosts)
+}
+
 /// A uniformly random tree over `compute` compute nodes and `network`
 /// switches (random Prüfer-style attachment: each new node links to a
 /// uniformly chosen earlier node). Node roles are shuffled so compute nodes

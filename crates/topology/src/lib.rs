@@ -53,6 +53,7 @@
 pub mod builders;
 pub mod dot;
 mod graph;
+pub mod hierarchy;
 mod ids;
 pub mod io;
 mod link;
@@ -60,6 +61,7 @@ pub mod maxmin;
 pub mod metrics;
 mod node;
 pub mod route;
+pub mod route_approx;
 pub mod shard;
 pub mod snapshot;
 pub mod testbeds;
@@ -68,10 +70,12 @@ pub mod units;
 mod view;
 
 pub use graph::Topology;
+pub use hierarchy::Hierarchy;
 pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
-pub use route::{Path, RouteTable, Routes};
+pub use route::{Path, RouteScratch, RouteTable, Routes};
+pub use route_approx::RouteSketch;
 pub use shard::ShardPlan;
 pub use snapshot::{staleness_confidence, NetDelta, NetMetrics, NetSnapshot};
 pub use unionfind::UnionFind;

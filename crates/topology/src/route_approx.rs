@@ -1,0 +1,373 @@
+//! Landmark route approximation over a [`Hierarchy`].
+//!
+//! Exact quality scoring wants a BFS row per source node — quadratic to
+//! precompute and too slow to rebuild per selection at 100k nodes. A
+//! [`RouteSketch`] replaces the exact rows with landmark distances using
+//! each domain's *border nodes* as the landmarks:
+//!
+//! * **intra**: for every domain, one BFS per border node over the
+//!   domain's extracted sub-topology, recording per member node the hop
+//!   count, summed latency and bottleneck available bandwidth of the
+//!   hop-shortest path to that border — `O(borders × domain size)`;
+//! * **inter**: a domain×domain matrix from BFS over the
+//!   [`AggregateGraph`](crate::hierarchy::AggregateGraph), accumulating
+//!   trunk latency and the bottleneck
+//!   of per-trunk best available bandwidth — `O(k²)` and therefore only
+//!   built when the domain count is at most [`MAX_INTER_DOMAINS`].
+//!
+//! A cross-domain estimate composes three legs: source to its best
+//! border, the aggregate path between the domains, and best border to
+//! destination. The estimate is exact on single-border tree hierarchies
+//! (every cross-domain path *must* run border-to-border, and on a tree
+//! there is only one), which is exactly the shape
+//! [`crate::builders::hierarchical`] generates; on multi-border or
+//! cyclic fabrics it is heuristic because the aggregate leg does not
+//! know which border the flow entered through. Same-domain estimates
+//! are answered through the domain's borders too, so they *overestimate*
+//! latency — callers that stayed inside one domain should prefer the
+//! exact sub-topology routes, which are cheap at domain scale.
+//!
+//! Bandwidth cells depend on the [`NetMetrics`] view the sketch was
+//! built from; hop and latency cells are structural and stay valid
+//! until the topology itself changes.
+
+use std::collections::VecDeque;
+
+use crate::hierarchy::Hierarchy;
+use crate::{NetMetrics, NodeId};
+
+/// Largest domain count for which the dense inter-domain matrix is
+/// built (k² cells; 1024 domains ≈ 25 MB). Above this, cross-domain
+/// queries fall back to the border legs only.
+pub const MAX_INTER_DOMAINS: usize = 1024;
+
+/// One landmark distance: hop count, summed latency and bottleneck
+/// available bandwidth of a hop-shortest path. Unreachable cells hold
+/// `u32::MAX` / `INFINITY` / `0.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchCell {
+    /// Hop count of the path.
+    pub hops: u32,
+    /// Sum of link latencies along the path, seconds.
+    pub latency: f64,
+    /// Minimum available bandwidth along the path, bits/s.
+    pub bw: f64,
+}
+
+impl SketchCell {
+    const UNREACHABLE: SketchCell = SketchCell {
+        hops: u32::MAX,
+        latency: f64::INFINITY,
+        bw: 0.0,
+    };
+
+    /// True when the path exists.
+    pub fn reachable(&self) -> bool {
+        self.hops != u32::MAX
+    }
+}
+
+/// Per-domain landmark rows: `cells[local × borders + border_idx]`.
+#[derive(Debug, Clone)]
+struct DomainSketch {
+    borders: usize,
+    cells: Vec<SketchCell>,
+}
+
+/// Landmark distances over a [`Hierarchy`]: per-domain BFS rows to each
+/// border node plus (for small domain counts) a dense inter-domain
+/// distance matrix.
+#[derive(Debug, Clone)]
+pub struct RouteSketch {
+    intra: Vec<DomainSketch>,
+    /// Row-major k×k; `None` when `k > MAX_INTER_DOMAINS`.
+    inter: Option<Vec<SketchCell>>,
+    k: usize,
+}
+
+impl RouteSketch {
+    /// Builds the sketch for `hier` under the metric view `net` (which
+    /// must be over the same topology the hierarchy was built from).
+    pub fn build(hier: &Hierarchy, net: &impl NetMetrics) -> RouteSketch {
+        let k = hier.num_domains() as usize;
+        let mut intra = Vec::with_capacity(k);
+        let mut queue = VecDeque::new();
+        for d in 0..k {
+            let dom = hier.domain(d as u16);
+            let ext = dom.extract();
+            let n = ext.sub.node_count();
+            let borders = dom.borders().len();
+            let mut cells = vec![SketchCell::UNREACHABLE; n * borders];
+            for (bi, &border) in dom.borders().iter().enumerate() {
+                let start = hier.local_id(border);
+                cells[start.index() * borders + bi] = SketchCell {
+                    hops: 0,
+                    latency: 0.0,
+                    bw: f64::INFINITY,
+                };
+                queue.clear();
+                queue.push_back(start);
+                while let Some(v) = queue.pop_front() {
+                    let at = cells[v.index() * borders + bi];
+                    for &(e, w) in ext.sub.neighbors(v) {
+                        if cells[w.index() * borders + bi].reachable() {
+                            continue;
+                        }
+                        let global = ext.edges[e.index()];
+                        cells[w.index() * borders + bi] = SketchCell {
+                            hops: at.hops + 1,
+                            latency: at.latency + ext.sub.link(e).latency(),
+                            bw: at.bw.min(net.bw(global)),
+                        };
+                        queue.push_back(w);
+                    }
+                }
+            }
+            intra.push(DomainSketch { borders, cells });
+        }
+
+        let inter = (k <= MAX_INTER_DOMAINS).then(|| {
+            let agg = hier.aggregate();
+            // Dynamic best bandwidth per aggregate edge, computed once.
+            let trunk_bw: Vec<f64> = agg.edges().iter().map(|e| e.best_bw(net)).collect();
+            let mut cells = vec![SketchCell::UNREACHABLE; k * k];
+            let mut queue = VecDeque::new();
+            for src in 0..k {
+                cells[src * k + src] = SketchCell {
+                    hops: 0,
+                    latency: 0.0,
+                    bw: f64::INFINITY,
+                };
+                queue.clear();
+                queue.push_back(src as u16);
+                while let Some(v) = queue.pop_front() {
+                    let at = cells[src * k + v as usize];
+                    for &ei in agg.incident(v) {
+                        let e = &agg.edges()[ei as usize];
+                        let w = if e.a == v { e.b } else { e.a };
+                        if cells[src * k + w as usize].reachable() {
+                            continue;
+                        }
+                        cells[src * k + w as usize] = SketchCell {
+                            hops: at.hops + 1,
+                            latency: at.latency + e.latency,
+                            bw: at.bw.min(trunk_bw[ei as usize]),
+                        };
+                        queue.push_back(w);
+                    }
+                }
+            }
+            cells
+        });
+
+        RouteSketch { intra, inter, k }
+    }
+
+    /// Landmark cell from global node `n` to border `border_idx` of its
+    /// own domain (index into [`crate::hierarchy::Domain::borders`]).
+    pub fn to_border(&self, hier: &Hierarchy, n: NodeId, border_idx: usize) -> SketchCell {
+        let d = hier.domain_of(n) as usize;
+        let s = &self.intra[d];
+        s.cells[hier.local_id(n).index() * s.borders + border_idx]
+    }
+
+    /// Inter-domain cell, when the dense matrix was built.
+    pub fn between_domains(&self, a: u16, b: u16) -> Option<SketchCell> {
+        self.inter
+            .as_ref()
+            .map(|m| m[a as usize * self.k + b as usize])
+    }
+
+    /// Best available bandwidth from `n` to any border of its domain
+    /// (`0.0` when the domain has no borders or none is reachable).
+    pub fn best_border_bw(&self, hier: &Hierarchy, n: NodeId) -> f64 {
+        let d = hier.domain_of(n) as usize;
+        let s = &self.intra[d];
+        let local = hier.local_id(n).index();
+        s.cells[local * s.borders..(local + 1) * s.borders]
+            .iter()
+            .map(|c| c.bw)
+            .fold(0.0, f64::max)
+    }
+
+    /// Lowest latency from `n` to any border of its domain (`INFINITY`
+    /// when the domain has no reachable border).
+    pub fn best_border_latency(&self, hier: &Hierarchy, n: NodeId) -> f64 {
+        let d = hier.domain_of(n) as usize;
+        let s = &self.intra[d];
+        let local = hier.local_id(n).index();
+        s.cells[local * s.borders..(local + 1) * s.borders]
+            .iter()
+            .map(|c| c.latency)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Approximate available bandwidth between two global nodes: the
+    /// bottleneck of the border legs and (cross-domain, matrix present)
+    /// the aggregate leg.
+    pub fn approx_bw(&self, hier: &Hierarchy, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return f64::INFINITY;
+        }
+        let (da, db) = (hier.domain_of(a), hier.domain_of(b));
+        if da == db {
+            // Through the best common border. Heuristic: the true path
+            // may avoid borders entirely.
+            let s = &self.intra[da as usize];
+            let (la, lb) = (hier.local_id(a).index(), hier.local_id(b).index());
+            return (0..s.borders)
+                .map(|bi| {
+                    s.cells[la * s.borders + bi]
+                        .bw
+                        .min(s.cells[lb * s.borders + bi].bw)
+                })
+                .fold(0.0, f64::max);
+        }
+        let legs = self
+            .best_border_bw(hier, a)
+            .min(self.best_border_bw(hier, b));
+        match self.between_domains(da, db) {
+            Some(cell) => legs.min(cell.bw),
+            None => legs,
+        }
+    }
+
+    /// Approximate latency between two global nodes, seconds.
+    pub fn approx_latency(&self, hier: &Hierarchy, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (da, db) = (hier.domain_of(a), hier.domain_of(b));
+        if da == db {
+            let s = &self.intra[da as usize];
+            let (la, lb) = (hier.local_id(a).index(), hier.local_id(b).index());
+            return (0..s.borders)
+                .map(|bi| {
+                    s.cells[la * s.borders + bi].latency + s.cells[lb * s.borders + bi].latency
+                })
+                .fold(f64::INFINITY, f64::min);
+        }
+        let legs = self.best_border_latency(hier, a) + self.best_border_latency(hier, b);
+        match self.between_domains(da, db) {
+            Some(cell) => legs + cell.latency,
+            None => legs,
+        }
+    }
+
+    /// Mean inter-domain latency from `d` to every other reachable
+    /// domain — the selector's latency-awareness tie-break. `0.0` for a
+    /// single domain or when the dense matrix was not built.
+    pub fn mean_inter_latency(&self, d: u16) -> f64 {
+        let Some(inter) = &self.inter else { return 0.0 };
+        let row = &inter[d as usize * self.k..(d as usize + 1) * self.k];
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (other, cell) in row.iter().enumerate() {
+            if other != d as usize && cell.reachable() {
+                sum += cell.latency;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::hierarchical;
+    use crate::units::MBPS;
+    use crate::{NetSnapshot, Routes, Topology};
+    use std::sync::Arc;
+
+    #[test]
+    fn exact_on_single_border_tree_hierarchies() {
+        let (mut t, hosts) = hierarchical(4, 4, 100.0 * MBPS, 25.0 * MBPS, 2e-3);
+        // Perturb conditions so bandwidth isn't uniform.
+        let e = t.edge_ids().next().unwrap();
+        t.set_link_used(e, crate::Direction::AtoB, 40.0 * MBPS);
+        let hier = Hierarchy::new(&t);
+        let snap = NetSnapshot::capture(Arc::new(t.clone()));
+        let sketch = RouteSketch::build(&hier, &snap);
+        let routes = Routes::new(&t);
+        // Every cross-domain host pair: the sketch must match the exact
+        // flat route (single border per domain + tree trunks).
+        for (da, ha) in hosts.iter().enumerate() {
+            for (db, hb) in hosts.iter().enumerate() {
+                if da == db {
+                    continue;
+                }
+                for &a in ha {
+                    for &b in hb {
+                        let exact_bw = routes.table().bottleneck_bw_in(&snap, a, b).unwrap();
+                        let exact_lat = routes.latency(a, b).unwrap();
+                        let approx = sketch.approx_bw(&hier, a, b);
+                        assert!(
+                            (approx - exact_bw).abs() < 1e-6,
+                            "bw mismatch {a:?}->{b:?}: {approx} vs {exact_bw}"
+                        );
+                        let lat = sketch.approx_latency(&hier, a, b);
+                        assert!(
+                            (lat - exact_lat).abs() < 1e-12,
+                            "latency mismatch {a:?}->{b:?}: {lat} vs {exact_lat}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_domain_estimates_route_through_the_border() {
+        let (t, hosts) = hierarchical(2, 3, 100.0 * MBPS, 25.0 * MBPS, 2e-3);
+        let hier = Hierarchy::new(&t);
+        let snap = NetSnapshot::capture(Arc::new(t.clone()));
+        let sketch = RouteSketch::build(&hier, &snap);
+        let (a, b) = (hosts[0][0], hosts[0][1]);
+        // Star domain: the hub is the border, so host-hub-host is also
+        // the true route and the estimate is exact here.
+        assert!((sketch.approx_bw(&hier, a, b) - 100.0 * MBPS).abs() < 1e-6);
+        assert_eq!(sketch.approx_bw(&hier, a, a), f64::INFINITY);
+        assert_eq!(sketch.approx_latency(&hier, a, a), 0.0);
+    }
+
+    #[test]
+    fn isolated_domains_are_unreachable() {
+        // Two disconnected stars: component fallback, no borders.
+        let mut t = Topology::new();
+        for s in 0..2 {
+            let hub = t.add_network_node(format!("s{s}"));
+            for h in 0..2 {
+                let n = t.add_compute_node(format!("s{s}h{h}"), 1.0);
+                t.add_link(hub, n, 100.0 * MBPS);
+            }
+        }
+        let hier = Hierarchy::new(&t);
+        let snap = NetSnapshot::capture(Arc::new(t));
+        let sketch = RouteSketch::build(&hier, &snap);
+        let a = NodeId::from_index(1);
+        let b = NodeId::from_index(4);
+        assert_eq!(sketch.approx_bw(&hier, a, b), 0.0);
+        assert_eq!(sketch.approx_latency(&hier, a, b), f64::INFINITY);
+        assert_eq!(sketch.mean_inter_latency(0), 0.0);
+        let cell = sketch.between_domains(0, 1).unwrap();
+        assert!(!cell.reachable());
+    }
+
+    #[test]
+    fn mean_inter_latency_orders_central_domains_first() {
+        // Chain of 3 domains: middle domain has the lowest mean latency.
+        let (t, _) = hierarchical(3, 2, 100.0 * MBPS, 25.0 * MBPS, 1e-3);
+        let hier = Hierarchy::new(&t);
+        let snap = NetSnapshot::capture(Arc::new(t));
+        let sketch = RouteSketch::build(&hier, &snap);
+        // Binary tree over 3 hubs: d0 is the root (children d1, d2).
+        let m0 = sketch.mean_inter_latency(0);
+        let m1 = sketch.mean_inter_latency(1);
+        assert!(m0 < m1, "root domain should be more central: {m0} vs {m1}");
+    }
+}

@@ -59,13 +59,13 @@ impl ShardPlan {
         let mut domain_of_root = vec![u16::MAX; n];
         let mut node_domain = vec![0u16; n];
         let mut next = 0u16;
-        for i in 0..n {
+        for (i, nd) in node_domain.iter_mut().enumerate() {
             let root = uf.find(i);
             if domain_of_root[root] == u16::MAX {
                 domain_of_root[root] = next;
                 next = next.checked_add(1).expect("more than 65535 domains");
             }
-            node_domain[i] = domain_of_root[root];
+            *nd = domain_of_root[root];
         }
         ShardPlan {
             node_domain,
