@@ -121,6 +121,7 @@ fn validate_schema(doc: &serde_json::Value) {
             "domains",
             "objective",
             "prime_ms",
+            "reprime_ms",
             "two_level_select_us",
             "two_level_value",
             "flat_select_us",
@@ -177,8 +178,16 @@ fn main() {
     // --- Two-level sweep. ---
     eprintln!("\n=== Two-level selection, m = {M} (median of {iters} steady-state selects) ===");
     eprintln!(
-        "{:>7} {:>8} {:<14} {:>10} {:>12} {:>12} {:>10} {:>11}",
-        "n", "domains", "objective", "prime_ms", "select_us", "flat_us", "rel_err", "bound_rel"
+        "{:>7} {:>8} {:<14} {:>10} {:>11} {:>12} {:>12} {:>10} {:>11}",
+        "n",
+        "domains",
+        "objective",
+        "prime_ms",
+        "reprime_ms",
+        "select_us",
+        "flat_us",
+        "rel_err",
+        "bound_rel"
     );
     let mut rows = Vec::new();
     for &(domains, hosts) in &FABRICS {
@@ -194,6 +203,13 @@ fn main() {
             ("max_bandwidth", SelectionRequest::communication(M)),
             ("balanced", SelectionRequest::balanced(M)),
         ] {
+            // Warm the heap first: the very first hierarchy build after
+            // a fresh 100k-node allocation pays page-fault/zeroing costs
+            // 5-20x the rebuild work itself, which would swamp prime_ms.
+            {
+                let mut warm = TwoLevelSelector::new();
+                std::hint::black_box(warm.select(&snap, &request).unwrap());
+            }
             let mut two = TwoLevelSelector::new();
             let t = Instant::now();
             two.select(&snap, &request).unwrap();
@@ -206,6 +222,19 @@ fn main() {
                 })
                 .collect();
             let select_us = median_us(samples);
+            // Re-prime on a fresh structure Arc: the cost of a
+            // structural epoch (hierarchy, route sketch and summaries
+            // rebuilt; the sketch legs and summary scans fan out over
+            // the available cores). Median of 3 rebuild cycles.
+            let reprime_samples: Vec<f64> = (0..3)
+                .map(|_| {
+                    let resnap = NetSnapshot::capture(Arc::new(topo.clone()));
+                    let t = Instant::now();
+                    std::hint::black_box(two.select(&resnap, &request).unwrap());
+                    t.elapsed().as_secs_f64()
+                })
+                .collect();
+            let reprime_ms = median_us(reprime_samples) / 1e3;
             let outcome = two.last_outcome().expect("unconstrained multi-domain");
             let achieved = outcome.achieved;
             let error_bound = outcome.error_bound;
@@ -242,7 +271,7 @@ fn main() {
             });
 
             eprintln!(
-                "{n:>7} {domains:>8} {label:<14} {prime_ms:>10.2} {select_us:>12.1} {:>12} {:>10} {:>11}",
+                "{n:>7} {domains:>8} {label:<14} {prime_ms:>10.2} {reprime_ms:>11.2} {select_us:>12.1} {:>12} {:>10} {:>11}",
                 flat.map_or("-".into(), |(us, _)| format!("{us:.1}")),
                 rel_error.map_or("-".into(), |e| format!("{e:.4}")),
                 error_bound_rel.map_or("-".into(), |e| format!("{e:.4}")),
@@ -252,6 +281,7 @@ fn main() {
                 "domains": domains,
                 "objective": label,
                 "prime_ms": prime_ms,
+                "reprime_ms": reprime_ms,
                 "two_level_select_us": select_us,
                 "two_level_value": achieved,
                 "flat_select_us": flat.map(|(us, _)| us),

@@ -82,6 +82,7 @@
 
 mod algorithms;
 mod baseline;
+pub mod canonical;
 mod exhaustive;
 pub mod groups;
 pub mod latency;
@@ -100,6 +101,7 @@ pub use algorithms::{
     Selection,
 };
 pub use baseline::{random_selection, static_selection};
+pub use canonical::CanonicalRequest;
 pub use exhaustive::{
     exhaustive_select, exhaustive_select_reference, Combinations, ExhaustiveObjective,
 };
@@ -108,7 +110,8 @@ pub use latency::{pairwise_latency, select_within_latency};
 pub use quality::{evaluate, evaluate_in, PairwiseCache, Quality};
 pub use request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 pub use selector::{
-    selector_for, BalancedSelector, MaxBandwidthSelector, MaxComputeSelector, Selector,
+    selector_for, BalancedSelector, LinkFootprint, MaxBandwidthSelector, MaxComputeSelector,
+    SelectionFootprint, Selector,
 };
 pub use sizing::{select_node_count, LooselySynchronousModel, PerformanceModel, SizedSelection};
 pub use spec::{select_for_spec, AppSpec, CommPattern, SpecSelection};

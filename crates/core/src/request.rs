@@ -60,7 +60,7 @@ impl Constraints {
 }
 
 /// Greedy-loop termination policy for the edge-deletion algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum GreedyPolicy {
     /// Figure 3 verbatim: stop as soon as one round of edge removal fails
     /// to strictly improve `minresource`.

@@ -48,7 +48,7 @@ use crate::algorithms::{
 use crate::request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 use crate::weights::Weights;
 use crate::SelectError;
-use nodesel_topology::{NetDelta, NetSnapshot, NodeId, Topology};
+use nodesel_topology::{EdgeId, NetDelta, NetSnapshot, NodeId, RouteTable, Topology};
 use std::sync::Arc;
 
 /// A persistent selection engine for one request across snapshot epochs.
@@ -80,6 +80,114 @@ pub trait Selector {
     ///
     /// Panics when called before [`Selector::select`].
     fn refresh(&mut self, snap: &NetSnapshot, delta: &NetDelta) -> Result<Selection, SelectError>;
+
+    /// The entities the last [`Selector::select`] answer depends on: a
+    /// [`NetDelta`] disjoint from this footprint provably leaves a fresh
+    /// solve on the patched snapshot bit-identical, so a cache may keep
+    /// the answer across the epoch. The default is fully conservative
+    /// (everything invalidates); implementors derive a tight footprint
+    /// from their replay history. Unprimed selectors and requests the
+    /// incremental path rejects report [`SelectionFootprint::conservative`].
+    fn footprint(&self) -> SelectionFootprint {
+        SelectionFootprint::conservative()
+    }
+}
+
+/// The link half of a [`SelectionFootprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkFootprint {
+    /// Any link-metric change may move the answer (the deletion-loop
+    /// skeletons read every edge's order).
+    All,
+    /// Only these edges' metrics are read (sorted, deduplicated): the
+    /// route edges the final quality evaluation walks, or a bandwidth
+    /// floor's filtered set.
+    Edges(Vec<EdgeId>),
+}
+
+/// The set of entities a cached selection's bits depend on.
+///
+/// Produced by [`Selector::footprint`] after a successful `select`;
+/// consumed by epoch caches deciding which entries a [`NetDelta`]
+/// invalidates. Soundness contract: if [`SelectionFootprint::invalidated_by`]
+/// returns `false`, a fresh solve of the same request on
+/// `snapshot.apply(delta)` is bit-identical to the cached answer
+/// (including reproduced errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionFootprint {
+    /// False when the footprint is a conservative stand-in (unprimed, or
+    /// the request's skeleton moves with the metrics): every non-empty
+    /// delta then invalidates.
+    pub replayable: bool,
+    /// Nodes whose load average the answer reads (sorted, deduplicated).
+    pub nodes: Vec<NodeId>,
+    /// Links whose traffic metrics the answer reads.
+    pub links: LinkFootprint,
+}
+
+impl SelectionFootprint {
+    /// The everything-invalidates footprint.
+    pub fn conservative() -> Self {
+        SelectionFootprint {
+            replayable: false,
+            nodes: Vec::new(),
+            links: LinkFootprint::All,
+        }
+    }
+
+    /// True when `delta` may change the answer's bits.
+    ///
+    /// Health transitions (availability or staleness, on any entity)
+    /// always invalidate: an entity entering the eligible set or the
+    /// starting view is by construction absent from the footprint.
+    pub fn invalidated_by(&self, delta: &NetDelta) -> bool {
+        if delta.is_empty() {
+            return false;
+        }
+        if !self.replayable || delta.has_health_changes() {
+            return true;
+        }
+        if delta
+            .nodes
+            .iter()
+            .any(|&(n, _)| self.nodes.binary_search(&n).is_ok())
+        {
+            return true;
+        }
+        match &self.links {
+            LinkFootprint::All => !delta.links.is_empty(),
+            LinkFootprint::Edges(edges) => delta
+                .links
+                .iter()
+                .any(|&(e, _, _)| edges.binary_search(&e).is_ok()),
+        }
+    }
+}
+
+/// The edges the final quality evaluation reads for `nodes`: every hop on
+/// the pairwise routes of the same [`RouteTable`] that
+/// [`Context::finish`] builds. `None` when some pair is unroutable (the
+/// caller falls back to [`LinkFootprint::All`]).
+fn route_edges(structure: &Topology, nodes: &[NodeId]) -> Option<Vec<EdgeId>> {
+    let table = RouteTable::build_for_sources(structure, nodes.iter().copied());
+    let mut edges = Vec::new();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(i + 1) {
+            let path = table.resolve(structure, a, b).ok()?;
+            edges.extend(path.hops.iter().map(|&(e, _)| e));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Some(edges)
+}
+
+/// Sorted, deduplicated union of the node lists yielded by `lists`.
+fn sorted_union<'a>(lists: impl Iterator<Item = &'a [NodeId]>) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = lists.flat_map(|l| l.iter().copied()).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
 }
 
 /// The selector implementing the algorithm of `objective`.
@@ -240,6 +348,43 @@ impl Selector for MaxComputeSelector {
         p.last = result.clone();
         result
     }
+
+    fn footprint(&self) -> SelectionFootprint {
+        let Some(p) = self.primed.as_ref() else {
+            return SelectionFootprint::conservative();
+        };
+        if !p.incremental {
+            return SelectionFootprint::conservative();
+        }
+        // The components are structure-only, so only the viable ones'
+        // members can re-rank the answer. Link metrics reach the bits
+        // through the bandwidth floor's view filter (if any) or the final
+        // quality walk over the chosen set's pairwise routes.
+        let nodes = sorted_union(
+            p.history
+                .comps
+                .iter()
+                .filter(|c| c.viable)
+                .map(|c| c.computes.as_slice()),
+        );
+        let links = if p.request.constraints.min_bandwidth.is_some() {
+            LinkFootprint::All
+        } else {
+            match &p.last {
+                Ok(sel) => match route_edges(&p.structure, &sel.nodes) {
+                    Some(edges) => LinkFootprint::Edges(edges),
+                    None => LinkFootprint::All,
+                },
+                // A reproduced error reads no link metrics.
+                Err(_) => LinkFootprint::Edges(Vec::new()),
+            }
+        };
+        SelectionFootprint {
+            replayable: true,
+            nodes,
+            links,
+        }
+    }
 }
 
 /// Incremental [`crate::max_bandwidth`]: see the module docs.
@@ -340,6 +485,23 @@ impl Selector for MaxBandwidthSelector {
         );
         p.last = result.clone();
         result
+    }
+
+    fn footprint(&self) -> SelectionFootprint {
+        let Some(p) = self.primed.as_ref() else {
+            return SelectionFootprint::conservative();
+        };
+        if !p.incremental {
+            return SelectionFootprint::conservative();
+        }
+        // Node churn only re-ranks the pick inside the cached stop
+        // component; any link churn can reorder the whole deletion
+        // sequence.
+        SelectionFootprint {
+            replayable: true,
+            nodes: sorted_union(std::iter::once(p.history.computes.as_slice())),
+            links: LinkFootprint::All,
+        }
     }
 }
 
@@ -543,6 +705,29 @@ impl Selector for BalancedSelector {
         p.last = result.clone();
         result
     }
+
+    fn footprint(&self) -> SelectionFootprint {
+        let Some(p) = self.primed.as_ref() else {
+            return SelectionFootprint::conservative();
+        };
+        if !p.incremental {
+            return SelectionFootprint::conservative();
+        }
+        // Every viable historical state competes in the sweep, so any of
+        // its members' CPU can move the winner; the deletion history
+        // itself reads every edge's fraction.
+        SelectionFootprint {
+            replayable: true,
+            nodes: sorted_union(
+                p.history
+                    .states
+                    .iter()
+                    .filter(|s| s.viable)
+                    .map(|s| s.computes.as_slice()),
+            ),
+            links: LinkFootprint::All,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -646,6 +831,74 @@ mod tests {
             sel.refresh(&next, &delta),
             Err(SelectError::NotEnoughNodes { .. })
         ));
+    }
+
+    #[test]
+    fn unprimed_footprint_is_conservative() {
+        let sel = MaxComputeSelector::new();
+        let fp = sel.footprint();
+        assert!(!fp.replayable);
+        assert!(fp.invalidated_by(&NetDelta {
+            nodes: vec![(NodeId::from_index(0), 1.0)],
+            ..NetDelta::default()
+        }));
+        assert!(!fp.invalidated_by(&NetDelta::default()));
+    }
+
+    #[test]
+    fn footprint_disjoint_deltas_preserve_answers() {
+        // Two stars bridged at the hubs: load the far star's leaves, the
+        // near star's answer must not be invalidated — and a fresh solve
+        // on the churned snapshot must agree bit for bit.
+        let (mut topo, ids) = star(8, 100.0 * MBPS);
+        let allowed: std::collections::HashSet<NodeId> = ids[..4].iter().copied().collect();
+        topo.set_load_avg(ids[5], 2.0);
+        let snap = snapshot_of(topo);
+        for request in [
+            SelectionRequest::compute(2),
+            SelectionRequest::communication(2),
+            SelectionRequest::balanced(2),
+        ] {
+            let mut request = request;
+            request.constraints.allowed = Some(allowed.clone());
+            let mut sel = selector_for(request.objective);
+            let first = sel.select(&snap, &request).unwrap();
+            let fp = sel.footprint();
+            assert!(fp.replayable);
+            // Outside the allowed pool: never in any footprint.
+            let disjoint = NetDelta {
+                nodes: vec![(ids[6], 5.0)],
+                ..NetDelta::default()
+            };
+            assert!(!fp.invalidated_by(&disjoint));
+            let next = snap.apply(&disjoint);
+            assert_eq!(
+                first,
+                crate::select(&next.to_topology(), &request).unwrap(),
+                "footprint claimed invariance but the answer moved"
+            );
+            // A member of the answer itself is always in the footprint.
+            let touching = NetDelta {
+                nodes: vec![(first.nodes[0], 5.0)],
+                ..NetDelta::default()
+            };
+            assert!(fp.invalidated_by(&touching));
+        }
+    }
+
+    #[test]
+    fn health_changes_always_invalidate() {
+        let (topo, ids) = star(5, 100.0 * MBPS);
+        let snap = snapshot_of(topo);
+        let request = SelectionRequest::compute(2);
+        let mut sel = MaxComputeSelector::new();
+        sel.select(&snap, &request).unwrap();
+        let fp = sel.footprint();
+        let delta = NetDelta {
+            avail_nodes: vec![(ids[4], false)],
+            ..NetDelta::default()
+        };
+        assert!(fp.invalidated_by(&delta));
     }
 
     #[test]

@@ -366,15 +366,31 @@ impl Selector for TwoLevelSelector {
     }
 }
 
-/// Summaries for every domain, from scratch.
+/// Below this many domains the per-domain summaries are built on the
+/// calling thread: the spawn overhead would dominate the scans.
+const PARALLEL_SUMMARY_THRESHOLD: usize = 32;
+
+/// Summaries for every domain, from scratch. Domains are independent, so
+/// the scans fan out over the machine's available parallelism
+/// ([`nodesel_topology::fan_out`] keeps slot order, making the result
+/// identical to the serial loop).
 fn summarize_all(
     hier: &Hierarchy,
     net: &NetSnapshot,
     reference: Option<f64>,
 ) -> Vec<DomainSummary> {
-    (0..hier.num_domains())
-        .map(|d| summarize_domain(hier, d, net, reference))
-        .collect()
+    let k = hier.num_domains() as usize;
+    let workers = if k >= PARALLEL_SUMMARY_THRESHOLD {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(k)
+    } else {
+        1
+    };
+    nodesel_topology::fan_out(k, workers, |d| {
+        summarize_domain(hier, d as u16, net, reference)
+    })
 }
 
 /// One domain's statistics under the current metrics. Eligibility here

@@ -17,8 +17,9 @@
 //!   future-estimate answers, mirroring the Remos API's query modes.
 //!
 //! Selection algorithms consume the annotated snapshot returned by
-//! `snapshot` (the older `logical_topology` query materializes the same
-//! data as an owned [`nodesel_topology::Topology`] and is deprecated);
+//! `snapshot` (materialize with [`nodesel_topology::NetSnapshot::to_topology`]
+//! when an owned graph is needed; [`Remos::snapshot_if_new`] skips the
+//! return entirely when the epoch a handle last saw is still current);
 //! because it is built purely from sampled data, staleness and measurement
 //! noise propagate into selection quality exactly as they would on a real
 //! network. Because successive epochs share structure, a consumer can diff

@@ -75,9 +75,9 @@ pub struct HostInfo {
 /// staleness and noise.
 ///
 /// The two abstraction levels of the paper's API are
-/// [`Remos::logical_topology`] (a functional snapshot of the network,
-/// annotated with measured conditions) and [`Remos::flow_query`]
-/// (end-to-end available bandwidth for specific node pairs).
+/// [`Remos::snapshot`] (a functional snapshot of the network, annotated
+/// with measured conditions) and [`Remos::flow_query`] (end-to-end
+/// available bandwidth for specific node pairs).
 #[derive(Clone)]
 pub struct Remos {
     driver: DriverId,
@@ -177,21 +177,34 @@ impl Remos {
         snap
     }
 
-    /// The logical network topology annotated with estimated conditions:
-    /// per-compute-node load averages and per-direction link utilizations.
-    ///
-    /// Metrics with no samples yet report zero load / zero utilization
-    /// (optimistic), matching a monitor that has just started. Estimated
-    /// utilization is clamped to the link capacity.
-    #[deprecated(
-        note = "use `Remos::snapshot` — the versioned, structurally shared form; \
-                materialize with `NetSnapshot::to_topology` if an owned Topology is needed"
-    )]
-    pub fn logical_topology(&self, sim: &Sim, estimator: Estimator) -> Topology {
-        self.logical_topology_impl(sim, estimator)
+    /// Like [`Remos::snapshot`], but returns `None` when the collector
+    /// has published nothing since the epoch this handle last saw — the
+    /// caller's cached selection state (and any service cache keyed on
+    /// the epoch) is still valid and there is nothing to diff. Counts as
+    /// one topology query and a [`QueryStats::snapshot_hits`]; a `Some`
+    /// return carries the accounting of the underlying [`Remos::snapshot`]
+    /// call (a miss).
+    pub fn snapshot_if_new(&self, sim: &Sim) -> Option<NetSnapshot> {
+        let st = self.samples(sim);
+        if self.seen_epoch.get() == Some(st.snap.epoch()) {
+            let (dn, dl) = (st.delta_node_entries, st.delta_link_entries);
+            self.bump(|s| {
+                s.topology_queries += 1;
+                s.snapshot_hits += 1;
+                s.delta_node_entries = dn;
+                s.delta_link_entries = dl;
+            });
+            return None;
+        }
+        Some(self.snapshot(sim))
     }
 
-    fn logical_topology_impl(&self, sim: &Sim, estimator: Estimator) -> Topology {
+    /// Owned estimated topology under an explicit estimator: the shared
+    /// materialization behind the flow queries, which re-estimate under
+    /// the caller's [`Estimator`] rather than the collector's configured
+    /// one. External consumers use [`Remos::snapshot`] (and
+    /// `NetSnapshot::to_topology` when an owned graph is needed).
+    fn estimated_topology(&self, sim: &Sim, estimator: Estimator) -> Topology {
         self.bump(|s| s.topology_queries += 1);
         let st = self.samples(sim);
         let mut topo = (*st.base).clone();
@@ -219,7 +232,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology_impl(sim, estimator);
+        let topo = self.estimated_topology(sim, estimator);
         let routes = topo.routes();
         pairs
             .iter()
@@ -255,7 +268,7 @@ impl Remos {
             s.flow_queries += 1;
             s.pairs_queried += pairs.len() as u64;
         });
-        let topo = self.logical_topology_impl(sim, estimator);
+        let topo = self.estimated_topology(sim, estimator);
         let routes = topo.routes();
         // Residual capacity per directed link after measured background
         // traffic.
@@ -324,9 +337,6 @@ impl Remos {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated per-query topology path stays covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use nodesel_topology::builders::{chain, star};
     use nodesel_topology::units::MBPS;
@@ -337,7 +347,10 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_matches_logical_topology_bitwise() {
+    fn snapshot_matches_estimated_topology_bitwise() {
+        // The flow queries re-estimate through the private owned-topology
+        // materialization; it must agree bitwise with the published
+        // snapshot under the collector's estimator.
         let (topo, ids) = chain(3, 100.0 * MBPS);
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
@@ -345,7 +358,7 @@ mod tests {
         sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
         sim.run_until(secs(600));
         let snap = remos.snapshot(&sim);
-        let queried = remos.logical_topology(&sim, Estimator::Latest);
+        let queried = remos.estimated_topology(&sim, Estimator::Latest);
         for n in queried.node_ids() {
             assert_eq!(
                 snap.load_avg(n).to_bits(),
@@ -391,6 +404,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_if_new_skips_seen_epochs() {
+        let (topo, ids) = star(3, 100.0 * MBPS);
+        let mut sim = Sim::new(topo);
+        let remos = Remos::install(&mut sim, CollectorConfig::default());
+        sim.run_until(secs(300));
+        let first = remos
+            .snapshot_if_new(&sim)
+            .expect("a fresh handle has seen no epoch");
+        // Nothing republished: the handle reports "still current".
+        assert!(remos.snapshot_if_new(&sim).is_none());
+        assert!(remos.snapshot_if_new(&sim).is_none());
+        // Churn publishes a new epoch; the next call returns it.
+        sim.start_compute(ids[0], 1e9, |_| {});
+        sim.run_until(secs(600));
+        let next = remos.snapshot_if_new(&sim).expect("epoch advanced");
+        assert!(next.epoch() > first.epoch());
+        assert!(next.same_structure(&first));
+        let stats = remos.query_stats();
+        assert_eq!(stats.topology_queries, 4);
+        assert_eq!(stats.snapshot_hits, 2);
+        assert_eq!(stats.snapshot_misses, 2);
+    }
+
+    #[test]
     fn snapshot_survives_forks() {
         let (topo, ids) = star(3, 100.0 * MBPS);
         let mut sim = Sim::new(topo);
@@ -410,7 +447,7 @@ mod tests {
         let (topo, ids) = star(3, 100.0 * MBPS);
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
-        let t = remos.logical_topology(&sim, Estimator::Latest);
+        let t = remos.snapshot(&sim).to_topology();
         assert_eq!(t.node(ids[0]).cpu(), 1.0);
         for e in t.edge_ids() {
             assert_eq!(t.link(e).bwfactor(), 1.0);
@@ -426,7 +463,7 @@ mod tests {
         sim.start_compute(ids[1], 1e9, |_| {});
         sim.start_transfer(ids[0], ids[2], 1e18, |_| {});
         sim.run_until(secs(600));
-        let t = remos.logical_topology(&sim, Estimator::Latest);
+        let t = remos.snapshot(&sim).to_topology();
         assert!(t.node(ids[1]).load_avg() > 0.9);
         assert!(t.node(ids[0]).load_avg() < 0.05);
         // Both chain links are saturated in the forward direction.
@@ -471,11 +508,9 @@ mod tests {
         sim.start_compute(ids[0], 1e9, |_| {});
         sim.run_until(secs(29));
         // True load is ramping up but the last sample (t=20) predates it.
-        let t = remos.logical_topology(&sim, Estimator::Latest);
-        assert_eq!(t.node(ids[0]).load_avg(), 0.0);
+        assert_eq!(remos.snapshot(&sim).load_avg(ids[0]), 0.0);
         sim.run_until(secs(300));
-        let t = remos.logical_topology(&sim, Estimator::Latest);
-        assert!(t.node(ids[0]).load_avg() > 0.9);
+        assert!(remos.snapshot(&sim).load_avg(ids[0]) > 0.9);
     }
 
     #[test]
@@ -585,7 +620,7 @@ mod tests {
         let mut sim = Sim::new(topo);
         let remos = Remos::install(&mut sim, CollectorConfig::default());
         assert_eq!(remos.query_stats(), QueryStats::default());
-        let _ = remos.logical_topology(&sim, Estimator::Latest);
+        let _ = remos.snapshot(&sim);
         let _ = remos.flow_query(
             &sim,
             &[(ids[0], ids[1]), (ids[1], ids[2])],
@@ -593,14 +628,18 @@ mod tests {
         );
         let _ = remos.host_query(&sim, &ids, Estimator::Latest);
         let stats = remos.query_stats();
-        // flow_query internally takes one topology snapshot too.
+        // flow_query internally materializes one estimated topology too.
         assert_eq!(stats.topology_queries, 2);
         assert_eq!(stats.flow_queries, 1);
         assert_eq!(stats.pairs_queried, 2);
         assert_eq!(stats.host_queries, 1);
-        // Clones share the counters.
+        // Clones share the counters (and the seen epoch: the re-snapshot
+        // of an unchanged network is a hit).
         let clone = remos.clone();
-        let _ = clone.logical_topology(&sim, Estimator::Latest);
-        assert_eq!(remos.query_stats().topology_queries, 3);
+        let _ = clone.snapshot(&sim);
+        let stats = remos.query_stats();
+        assert_eq!(stats.topology_queries, 3);
+        assert_eq!(stats.snapshot_hits, 1);
+        assert_eq!(stats.snapshot_misses, 1);
     }
 }

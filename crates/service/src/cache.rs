@@ -1,0 +1,246 @@
+//! The delta-invalidated selection cache.
+//!
+//! Entries are keyed by [`CanonicalRequest`] and pinned to the cache's
+//! **current epoch**: a lookup only ever answers for the epoch the entry
+//! was verified against, so a hit is bit-identical to a fresh solve on
+//! that epoch by construction. When the collector publishes epoch `e+1`
+//! with its [`NetDelta`], [`SelectionCache::advance`] walks the map once
+//! and keeps every entry whose recorded [`SelectionFootprint`] is
+//! disjoint from the delta — the footprint's soundness contract
+//! (`nodesel-core`) is exactly "a disjoint delta leaves the answer's
+//! bits unchanged", so survivors are *carried forward* to the new epoch
+//! instead of being re-solved. Everything else is evicted; a structural
+//! change (or a publication without a delta) flushes the map wholesale.
+//!
+//! Capacity is bounded with least-recently-used eviction (a logical
+//! clock bumped per touch, evict-minimum on overflow), so a service
+//! under an adversarial spec stream degrades to solve-per-request
+//! instead of growing without bound.
+
+use crate::stats::CacheCounters;
+use nodesel_core::SelectError;
+use nodesel_core::{CanonicalRequest, Selection, SelectionFootprint};
+use nodesel_topology::NetDelta;
+use std::collections::HashMap;
+
+/// One cached answer: the result bits, the entities they depend on, and
+/// an LRU stamp.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    result: Result<Selection, SelectError>,
+    footprint: SelectionFootprint,
+    last_used: u64,
+}
+
+/// An epoch-pinned, footprint-invalidated, LRU-bounded selection cache.
+#[derive(Debug)]
+pub struct SelectionCache {
+    epoch: u64,
+    map: HashMap<CanonicalRequest, CacheEntry>,
+    capacity: usize,
+    clock: u64,
+    /// Eviction/carry accounting, drained into [`crate::ServiceStats`].
+    pub counters: CacheCounters,
+}
+
+impl SelectionCache {
+    /// An empty cache pinned to `epoch`, holding at most `capacity`
+    /// entries (0 disables caching entirely).
+    pub fn new(epoch: u64, capacity: usize) -> Self {
+        SelectionCache {
+            epoch,
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The epoch every resident entry is valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cached answer for `canon` at `epoch`, if resident. A request
+    /// pinned to a different epoch than the cache never hits: the entry
+    /// would answer for the wrong snapshot.
+    pub fn lookup(
+        &mut self,
+        epoch: u64,
+        canon: &CanonicalRequest,
+    ) -> Option<Result<Selection, SelectError>> {
+        if epoch != self.epoch {
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.map.get_mut(canon)?;
+        entry.last_used = clock;
+        Some(entry.result.clone())
+    }
+
+    /// Inserts an answer solved against `epoch`. A solve that raced a
+    /// publication (its epoch is no longer current) is dropped — caching
+    /// it would serve a stale epoch's bits as the current epoch's.
+    pub fn insert(
+        &mut self,
+        epoch: u64,
+        canon: CanonicalRequest,
+        result: Result<Selection, SelectError>,
+        footprint: SelectionFootprint,
+    ) {
+        if epoch != self.epoch {
+            self.counters.stale_inserts += 1;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&canon) {
+            // LRU eviction: drop the least recently touched entry.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.counters.capacity_evictions += 1;
+            }
+        }
+        self.map.insert(
+            canon,
+            CacheEntry {
+                result,
+                footprint,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Re-pins the cache to `epoch`. With a delta, entries whose
+    /// footprint is disjoint survive (carried forward); the rest are
+    /// evicted. Without one (structural change, or an untracked jump),
+    /// everything is flushed.
+    pub fn advance(&mut self, epoch: u64, delta: Option<&NetDelta>) {
+        match delta {
+            Some(delta) => {
+                let before = self.map.len();
+                self.map.retain(|_, e| !e.footprint.invalidated_by(delta));
+                self.counters.delta_evictions += (before - self.map.len()) as u64;
+                self.counters.carried_forward += self.map.len() as u64;
+            }
+            None => {
+                self.counters.flushes += 1;
+                self.counters.delta_evictions += self.map.len() as u64;
+                self.map.clear();
+            }
+        }
+        self.epoch = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesel_core::{LinkFootprint, SelectionRequest};
+    use nodesel_topology::NodeId;
+
+    fn canon(count: usize) -> CanonicalRequest {
+        CanonicalRequest::new(&SelectionRequest::compute(count))
+    }
+
+    fn selection(nodes: Vec<usize>) -> Result<Selection, SelectError> {
+        Ok(Selection {
+            nodes: nodes.into_iter().map(NodeId::from_index).collect(),
+            quality: nodesel_core::Quality {
+                min_cpu: 1.0,
+                min_bw: 1.0,
+                min_bwfraction: 1.0,
+            },
+            score: 1.0,
+            iterations: 1,
+        })
+    }
+
+    fn footprint(nodes: Vec<usize>) -> SelectionFootprint {
+        SelectionFootprint {
+            replayable: true,
+            nodes: nodes.into_iter().map(NodeId::from_index).collect(),
+            links: LinkFootprint::Edges(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn lookup_is_epoch_pinned() {
+        let mut cache = SelectionCache::new(3, 16);
+        cache.insert(3, canon(2), selection(vec![0, 1]), footprint(vec![0, 1]));
+        assert!(cache.lookup(3, &canon(2)).is_some());
+        assert!(cache.lookup(2, &canon(2)).is_none());
+        assert!(cache.lookup(4, &canon(2)).is_none());
+    }
+
+    #[test]
+    fn stale_epoch_inserts_are_dropped() {
+        let mut cache = SelectionCache::new(5, 16);
+        cache.insert(4, canon(2), selection(vec![0]), footprint(vec![0]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters.stale_inserts, 1);
+    }
+
+    #[test]
+    fn advance_carries_disjoint_entries_and_evicts_touched() {
+        let mut cache = SelectionCache::new(0, 16);
+        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, canon(2), selection(vec![5, 6]), footprint(vec![5, 6]));
+        let delta = NetDelta {
+            nodes: vec![(NodeId::from_index(5), 2.0)],
+            ..NetDelta::default()
+        };
+        cache.advance(1, Some(&delta));
+        assert!(
+            cache.lookup(1, &canon(1)).is_some(),
+            "disjoint entry survives"
+        );
+        assert!(
+            cache.lookup(1, &canon(2)).is_none(),
+            "touched entry evicted"
+        );
+        assert_eq!(cache.counters.delta_evictions, 1);
+        assert_eq!(cache.counters.carried_forward, 1);
+    }
+
+    #[test]
+    fn advance_without_delta_flushes() {
+        let mut cache = SelectionCache::new(0, 16);
+        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.advance(1, None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters.flushes, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = SelectionCache::new(0, 2);
+        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, canon(2), selection(vec![1]), footprint(vec![1]));
+        // Touch canon(1) so canon(2) is the LRU victim.
+        assert!(cache.lookup(0, &canon(1)).is_some());
+        cache.insert(0, canon(3), selection(vec![2]), footprint(vec![2]));
+        assert!(cache.lookup(0, &canon(1)).is_some());
+        assert!(cache.lookup(0, &canon(2)).is_none());
+        assert!(cache.lookup(0, &canon(3)).is_some());
+        assert_eq!(cache.counters.capacity_evictions, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Selection-as-a-service: a concurrent placement server over the
+//! epoch/delta snapshot stream.
+//!
+//! The paper's selection procedure answers one query against one
+//! topology; this crate turns it into a long-running, multi-tenant
+//! **placement service**:
+//!
+//! * [`EpochCell`] — lock-free publication of `Arc<NetSnapshot>` epochs:
+//!   the collector swaps in each new epoch without ever blocking on (or
+//!   being blocked by) request threads.
+//! * [`CanonicalRequest`] (from `nodesel-core`) — normalized, hashable
+//!   request specs, so identically-shaped requests share cache slots and
+//!   in-flight solves.
+//! * [`SelectionCache`] — answers keyed by `(epoch, canonical request)`
+//!   whose recorded [`nodesel_core::SelectionFootprint`]s let a
+//!   [`nodesel_topology::NetDelta`] evict exactly the entries it could
+//!   have changed, carrying every other answer forward to the new epoch.
+//! * [`PlacementService`] — the server: request canonicalization,
+//!   cache lookup, single-flight merging of identical concurrent
+//!   requests, scarcest-first batched solving on a worker pool, and
+//!   honest [`ServiceStats`].
+//!
+//! The load-bearing invariant, proptest-guarded in
+//! `tests/cache_parity.rs`: **every answer is bit-identical to a fresh
+//! [`nodesel_core::select`] against the snapshot of the answer's
+//! epoch** — cached, merged, batched, or solved inline.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod epoch;
+mod service;
+mod stats;
+
+pub use cache::SelectionCache;
+pub use epoch::EpochCell;
+pub use nodesel_core::CanonicalRequest;
+pub use service::{Placement, PlacementService, ServiceConfig};
+pub use stats::{CacheCounters, ServiceStats};

@@ -1,0 +1,109 @@
+//! Service observability: request, cache, and solve accounting.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// How many recent epochs the per-epoch solve history retains.
+const EPOCH_HISTORY: usize = 64;
+
+/// Cache-side accounting, owned by [`crate::cache::SelectionCache`] and
+/// drained into [`ServiceStats`] snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Entries evicted because a delta touched their footprint (includes
+    /// flush victims).
+    pub delta_evictions: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub capacity_evictions: u64,
+    /// Entries carried forward across an epoch, summed per publication.
+    pub carried_forward: u64,
+    /// Solved answers dropped because a publication raced the solve.
+    pub stale_inserts: u64,
+    /// Wholesale flushes (structural change or untracked epoch jump).
+    pub flushes: u64,
+}
+
+/// Monotonic service counters, updated lock-free on the request path.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub single_flight_merges: AtomicU64,
+    pub solves: AtomicU64,
+    pub epochs_published: AtomicU64,
+    /// `(epoch, solves attributed to it)` for the most recent epochs.
+    pub per_epoch: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl StatsInner {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Attributes one solve to `epoch` in the bounded history.
+    pub fn record_solve(&self, epoch: u64) {
+        self.solves.fetch_add(1, Relaxed);
+        let mut per_epoch = self.per_epoch.lock().expect("stats lock poisoned");
+        match per_epoch.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, n)) => *n += 1,
+            None => {
+                if per_epoch.len() == EPOCH_HISTORY {
+                    per_epoch.pop_front();
+                }
+                per_epoch.push_back((epoch, 1));
+            }
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's counters.
+///
+/// Invariant (exact once the service is idle): `requests` =
+/// `cache_hits` + `single_flight_merges` + `solves`. Every request is
+/// answered by exactly one of a cache hit, a merge into another
+/// request's in-flight solve, or a solve of its own.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Requests answered from the selection cache.
+    pub cache_hits: u64,
+    /// Requests merged into an identical in-flight solve (single-flight).
+    pub single_flight_merges: u64,
+    /// Fresh solves executed.
+    pub solves: u64,
+    /// Epochs published to the service.
+    pub epochs_published: u64,
+    /// Cache entries evicted by delta invalidation (incl. flushes).
+    pub delta_evictions: u64,
+    /// Cache entries evicted by the capacity bound.
+    pub capacity_evictions: u64,
+    /// Cache entries carried forward across epochs (sum over publications).
+    pub carried_forward: u64,
+    /// Solved answers dropped because a publication raced the solve.
+    pub stale_inserts: u64,
+    /// Wholesale cache flushes.
+    pub flushes: u64,
+    /// `(epoch, solves)` for the most recent epochs, oldest first.
+    pub solves_per_epoch: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_epoch_history_is_bounded() {
+        let stats = StatsInner::default();
+        for epoch in 0..(EPOCH_HISTORY as u64 + 10) {
+            stats.record_solve(epoch);
+            stats.record_solve(epoch);
+        }
+        let per_epoch = stats.per_epoch.lock().unwrap();
+        assert_eq!(per_epoch.len(), EPOCH_HISTORY);
+        assert!(per_epoch.iter().all(|&(_, n)| n == 2));
+        assert_eq!(per_epoch.back().unwrap().0, EPOCH_HISTORY as u64 + 9);
+        assert_eq!(stats.solves.load(Relaxed), 2 * (EPOCH_HISTORY as u64 + 10));
+    }
+}

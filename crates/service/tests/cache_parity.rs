@@ -1,0 +1,285 @@
+//! Cache and batching parity proptests for the placement service.
+//!
+//! The service's contract is that caching, carry-forward, single-flight
+//! merging, and batched solving are *invisible*: every [`Placement`]
+//! returned by `get` is bit-identical to a fresh solve on the snapshot of
+//! `placement.epoch`. These tests drive random request streams against
+//! random delta streams (node load churn, link utilization churn,
+//! availability and staleness transitions, occasional wholesale flushes)
+//! and check exactly that, keeping an epoch → snapshot map on the side.
+//!
+//! Eviction soundness rides on the same assertion: a carried-forward
+//! entry with an unsound footprint would surface as a stale answer on a
+//! later epoch, and a tiny-capacity cache exercises the LRU path on
+//! every insert.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use nodesel_core::{selector_for, Constraints, GreedyPolicy, Objective, SelectionRequest, Weights};
+use nodesel_service::{PlacementService, ServiceConfig};
+use nodesel_topology::builders::random_tree;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{Direction, NetDelta, NetSnapshot, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random connected topology: a random tree plus up to three chords, with
+/// random loads and per-direction link utilization.
+fn random_topology(seed: u64, computes: usize, networks: usize) -> (Topology, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut topo, compute_ids) = random_tree(&mut rng, computes, networks, 100.0 * MBPS);
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    for _ in 0..rng.random_range(0..3) {
+        let a = all[rng.random_range(0..all.len())];
+        let b = all[rng.random_range(0..all.len())];
+        if a != b {
+            topo.add_link(a, b, 100.0 * MBPS);
+        }
+    }
+    for n in compute_ids.iter().copied() {
+        topo.set_load_avg(n, rng.random_range(0.0..4.0));
+    }
+    for e in topo.edge_ids().collect::<Vec<_>>() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            let cap = topo.link(e).capacity(dir);
+            topo.set_link_used(e, dir, cap * rng.random_range(0.0..0.95));
+        }
+    }
+    (topo, compute_ids)
+}
+
+/// A random request: any objective, small counts, and a sprinkling of
+/// every constraint kind — including corners where selection errors
+/// (which must round-trip through the cache bit-identically too).
+fn random_request(rng: &mut StdRng, ids: &[NodeId]) -> SelectionRequest {
+    let objective = match rng.random_range(0..3) {
+        0 => Objective::Compute,
+        1 => Objective::Communication,
+        _ => Objective::Balanced(Weights::comm_priority(rng.random_range(0.5..3.0))),
+    };
+    let mut constraints = Constraints::none();
+    if rng.random_range(0..4) == 0 {
+        let anchor = ids[rng.random_range(0..ids.len())];
+        let mut allowed: HashSet<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|_| rng.random_range(0..2) == 0)
+            .collect();
+        allowed.insert(anchor);
+        constraints.allowed = Some(allowed);
+    }
+    if rng.random_range(0..4) == 0 {
+        constraints.required = vec![ids[rng.random_range(0..ids.len())]];
+    }
+    if rng.random_range(0..4) == 0 {
+        constraints.min_cpu = Some(rng.random_range(0.1..0.6));
+    }
+    if rng.random_range(0..5) == 0 {
+        constraints.min_bandwidth = Some(rng.random_range(1.0..40.0) * MBPS);
+    }
+    if rng.random_range(0..6) == 0 {
+        constraints.max_staleness = Some(rng.random_range(0..4));
+    }
+    SelectionRequest {
+        count: 1 + rng.random_range(0..ids.len().min(5)),
+        objective,
+        constraints,
+        reference_bandwidth: (rng.random_range(0..3) == 0).then_some(155.0 * MBPS),
+        policy: GreedyPolicy::Sweep,
+    }
+}
+
+/// One epoch of churn: load and utilization moves, plus occasional
+/// availability flips and staleness bumps — the health changes that must
+/// evict *every* cache entry regardless of footprint.
+fn random_delta(rng: &mut StdRng, topo: &Topology) -> NetDelta {
+    let mut delta = NetDelta::default();
+    for n in topo.compute_nodes() {
+        if rng.random_range(0..2) == 0 {
+            delta.nodes.push((n, rng.random_range(0.0..4.0)));
+        }
+    }
+    for e in topo.edge_ids() {
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            if rng.random_range(0..4) == 0 {
+                let cap = topo.link(e).capacity(dir);
+                delta
+                    .links
+                    .push((e, dir, cap * rng.random_range(0.0..0.95)));
+            }
+        }
+    }
+    if rng.random_range(0..4) == 0 {
+        let computes: Vec<NodeId> = topo.compute_nodes().collect();
+        let n = computes[rng.random_range(0..computes.len())];
+        delta.avail_nodes.push((n, rng.random_range(0..2) == 0));
+    }
+    if rng.random_range(0..5) == 0 {
+        let computes: Vec<NodeId> = topo.compute_nodes().collect();
+        let n = computes[rng.random_range(0..computes.len())];
+        delta.stale_nodes.push((n, rng.random_range(0..6)));
+    }
+    delta
+}
+
+/// Drives a request/delta script against one service and asserts every
+/// answer is bit-identical to a fresh solve on the snapshot of the epoch
+/// the placement reports. `burst_threads > 1` issues each burst from
+/// that many threads concurrently (same read-only epoch map).
+fn drive(seed: u64, topo: Topology, ids: &[NodeId], steps: usize, config: ServiceConfig) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1ec7);
+    let first = NetSnapshot::capture(Arc::new(topo));
+    let svc = PlacementService::new(Arc::new(first.clone()), config.clone());
+    let mut by_epoch: HashMap<u64, NetSnapshot> = HashMap::new();
+    by_epoch.insert(first.epoch(), first.clone());
+    let pool: Vec<SelectionRequest> = (0..4 + rng.random_range(0..4))
+        .map(|_| random_request(&mut rng, ids))
+        .collect();
+    let mut current = first;
+    for _ in 0..steps {
+        for _ in 0..pool.len() + 2 {
+            let request = &pool[rng.random_range(0..pool.len())];
+            let placement = svc.get(request);
+            let snap = &by_epoch[&placement.epoch];
+            let fresh = selector_for(request.objective).select(snap, request);
+            assert_eq!(
+                placement.result, fresh,
+                "answer for epoch {} drifted from a fresh solve",
+                placement.epoch
+            );
+        }
+        let delta = random_delta(&mut rng, current.structure_arc());
+        let next = current.apply(&delta);
+        by_epoch.insert(next.epoch(), next.clone());
+        if rng.random_range(0..8) == 0 {
+            // A publication with no delta claims nothing about footprints
+            // and must flush wholesale.
+            svc.publish(Arc::new(next.clone()), None);
+        } else {
+            svc.publish(Arc::new(next.clone()), Some(&delta));
+        }
+        current = next;
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        stats.requests,
+        stats.cache_hits + stats.single_flight_merges + stats.solves,
+        "every request is exactly one of hit / merge / solve"
+    );
+    assert_eq!(stats.epochs_published, steps as u64);
+    if config.cache_capacity == 0 {
+        assert_eq!(stats.cache_hits, 0, "a disabled cache cannot hit");
+        assert_eq!(stats.carried_forward, 0);
+    }
+    assert!(svc.cached_entries() <= config.cache_capacity);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inline service (the deterministic configuration): random request
+    /// streams against random churn, including health transitions and
+    /// flush publications.
+    #[test]
+    fn inline_answers_match_fresh_select(
+        seed in 0u64..100_000,
+        computes in 2usize..10,
+        networks in 0usize..6,
+        steps in 1usize..6,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks);
+        drive(seed, topo, &ids, steps, ServiceConfig::default());
+    }
+
+    /// A tiny cache forces the LRU eviction path on nearly every insert;
+    /// capacity 0 disables caching entirely. Neither may change answers.
+    #[test]
+    fn tiny_cache_evictions_stay_sound(
+        seed in 0u64..100_000,
+        computes in 2usize..8,
+        networks in 0usize..4,
+        steps in 1usize..5,
+        capacity in 0usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks);
+        let config = ServiceConfig { cache_capacity: capacity, ..ServiceConfig::default() };
+        drive(seed, topo, &ids, steps, config);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The pooled path — queue, scarcest-first batches, worker solves —
+    /// must be just as invisible. Small queue and batch sizes keep the
+    /// producer-blocking and batch-ordering branches hot.
+    #[test]
+    fn pooled_answers_match_fresh_select(
+        seed in 0u64..100_000,
+        computes in 2usize..8,
+        networks in 0usize..4,
+        steps in 1usize..4,
+        batch in 1usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks);
+        let config = ServiceConfig {
+            workers: 2,
+            batch_size: batch,
+            queue_capacity: 4,
+            cache_capacity: 64,
+        };
+        drive(seed, topo, &ids, steps, config);
+    }
+}
+
+/// Concurrent identical requests against a pooled service: whatever mix
+/// of solves, merges, and hits results, every thread's answer must match
+/// the fresh solve for its pinned epoch.
+#[test]
+fn concurrent_bursts_stay_bit_identical() {
+    let (topo, ids) = random_topology(7, 8, 4);
+    let first = NetSnapshot::capture(Arc::new(topo));
+    let svc = PlacementService::new(
+        Arc::new(first.clone()),
+        ServiceConfig {
+            workers: 2,
+            batch_size: 2,
+            queue_capacity: 4,
+            cache_capacity: 64,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let mut by_epoch: HashMap<u64, NetSnapshot> = HashMap::new();
+    by_epoch.insert(first.epoch(), first.clone());
+    let mut current = first;
+    for _ in 0..4 {
+        let requests: Vec<SelectionRequest> =
+            (0..3).map(|_| random_request(&mut rng, &ids)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let svc = &svc;
+                let by_epoch = &by_epoch;
+                let request = &requests[t % requests.len()];
+                scope.spawn(move || {
+                    let placement = svc.get(request);
+                    let snap = &by_epoch[&placement.epoch];
+                    let fresh = selector_for(request.objective).select(snap, request);
+                    assert_eq!(placement.result, fresh);
+                });
+            }
+        });
+        let delta = random_delta(&mut rng, current.structure_arc());
+        let next = current.apply(&delta);
+        by_epoch.insert(next.epoch(), next.clone());
+        svc.publish(Arc::new(next.clone()), Some(&delta));
+        current = next;
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        stats.requests,
+        stats.cache_hits + stats.single_flight_merges + stats.solves
+    );
+    assert_eq!(stats.requests, 24);
+}

@@ -75,7 +75,7 @@ pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
 pub use route::{Path, RouteScratch, RouteTable, Routes};
-pub use route_approx::RouteSketch;
+pub use route_approx::{fan_out, RouteSketch};
 pub use shard::ShardPlan;
 pub use snapshot::{staleness_confidence, NetDelta, NetMetrics, NetSnapshot};
 pub use unionfind::UnionFind;

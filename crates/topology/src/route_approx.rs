@@ -68,7 +68,7 @@ impl SketchCell {
 }
 
 /// Per-domain landmark rows: `cells[local × borders + border_idx]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct DomainSketch {
     borders: usize,
     cells: Vec<SketchCell>,
@@ -77,7 +77,7 @@ struct DomainSketch {
 /// Landmark distances over a [`Hierarchy`]: per-domain BFS rows to each
 /// border node plus (for small domain counts) a dense inter-domain
 /// distance matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteSketch {
     intra: Vec<DomainSketch>,
     /// Row-major k×k; `None` when `k > MAX_INTER_DOMAINS`.
@@ -85,79 +85,161 @@ pub struct RouteSketch {
     k: usize,
 }
 
+/// One domain's landmark rows: a BFS per border over the extracted
+/// sub-topology. Independent of every other domain, which is what makes
+/// the build parallel.
+fn domain_sketch(hier: &Hierarchy, net: &impl NetMetrics, d: u16) -> DomainSketch {
+    let dom = hier.domain(d);
+    let ext = dom.extract();
+    let n = ext.sub.node_count();
+    let borders = dom.borders().len();
+    let mut cells = vec![SketchCell::UNREACHABLE; n * borders];
+    let mut queue = VecDeque::new();
+    for (bi, &border) in dom.borders().iter().enumerate() {
+        let start = hier.local_id(border);
+        cells[start.index() * borders + bi] = SketchCell {
+            hops: 0,
+            latency: 0.0,
+            bw: f64::INFINITY,
+        };
+        queue.clear();
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let at = cells[v.index() * borders + bi];
+            for &(e, w) in ext.sub.neighbors(v) {
+                if cells[w.index() * borders + bi].reachable() {
+                    continue;
+                }
+                let global = ext.edges[e.index()];
+                cells[w.index() * borders + bi] = SketchCell {
+                    hops: at.hops + 1,
+                    latency: at.latency + ext.sub.link(e).latency(),
+                    bw: at.bw.min(net.bw(global)),
+                };
+                queue.push_back(w);
+            }
+        }
+    }
+    DomainSketch { borders, cells }
+}
+
+/// One row of the inter-domain matrix: BFS over the aggregate graph
+/// from `src`. Rows are independent of each other.
+fn inter_row(
+    agg: &crate::hierarchy::AggregateGraph,
+    trunk_bw: &[f64],
+    k: usize,
+    src: usize,
+) -> Vec<SketchCell> {
+    let mut row = vec![SketchCell::UNREACHABLE; k];
+    row[src] = SketchCell {
+        hops: 0,
+        latency: 0.0,
+        bw: f64::INFINITY,
+    };
+    let mut queue = VecDeque::new();
+    queue.push_back(src as u16);
+    while let Some(v) = queue.pop_front() {
+        let at = row[v as usize];
+        for &ei in agg.incident(v) {
+            let e = &agg.edges()[ei as usize];
+            let w = if e.a == v { e.b } else { e.a };
+            if row[w as usize].reachable() {
+                continue;
+            }
+            row[w as usize] = SketchCell {
+                hops: at.hops + 1,
+                latency: at.latency + e.latency,
+                bw: at.bw.min(trunk_bw[ei as usize]),
+            };
+            queue.push_back(w);
+        }
+    }
+    row
+}
+
+/// Runs `work(slot)` for every slot in `0..count` over `threads` scoped
+/// workers pulling from an atomic cursor, collecting results in slot
+/// order — each slot is computed exactly once by exactly one worker, so
+/// the output is identical to the serial loop regardless of thread
+/// count or scheduling. `threads <= 1` runs inline on the calling
+/// thread. The embarrassingly-parallel primitive behind
+/// [`RouteSketch::build`] and the two-level prime.
+pub fn fan_out<R: Send>(count: usize, threads: usize, work: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if threads <= 1 {
+        return (0..count).map(work).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= count {
+                            break produced;
+                        }
+                        produced.push((slot, work(slot)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (slot, result) in handle.join().expect("sketch worker panicked") {
+                slots[slot] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot produced"))
+        .collect()
+}
+
 impl RouteSketch {
     /// Builds the sketch for `hier` under the metric view `net` (which
-    /// must be over the same topology the hierarchy was built from).
-    pub fn build(hier: &Hierarchy, net: &impl NetMetrics) -> RouteSketch {
+    /// must be over the same topology the hierarchy was built from),
+    /// fanning the per-domain border BFS legs and the inter-domain
+    /// matrix rows out over the machine's available parallelism. The
+    /// result is bit-identical to the single-threaded build.
+    pub fn build(hier: &Hierarchy, net: &(impl NetMetrics + Sync)) -> RouteSketch {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_with_threads(hier, net, threads)
+    }
+
+    /// [`RouteSketch::build`] with an explicit worker count (`<= 1`, or
+    /// a small domain count, builds serially on the calling thread).
+    pub fn build_with_threads(
+        hier: &Hierarchy,
+        net: &(impl NetMetrics + Sync),
+        threads: usize,
+    ) -> RouteSketch {
         let k = hier.num_domains() as usize;
-        let mut intra = Vec::with_capacity(k);
-        let mut queue = VecDeque::new();
-        for d in 0..k {
-            let dom = hier.domain(d as u16);
-            let ext = dom.extract();
-            let n = ext.sub.node_count();
-            let borders = dom.borders().len();
-            let mut cells = vec![SketchCell::UNREACHABLE; n * borders];
-            for (bi, &border) in dom.borders().iter().enumerate() {
-                let start = hier.local_id(border);
-                cells[start.index() * borders + bi] = SketchCell {
-                    hops: 0,
-                    latency: 0.0,
-                    bw: f64::INFINITY,
-                };
-                queue.clear();
-                queue.push_back(start);
-                while let Some(v) = queue.pop_front() {
-                    let at = cells[v.index() * borders + bi];
-                    for &(e, w) in ext.sub.neighbors(v) {
-                        if cells[w.index() * borders + bi].reachable() {
-                            continue;
-                        }
-                        let global = ext.edges[e.index()];
-                        cells[w.index() * borders + bi] = SketchCell {
-                            hops: at.hops + 1,
-                            latency: at.latency + ext.sub.link(e).latency(),
-                            bw: at.bw.min(net.bw(global)),
-                        };
-                        queue.push_back(w);
-                    }
-                }
-            }
-            intra.push(DomainSketch { borders, cells });
-        }
+        // Below this many domains the spawn overhead dominates the BFS.
+        const PARALLEL_THRESHOLD: usize = 8;
+        let workers = if k >= PARALLEL_THRESHOLD {
+            threads.min(k).max(1)
+        } else {
+            1
+        };
+
+        let intra: Vec<DomainSketch> = fan_out(k, workers, |d| domain_sketch(hier, net, d as u16));
 
         let inter = (k <= MAX_INTER_DOMAINS).then(|| {
             let agg = hier.aggregate();
             // Dynamic best bandwidth per aggregate edge, computed once.
             let trunk_bw: Vec<f64> = agg.edges().iter().map(|e| e.best_bw(net)).collect();
-            let mut cells = vec![SketchCell::UNREACHABLE; k * k];
-            let mut queue = VecDeque::new();
-            for src in 0..k {
-                cells[src * k + src] = SketchCell {
-                    hops: 0,
-                    latency: 0.0,
-                    bw: f64::INFINITY,
-                };
-                queue.clear();
-                queue.push_back(src as u16);
-                while let Some(v) = queue.pop_front() {
-                    let at = cells[src * k + v as usize];
-                    for &ei in agg.incident(v) {
-                        let e = &agg.edges()[ei as usize];
-                        let w = if e.a == v { e.b } else { e.a };
-                        if cells[src * k + w as usize].reachable() {
-                            continue;
-                        }
-                        cells[src * k + w as usize] = SketchCell {
-                            hops: at.hops + 1,
-                            latency: at.latency + e.latency,
-                            bw: at.bw.min(trunk_bw[ei as usize]),
-                        };
-                        queue.push_back(w);
-                    }
-                }
-            }
-            cells
+            let rows: Vec<Vec<SketchCell>> =
+                fan_out(k, workers, |src| inter_row(agg, &trunk_bw, k, src));
+            rows.into_iter().flatten().collect()
         });
 
         RouteSketch { intra, inter, k }
@@ -356,6 +438,25 @@ mod tests {
         assert_eq!(sketch.mean_inter_latency(0), 0.0);
         let cell = sketch.between_domains(0, 1).unwrap();
         assert!(!cell.reachable());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // 12 domains clears the parallel threshold; perturbed metrics so
+        // bandwidth cells are non-trivial.
+        let (mut t, _) = hierarchical(12, 6, 100.0 * MBPS, 25.0 * MBPS, 2e-3);
+        for (i, e) in t.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let cap = t.link(e).capacity(crate::Direction::AtoB);
+            t.set_link_used(e, crate::Direction::AtoB, cap * ((i % 5) as f64) * 0.15);
+        }
+        let hier = Hierarchy::new(&t);
+        let snap = NetSnapshot::capture(Arc::new(t));
+        let serial = RouteSketch::build_with_threads(&hier, &snap, 1);
+        for threads in [2, 4, 7] {
+            let parallel = RouteSketch::build_with_threads(&hier, &snap, threads);
+            assert_eq!(parallel, serial, "{threads}-thread build diverged");
+        }
+        assert_eq!(RouteSketch::build(&hier, &snap), serial);
     }
 
     #[test]
