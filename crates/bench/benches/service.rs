@@ -268,6 +268,7 @@ fn main() {
             batch_size: 32,
             queue_capacity: 256,
             cache_capacity: 65536,
+            ..ServiceConfig::default()
         },
     );
     let t = Instant::now();

@@ -22,6 +22,15 @@
 //!   weights) are carried as `f64::to_bits` — exact round-trip, total
 //!   order, hashable. Distinct NaN payloads canonicalize to distinct
 //!   keys, which costs a duplicate cache slot, never a wrong answer.
+//! * `-0.0` is normalized to `0.0` for `min_cpu` and `min_bandwidth`
+//!   **only**: both are used exclusively in `>=` threshold comparisons
+//!   (where IEEE 754 makes `-0.0 == 0.0` indistinguishable) and neither
+//!   appears in any [`crate::SelectError`] payload, so the two bit
+//!   patterns provably answer identically and may share a cache slot.
+//!   `reference_bandwidth` and the balanced weights keep their raw bits:
+//!   they are *divisors* in the quality model, and `x / 0.0` vs
+//!   `x / -0.0` yield infinities of opposite sign — collapsing them
+//!   could serve one request the other's answer.
 
 use crate::request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 use crate::weights::Weights;
@@ -56,6 +65,18 @@ pub struct CanonicalRequest {
     policy: GreedyPolicy,
 }
 
+/// Key bits of a threshold float: `-0.0` collapses onto `0.0` (they
+/// compare equal under `>=`, the only way thresholds are consumed), all
+/// other values keep their exact bit pattern. Not applied to divisors —
+/// see the module docs.
+fn threshold_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 impl CanonicalRequest {
     /// Canonicalizes `request`.
     pub fn new(request: &SelectionRequest) -> Self {
@@ -77,8 +98,8 @@ impl CanonicalRequest {
             objective,
             allowed,
             required: request.constraints.required.clone(),
-            min_cpu: request.constraints.min_cpu.map(f64::to_bits),
-            min_bandwidth: request.constraints.min_bandwidth.map(f64::to_bits),
+            min_cpu: request.constraints.min_cpu.map(threshold_bits),
+            min_bandwidth: request.constraints.min_bandwidth.map(threshold_bits),
             max_staleness: request.constraints.max_staleness,
             reference_bandwidth: request.reference_bandwidth.map(f64::to_bits),
             policy: request.policy,
@@ -187,6 +208,44 @@ mod tests {
         assert_eq!(back.constraints.min_cpu, a.constraints.min_cpu);
         assert_eq!(back.reference_bandwidth, a.reference_bandwidth);
         assert_eq!(back.policy, a.policy);
+    }
+
+    #[test]
+    fn negative_zero_thresholds_share_a_key() {
+        let mut a = SelectionRequest::compute(2);
+        a.constraints.min_cpu = Some(0.0);
+        a.constraints.min_bandwidth = Some(0.0);
+        let mut b = a.clone();
+        b.constraints.min_cpu = Some(-0.0);
+        b.constraints.min_bandwidth = Some(-0.0);
+        // Semantically identical thresholds: one cache key.
+        assert_eq!(CanonicalRequest::new(&a), CanonicalRequest::new(&b));
+        // The answers really are bit-identical (>= cannot see the sign).
+        let (topo, _) = nodesel_topology::builders::star(4, 1e8);
+        let snap = nodesel_topology::NetSnapshot::capture(std::sync::Arc::new(topo));
+        assert_eq!(
+            crate::selector_for(a.objective).select(&snap, &a),
+            crate::selector_for(b.objective).select(&snap, &b),
+        );
+        // Divisors keep raw bits: a -0.0 weight is a different question.
+        let w = SelectionRequest {
+            objective: Objective::Balanced(Weights {
+                compute: 0.0,
+                comm: 1.0,
+            }),
+            ..SelectionRequest::balanced(2)
+        };
+        let mut wneg = w.clone();
+        wneg.objective = Objective::Balanced(Weights {
+            compute: -0.0,
+            comm: 1.0,
+        });
+        assert_ne!(CanonicalRequest::new(&w), CanonicalRequest::new(&wneg));
+        let mut rb = SelectionRequest::communication(2);
+        rb.reference_bandwidth = Some(0.0);
+        let mut rbneg = rb.clone();
+        rbneg.reference_bandwidth = Some(-0.0);
+        assert_ne!(CanonicalRequest::new(&rb), CanonicalRequest::new(&rbneg));
     }
 
     #[test]

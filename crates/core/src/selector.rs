@@ -48,7 +48,9 @@ use crate::algorithms::{
 use crate::request::{Constraints, GreedyPolicy, Objective, SelectionRequest};
 use crate::weights::Weights;
 use crate::SelectError;
-use nodesel_topology::{EdgeId, NetDelta, NetSnapshot, NodeId, RouteTable, Topology};
+use nodesel_topology::{
+    EdgeId, NetDelta, NetSnapshot, NodeId, ResourceClaim, RouteTable, Topology,
+};
 use std::sync::Arc;
 
 /// A persistent selection engine for one request across snapshot epochs.
@@ -56,7 +58,12 @@ use std::sync::Arc;
 /// Obtain one from [`selector_for`] (or construct the concrete type
 /// matching the request's [`Objective`] directly), call
 /// [`Selector::select`] once, then [`Selector::refresh`] per epoch.
-pub trait Selector {
+///
+/// Selectors are `Send`: the placement service parks them inside ledger
+/// entries (one supervisor per admitted job) that outlive any single
+/// thread's borrow. They are *not* required to be `Sync` — a selector is
+/// a mutable solver, always driven behind exclusive access.
+pub trait Selector: Send {
     /// Solves `request` from scratch on `snap` and primes the incremental
     /// caches. May be called again at any time (e.g. for a new request).
     ///
@@ -132,6 +139,27 @@ impl SelectionFootprint {
             replayable: false,
             nodes: Vec::new(),
             links: LinkFootprint::All,
+        }
+    }
+
+    /// The footprint of an admitted placement's [`ResourceClaim`]: the
+    /// nodes and route edges whose annotations the claim perturbs. This
+    /// is the bridge from PR 8's footprint-intersection machinery to the
+    /// ledger — admitting or releasing a job produces a delta over
+    /// exactly this set, so [`SelectionFootprint::invalidated_by`]
+    /// decides which cached answers a ledger change can move, with
+    /// magnitudes carried by the claim itself.
+    pub fn of_claim(claim: &ResourceClaim) -> Self {
+        let mut nodes: Vec<NodeId> = claim.nodes.iter().map(|&(n, _)| n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut edges: Vec<EdgeId> = claim.links.iter().map(|&(e, _, _)| e).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        SelectionFootprint {
+            replayable: true,
+            nodes,
+            links: LinkFootprint::Edges(edges),
         }
     }
 

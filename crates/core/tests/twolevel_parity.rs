@@ -19,7 +19,7 @@
 use nodesel_core::{select, selector_for, Objective, SelectionRequest, Selector, TwoLevelSelector};
 use nodesel_topology::builders::hierarchical;
 use nodesel_topology::units::MBPS;
-use nodesel_topology::{Direction, NetDelta, NetSnapshot};
+use nodesel_topology::{Direction, LedgerState, NetDelta, NetMetrics, NetSnapshot, ResidualView};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,6 +168,44 @@ proptest! {
             let refreshed = sel.refresh(&next, &delta);
             let fresh = TwoLevelSelector::new().select(&next, &request);
             prop_assert_eq!(refreshed, fresh, "objective {:?}", request.objective);
+        }
+    }
+
+    /// An empty [`LedgerState`] is invisible: the [`ResidualView`] over
+    /// it reports every metric bit-identically to the raw snapshot, and
+    /// the materialized residual (the ledger's delta applied to the
+    /// snapshot) yields bit-identical answers from both the two-level
+    /// and the flat selectors.
+    #[test]
+    fn empty_ledger_residual_is_invisible_to_selection(
+        seed in 0u64..100_000,
+        domains in 1usize..5,
+        hosts in 3usize..8,
+    ) {
+        let snap = random_hierarchy(seed, domains, hosts);
+        let ledger = LedgerState::new();
+        let view = ResidualView::new(&snap, &ledger);
+        let topo = snap.structure_arc();
+        for n in topo.node_ids() {
+            prop_assert_eq!(view.load_avg(n).to_bits(), snap.load_avg(n).to_bits());
+            prop_assert_eq!(view.node_available(n), snap.node_available(n));
+            prop_assert_eq!(view.node_staleness(n), snap.node_staleness(n));
+        }
+        for e in topo.edge_ids() {
+            for dir in [Direction::AtoB, Direction::BtoA] {
+                prop_assert_eq!(view.used(e, dir).to_bits(), snap.used(e, dir).to_bits());
+                prop_assert_eq!(view.link_available(e), snap.link_available(e));
+            }
+        }
+        let residual = snap.apply(&ledger.to_delta(&snap));
+        let m = 1 + (seed as usize) % hosts.min(4);
+        for request in requests(m) {
+            let a = TwoLevelSelector::new().select(&residual, &request);
+            let b = TwoLevelSelector::new().select(&snap, &request);
+            prop_assert_eq!(a, b, "two-level, objective {:?}", request.objective);
+            let c = selector_for(request.objective).select(&residual, &request);
+            let d = selector_for(request.objective).select(&snap, &request);
+            prop_assert_eq!(c, d, "flat, objective {:?}", request.objective);
         }
     }
 }

@@ -1,0 +1,279 @@
+//! Contention study: K concurrent jobs, oblivious vs ledger-aware.
+//!
+//! The paper's experiments place one application at a time. A placement
+//! *service* faces a different regime: several jobs arrive before the
+//! measurement layer has seen any of them run. An **oblivious** service
+//! answers each arrival from the same snapshot — K identical requests
+//! get the K-fold-stacked *same* "best" nodes — while a **ledger-aware**
+//! service ([`PlacementService::admit`]) charges each admitted job's
+//! declared demand (CPU share per placed node, bandwidth per route link)
+//! against a residual network, so each admission sees the capacity its
+//! predecessors already hold and spreads out.
+//!
+//! The study admits K identical FFT jobs under both regimes on two
+//! testbeds — the paper's CMU testbed and a federated fabric of
+//! star subnets joined by thin trunks
+//! ([`nodesel_topology::builders::federation`]) — launches all K jobs at
+//! the same instant in one simulator, and measures per-job turnaround,
+//! makespan, and slowdown against a solo baseline (the first job's
+//! placement running alone). Everything is deterministic: no background
+//! generators, no RNG — the contention *is* the workload.
+
+use crate::driver::mean;
+use nodesel_apps::{fft::fft_program, AppModel};
+use nodesel_core::SelectionRequest;
+use nodesel_service::{PlacementService, ServiceConfig};
+use nodesel_simnet::Sim;
+use nodesel_topology::builders::federation;
+use nodesel_topology::testbeds::cmu_testbed;
+use nodesel_topology::units::MBPS;
+use nodesel_topology::{NetSnapshot, NodeId, Topology};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which network the jobs contend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentionTestbed {
+    /// The paper's CMU testbed (18 machines, heterogeneous fabric).
+    Cmu,
+    /// Four star subnets of eight hosts joined by 50 Mbps trunks.
+    Federated,
+}
+
+impl ContentionTestbed {
+    /// Row label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentionTestbed::Cmu => "cmu",
+            ContentionTestbed::Federated => "federated",
+        }
+    }
+
+    /// Builds the testbed's topology.
+    pub fn topology(self) -> Topology {
+        match self {
+            ContentionTestbed::Cmu => cmu_testbed().topo,
+            ContentionTestbed::Federated => federation(4, Some(2e-3)).0,
+        }
+    }
+}
+
+/// Placement regime under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentionRegime {
+    /// Every arrival answered from the same raw snapshot (`get`): no
+    /// reservation, K identical requests stack on the same nodes.
+    Oblivious,
+    /// Every arrival admitted (`admit`): solved on the residual network,
+    /// charged to the ledger, visible to the next arrival.
+    LedgerAware,
+}
+
+impl ContentionRegime {
+    /// Row label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentionRegime::Oblivious => "oblivious",
+            ContentionRegime::LedgerAware => "ledger-aware",
+        }
+    }
+}
+
+/// Tunables of one contention run.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionConfig {
+    /// Nodes per job.
+    pub m: usize,
+    /// FFT iterations per job.
+    pub iterations: usize,
+    /// Declared per-pair bandwidth demand handed to the ledger, bit/s
+    /// (also the request's `reference_bandwidth`).
+    pub reference_bandwidth: f64,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            m: 4,
+            iterations: 12,
+            reference_bandwidth: 10.0 * MBPS,
+        }
+    }
+}
+
+/// Outcome of one `(testbed, regime, K)` cell.
+#[derive(Debug, Clone)]
+pub struct ContentionOutcome {
+    /// Network the jobs ran on.
+    pub testbed: ContentionTestbed,
+    /// Placement regime.
+    pub regime: ContentionRegime,
+    /// Concurrent jobs.
+    pub k: usize,
+    /// Per-job turnaround, seconds, in admission order.
+    pub elapsed: Vec<f64>,
+    /// Turnaround of the first job's placement running alone — the
+    /// shared baseline for slowdowns (the first admission sees an empty
+    /// ledger, so both regimes share it by construction).
+    pub solo: f64,
+    /// Time until the last job finished, seconds.
+    pub makespan: f64,
+    /// Sum of per-job turnarounds, seconds (aggregate elapsed).
+    pub total_elapsed: f64,
+    /// Mean of per-job `elapsed / solo`.
+    pub mean_slowdown: f64,
+    /// Distinct nodes across all K placements (K·m when fully spread).
+    pub distinct_nodes: usize,
+}
+
+/// Launches every placement at t=0 in one simulator and returns per-job
+/// turnarounds. No background generators: the jobs contend only with
+/// each other.
+fn run_jobs(topo: &Topology, placements: &[Vec<NodeId>], config: &ContentionConfig) -> Vec<f64> {
+    let mut sim = Sim::new(topo.clone());
+    let app = AppModel::Phased(fft_program(config.iterations));
+    let handles: Vec<_> = placements.iter().map(|p| app.launch(&mut sim, p)).collect();
+    sim.run();
+    handles
+        .iter()
+        .map(|h| h.elapsed().expect("job finished: the simulator ran dry"))
+        .collect()
+}
+
+/// Runs one cell: K placement decisions through a fresh service, then
+/// all K jobs concurrently through simnet. Fully deterministic.
+pub fn run_contention(
+    testbed: ContentionTestbed,
+    regime: ContentionRegime,
+    k: usize,
+    config: &ContentionConfig,
+) -> ContentionOutcome {
+    let topo = testbed.topology();
+    let snap = Arc::new(NetSnapshot::capture(Arc::new(topo.clone())));
+    let svc = PlacementService::new(snap, ServiceConfig::default());
+    let mut request = SelectionRequest::balanced(config.m);
+    request.reference_bandwidth = Some(config.reference_bandwidth);
+    let placements: Vec<Vec<NodeId>> = (0..k)
+        .map(|_| match regime {
+            ContentionRegime::Oblivious => {
+                svc.get(&request)
+                    .result
+                    .expect("testbed has enough nodes")
+                    .nodes
+            }
+            ContentionRegime::LedgerAware => {
+                svc.admit(&request)
+                    .expect("testbed has enough nodes")
+                    .selection
+                    .nodes
+            }
+        })
+        .collect();
+    let solo = run_jobs(&topo, &placements[..1], config)[0];
+    let elapsed = run_jobs(&topo, &placements, config);
+    let makespan = elapsed.iter().cloned().fold(0.0, f64::max);
+    let total_elapsed = elapsed.iter().sum();
+    let slowdowns: Vec<f64> = elapsed.iter().map(|e| e / solo).collect();
+    let distinct_nodes = placements.iter().flatten().collect::<HashSet<_>>().len();
+    ContentionOutcome {
+        testbed,
+        regime,
+        k,
+        elapsed,
+        solo,
+        makespan,
+        total_elapsed,
+        mean_slowdown: mean(&slowdowns),
+        distinct_nodes,
+    }
+}
+
+/// Runs the full grid: both testbeds x both regimes x every K in `ks`.
+pub fn run_contention_study(ks: &[usize], config: &ContentionConfig) -> Vec<ContentionOutcome> {
+    let mut cells = Vec::new();
+    for testbed in [ContentionTestbed::Cmu, ContentionTestbed::Federated] {
+        for &k in ks {
+            for regime in [ContentionRegime::Oblivious, ContentionRegime::LedgerAware] {
+                cells.push(run_contention(testbed, regime, k, config));
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the study as an aligned text table.
+pub fn render_contention_table(cells: &[ContentionOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>2} {:<13} {:>9} {:>10} {:>10} {:>9} {:>8}\n",
+        "testbed", "K", "regime", "solo_s", "total_s", "makespan", "slowdown", "spread"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<10} {:>2} {:<13} {:>9.1} {:>10.1} {:>10.1} {:>8.2}x {:>7}n\n",
+            c.testbed.label(),
+            c.k,
+            c.regime.label(),
+            c.solo,
+            c.total_elapsed,
+            c.makespan,
+            c.mean_slowdown,
+            c.distinct_nodes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_aware_spreads_and_beats_oblivious_at_k4_federated() {
+        let config = ContentionConfig::default();
+        let oblivious = run_contention(
+            ContentionTestbed::Federated,
+            ContentionRegime::Oblivious,
+            4,
+            &config,
+        );
+        let aware = run_contention(
+            ContentionTestbed::Federated,
+            ContentionRegime::LedgerAware,
+            4,
+            &config,
+        );
+        // Oblivious answers are all the same m nodes; aware admissions
+        // must spread onto fresh capacity.
+        assert_eq!(oblivious.distinct_nodes, config.m);
+        assert!(
+            aware.distinct_nodes > oblivious.distinct_nodes,
+            "admissions did not spread: {} nodes",
+            aware.distinct_nodes
+        );
+        // The acceptance criterion: ledger-aware beats oblivious on
+        // aggregate elapsed time at K = 4 on the federated testbed.
+        assert!(
+            aware.total_elapsed < oblivious.total_elapsed,
+            "aware {} s vs oblivious {} s",
+            aware.total_elapsed,
+            oblivious.total_elapsed
+        );
+        // And both share the same solo baseline by construction.
+        assert_eq!(aware.solo.to_bits(), oblivious.solo.to_bits());
+    }
+
+    #[test]
+    fn study_grid_covers_both_testbeds_and_regimes() {
+        let config = ContentionConfig {
+            iterations: 2,
+            ..ContentionConfig::default()
+        };
+        let cells = run_contention_study(&[2], &config);
+        assert_eq!(cells.len(), 4);
+        let table = render_contention_table(&cells);
+        assert!(table.contains("cmu"));
+        assert!(table.contains("federated"));
+        assert!(table.contains("ledger-aware"));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod contention;
 pub mod driver;
 pub mod fault_study;
 pub mod migration_study;
@@ -33,6 +34,10 @@ pub mod service_churn;
 pub mod table1;
 pub mod tomography;
 
+pub use contention::{
+    render_contention_table, run_contention, run_contention_study, ContentionConfig,
+    ContentionOutcome, ContentionRegime, ContentionTestbed,
+};
 pub use driver::{
     mean, run_trial, run_trials, warm_trial, Condition, Strategy, Testbed, TrialConfig,
     TrialResult, WarmTrial,

@@ -1,16 +1,26 @@
 //! The delta-invalidated selection cache.
 //!
 //! Entries are keyed by [`CanonicalRequest`] and pinned to the cache's
-//! **current epoch**: a lookup only ever answers for the epoch the entry
-//! was verified against, so a hit is bit-identical to a fresh solve on
-//! that epoch by construction. When the collector publishes epoch `e+1`
-//! with its [`NetDelta`], [`SelectionCache::advance`] walks the map once
-//! and keeps every entry whose recorded [`SelectionFootprint`] is
-//! disjoint from the delta — the footprint's soundness contract
-//! (`nodesel-core`) is exactly "a disjoint delta leaves the answer's
-//! bits unchanged", so survivors are *carried forward* to the new epoch
-//! instead of being re-solved. Everything else is evicted; a structural
-//! change (or a publication without a delta) flushes the map wholesale.
+//! **current epoch and ledger version**: a lookup only ever answers for
+//! the `(epoch, version)` pair the entry was verified against, so a hit
+//! is bit-identical to a fresh solve on that residual network by
+//! construction. Both axes advance by the same mechanism, footprint
+//! intersection:
+//!
+//! * When the collector publishes epoch `e+1` with its [`NetDelta`],
+//!   [`SelectionCache::advance`] walks the map once and keeps every
+//!   entry whose recorded [`SelectionFootprint`] is disjoint from the
+//!   delta — the footprint's soundness contract (`nodesel-core`) is
+//!   exactly "a disjoint delta leaves the answer's bits unchanged", so
+//!   survivors are *carried forward* to the new epoch instead of being
+//!   re-solved. Everything else is evicted; a structural change (or a
+//!   publication without a delta) flushes the map wholesale.
+//! * When the ledger admits, releases, or moves a job,
+//!   [`SelectionCache::advance_ledger`] does the same walk against the
+//!   change's **touched-entity delta** (the claim's nodes and route
+//!   links): a cached answer whose footprint is disjoint from the claim
+//!   provably cannot see the residual change, so it survives into the
+//!   new version.
 //!
 //! Capacity is bounded with least-recently-used eviction (a logical
 //! clock bumped per touch, evict-minimum on overflow), so a service
@@ -32,10 +42,12 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// An epoch-pinned, footprint-invalidated, LRU-bounded selection cache.
+/// An epoch-and-version-pinned, footprint-invalidated, LRU-bounded
+/// selection cache.
 #[derive(Debug)]
 pub struct SelectionCache {
     epoch: u64,
+    ledger_version: u64,
     map: HashMap<CanonicalRequest, CacheEntry>,
     capacity: usize,
     clock: u64,
@@ -44,11 +56,12 @@ pub struct SelectionCache {
 }
 
 impl SelectionCache {
-    /// An empty cache pinned to `epoch`, holding at most `capacity`
-    /// entries (0 disables caching entirely).
+    /// An empty cache pinned to `epoch` at ledger version 0, holding at
+    /// most `capacity` entries (0 disables caching entirely).
     pub fn new(epoch: u64, capacity: usize) -> Self {
         SelectionCache {
             epoch,
+            ledger_version: 0,
             map: HashMap::new(),
             capacity,
             clock: 0,
@@ -61,6 +74,11 @@ impl SelectionCache {
         self.epoch
     }
 
+    /// The ledger version every resident entry is valid for.
+    pub fn ledger_version(&self) -> u64 {
+        self.ledger_version
+    }
+
     /// Resident entry count.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -71,15 +89,17 @@ impl SelectionCache {
         self.map.is_empty()
     }
 
-    /// The cached answer for `canon` at `epoch`, if resident. A request
-    /// pinned to a different epoch than the cache never hits: the entry
-    /// would answer for the wrong snapshot.
+    /// The cached answer for `canon` at `(epoch, version)`, if resident.
+    /// A request pinned to a different epoch or ledger version than the
+    /// cache never hits: the entry would answer for the wrong residual
+    /// network.
     pub fn lookup(
         &mut self,
         epoch: u64,
+        version: u64,
         canon: &CanonicalRequest,
     ) -> Option<Result<Selection, SelectError>> {
-        if epoch != self.epoch {
+        if epoch != self.epoch || version != self.ledger_version {
             return None;
         }
         self.clock += 1;
@@ -89,17 +109,19 @@ impl SelectionCache {
         Some(entry.result.clone())
     }
 
-    /// Inserts an answer solved against `epoch`. A solve that raced a
-    /// publication (its epoch is no longer current) is dropped — caching
-    /// it would serve a stale epoch's bits as the current epoch's.
+    /// Inserts an answer solved against `(epoch, version)`. A solve that
+    /// raced a publication or a ledger change (its pin is no longer
+    /// current) is dropped — caching it would serve a stale residual
+    /// network's bits as the current one's.
     pub fn insert(
         &mut self,
         epoch: u64,
+        version: u64,
         canon: CanonicalRequest,
         result: Result<Selection, SelectError>,
         footprint: SelectionFootprint,
     ) {
-        if epoch != self.epoch {
+        if epoch != self.epoch || version != self.ledger_version {
             self.counters.stale_inserts += 1;
             return;
         }
@@ -129,10 +151,10 @@ impl SelectionCache {
         );
     }
 
-    /// Re-pins the cache to `epoch`. With a delta, entries whose
-    /// footprint is disjoint survive (carried forward); the rest are
-    /// evicted. Without one (structural change, or an untracked jump),
-    /// everything is flushed.
+    /// Re-pins the cache to `epoch` (the ledger version is unchanged).
+    /// With a delta, entries whose footprint is disjoint survive
+    /// (carried forward); the rest are evicted. Without one (structural
+    /// change, or an untracked jump), everything is flushed.
     pub fn advance(&mut self, epoch: u64, delta: Option<&NetDelta>) {
         match delta {
             Some(delta) => {
@@ -148,6 +170,30 @@ impl SelectionCache {
             }
         }
         self.epoch = epoch;
+    }
+
+    /// Re-pins the cache to ledger `version` (the epoch is unchanged).
+    /// `touched` marks the entities the ledger change perturbs (the
+    /// admitted/released/moved claim's nodes and links, magnitudes
+    /// irrelevant): entries whose footprint is disjoint from it survive
+    /// into the new version, the rest are evicted as `ledger_evictions`.
+    /// `None` flushes wholesale (an untracked ledger change, e.g. a
+    /// structural rebind).
+    pub fn advance_ledger(&mut self, version: u64, touched: Option<&NetDelta>) {
+        match touched {
+            Some(touched) => {
+                let before = self.map.len();
+                self.map.retain(|_, e| !e.footprint.invalidated_by(touched));
+                self.counters.ledger_evictions += (before - self.map.len()) as u64;
+                self.counters.carried_forward += self.map.len() as u64;
+            }
+            None => {
+                self.counters.flushes += 1;
+                self.counters.ledger_evictions += self.map.len() as u64;
+                self.map.clear();
+            }
+        }
+        self.ledger_version = version;
     }
 }
 
@@ -185,36 +231,48 @@ mod tests {
     #[test]
     fn lookup_is_epoch_pinned() {
         let mut cache = SelectionCache::new(3, 16);
-        cache.insert(3, canon(2), selection(vec![0, 1]), footprint(vec![0, 1]));
-        assert!(cache.lookup(3, &canon(2)).is_some());
-        assert!(cache.lookup(2, &canon(2)).is_none());
-        assert!(cache.lookup(4, &canon(2)).is_none());
+        cache.insert(3, 0, canon(2), selection(vec![0, 1]), footprint(vec![0, 1]));
+        assert!(cache.lookup(3, 0, &canon(2)).is_some());
+        assert!(cache.lookup(2, 0, &canon(2)).is_none());
+        assert!(cache.lookup(4, 0, &canon(2)).is_none());
+    }
+
+    #[test]
+    fn lookup_is_ledger_version_pinned() {
+        let mut cache = SelectionCache::new(0, 16);
+        cache.insert(0, 0, canon(2), selection(vec![0, 1]), footprint(vec![0, 1]));
+        assert!(cache.lookup(0, 0, &canon(2)).is_some());
+        assert!(cache.lookup(0, 1, &canon(2)).is_none());
     }
 
     #[test]
     fn stale_epoch_inserts_are_dropped() {
         let mut cache = SelectionCache::new(5, 16);
-        cache.insert(4, canon(2), selection(vec![0]), footprint(vec![0]));
+        cache.insert(4, 0, canon(2), selection(vec![0]), footprint(vec![0]));
         assert!(cache.is_empty());
         assert_eq!(cache.counters.stale_inserts, 1);
+        // A stale ledger version is dropped the same way.
+        cache.insert(5, 3, canon(2), selection(vec![0]), footprint(vec![0]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters.stale_inserts, 2);
     }
 
     #[test]
     fn advance_carries_disjoint_entries_and_evicts_touched() {
         let mut cache = SelectionCache::new(0, 16);
-        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
-        cache.insert(0, canon(2), selection(vec![5, 6]), footprint(vec![5, 6]));
+        cache.insert(0, 0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, 0, canon(2), selection(vec![5, 6]), footprint(vec![5, 6]));
         let delta = NetDelta {
             nodes: vec![(NodeId::from_index(5), 2.0)],
             ..NetDelta::default()
         };
         cache.advance(1, Some(&delta));
         assert!(
-            cache.lookup(1, &canon(1)).is_some(),
+            cache.lookup(1, 0, &canon(1)).is_some(),
             "disjoint entry survives"
         );
         assert!(
-            cache.lookup(1, &canon(2)).is_none(),
+            cache.lookup(1, 0, &canon(2)).is_none(),
             "touched entry evicted"
         );
         assert_eq!(cache.counters.delta_evictions, 1);
@@ -222,9 +280,34 @@ mod tests {
     }
 
     #[test]
+    fn ledger_advance_mirrors_epoch_advance() {
+        let mut cache = SelectionCache::new(0, 16);
+        cache.insert(0, 0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, 0, canon(2), selection(vec![5, 6]), footprint(vec![5, 6]));
+        // An admitted claim touching node 5: only the disjoint entry
+        // survives, and the survivor answers at the new version.
+        let touched = NetDelta {
+            nodes: vec![(NodeId::from_index(5), 1.0)],
+            ..NetDelta::default()
+        };
+        cache.advance_ledger(1, Some(&touched));
+        assert!(cache.lookup(0, 1, &canon(1)).is_some());
+        assert!(cache.lookup(0, 1, &canon(2)).is_none());
+        assert!(
+            cache.lookup(0, 0, &canon(1)).is_none(),
+            "old version never hits"
+        );
+        assert_eq!(cache.counters.ledger_evictions, 1);
+        // A rebind-style untracked change flushes.
+        cache.advance_ledger(2, None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters.flushes, 1);
+    }
+
+    #[test]
     fn advance_without_delta_flushes() {
         let mut cache = SelectionCache::new(0, 16);
-        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, 0, canon(1), selection(vec![0]), footprint(vec![0]));
         cache.advance(1, None);
         assert!(cache.is_empty());
         assert_eq!(cache.counters.flushes, 1);
@@ -233,14 +316,14 @@ mod tests {
     #[test]
     fn capacity_evicts_least_recently_used() {
         let mut cache = SelectionCache::new(0, 2);
-        cache.insert(0, canon(1), selection(vec![0]), footprint(vec![0]));
-        cache.insert(0, canon(2), selection(vec![1]), footprint(vec![1]));
+        cache.insert(0, 0, canon(1), selection(vec![0]), footprint(vec![0]));
+        cache.insert(0, 0, canon(2), selection(vec![1]), footprint(vec![1]));
         // Touch canon(1) so canon(2) is the LRU victim.
-        assert!(cache.lookup(0, &canon(1)).is_some());
-        cache.insert(0, canon(3), selection(vec![2]), footprint(vec![2]));
-        assert!(cache.lookup(0, &canon(1)).is_some());
-        assert!(cache.lookup(0, &canon(2)).is_none());
-        assert!(cache.lookup(0, &canon(3)).is_some());
+        assert!(cache.lookup(0, 0, &canon(1)).is_some());
+        cache.insert(0, 0, canon(3), selection(vec![2]), footprint(vec![2]));
+        assert!(cache.lookup(0, 0, &canon(1)).is_some());
+        assert!(cache.lookup(0, 0, &canon(2)).is_none());
+        assert!(cache.lookup(0, 0, &canon(3)).is_some());
         assert_eq!(cache.counters.capacity_evictions, 1);
     }
 }

@@ -1,0 +1,66 @@
+//! Typed errors for the placement lifecycle.
+//!
+//! The answer-only path (`get`) is infallible by design — a selection
+//! that cannot be satisfied is itself an answer
+//! ([`nodesel_core::SelectError`] travels *inside* the
+//! [`crate::Placement`]). The lifecycle path (`admit` / `release` /
+//! `supervise`) is different: the caller hands the service state it must
+//! validate (a demand, a job handle), so failures there are typed and
+//! returned, never panicked. Lock poisoning remains a panic throughout
+//! the crate — see [`crate::service`]'s locking notes.
+
+use crate::ledger::JobId;
+use nodesel_core::SelectError;
+
+/// Why a placement-lifecycle call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The job handle does not name a live ledger entry — never admitted
+    /// here, or already released.
+    UnknownJob(JobId),
+    /// A demand magnitude was not a finite, non-negative number.
+    InvalidDemand {
+        /// Which magnitude was rejected (`"cpu_load"` or
+        /// `"pair_bandwidth"`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The underlying selection failed; the ledger was not changed.
+    Select(SelectError),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::UnknownJob(job) => {
+                write!(
+                    f,
+                    "job {job:?} is not admitted (unknown or already released)"
+                )
+            }
+            ServiceError::InvalidDemand { field, value } => {
+                write!(
+                    f,
+                    "demand {field} = {value} is not a finite non-negative number"
+                )
+            }
+            ServiceError::Select(e) => write!(f, "selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Select(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SelectError> for ServiceError {
+    fn from(e: SelectError) -> Self {
+        ServiceError::Select(e)
+    }
+}

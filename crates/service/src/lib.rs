@@ -11,29 +11,43 @@
 //! * [`CanonicalRequest`] (from `nodesel-core`) — normalized, hashable
 //!   request specs, so identically-shaped requests share cache slots and
 //!   in-flight solves.
-//! * [`SelectionCache`] — answers keyed by `(epoch, canonical request)`
-//!   whose recorded [`nodesel_core::SelectionFootprint`]s let a
-//!   [`nodesel_topology::NetDelta`] evict exactly the entries it could
-//!   have changed, carrying every other answer forward to the new epoch.
+//! * [`SelectionCache`] — answers keyed by `(epoch, ledger version,
+//!   canonical request)` whose recorded
+//!   [`nodesel_core::SelectionFootprint`]s let a
+//!   [`nodesel_topology::NetDelta`] — or an admitted claim's
+//!   touched-entity set — evict exactly the entries it could have
+//!   changed, carrying every other answer forward.
+//! * [`PlacementLedger`] — the registry of admitted jobs: each carries a
+//!   [`ResourceDemand`]-derived claim (CPU share per placed node,
+//!   bandwidth per route link) that is subtracted from subsequent
+//!   answers via the residual view (`nodesel_topology::residual`).
 //! * [`PlacementService`] — the server: request canonicalization,
 //!   cache lookup, single-flight merging of identical concurrent
-//!   requests, scarcest-first batched solving on a worker pool, and
-//!   honest [`ServiceStats`].
+//!   requests, scarcest-first batched solving on a worker pool, the
+//!   admit/release/supervise placement lifecycle, and honest
+//!   [`ServiceStats`].
 //!
 //! The load-bearing invariant, proptest-guarded in
 //! `tests/cache_parity.rs`: **every answer is bit-identical to a fresh
-//! [`nodesel_core::select`] against the snapshot of the answer's
-//! epoch** — cached, merged, batched, or solved inline.
+//! [`nodesel_core::select`] against the residual snapshot of the
+//! answer's epoch and ledger version** — cached, merged, batched, or
+//! solved inline. With an empty ledger the residual snapshot *is* the
+//! raw snapshot (same `Arc`), so the lifecycle machinery is invisible
+//! until the first admission.
 
 #![warn(missing_docs)]
 
 mod cache;
 mod epoch;
+mod error;
+mod ledger;
 mod service;
 mod stats;
 
 pub use cache::SelectionCache;
 pub use epoch::EpochCell;
+pub use error::ServiceError;
+pub use ledger::{JobId, PlacementLedger, ResourceDemand};
 pub use nodesel_core::CanonicalRequest;
-pub use service::{Placement, PlacementService, ServiceConfig};
+pub use service::{Admission, Placement, PlacementService, ServiceConfig};
 pub use stats::{CacheCounters, ServiceStats};

@@ -1,39 +1,80 @@
 //! The placement server: epoch publication in, placements out.
 //!
 //! One [`PlacementService`] owns the latest published snapshot (in a
-//! lock-free [`EpochCell`]), a delta-invalidated
+//! lock-free [`EpochCell`]), a [`PlacementLedger`] of admitted jobs with
+//! the residual snapshot derived from it, a delta-invalidated
 //! [`SelectionCache`], and an optional worker pool. A request travels:
 //!
 //! 1. **canonicalize** — [`CanonicalRequest`] normalizes the spec so
 //!    identically-shaped requests share one cache slot and one solve;
-//! 2. **pin an epoch** — one lock-free [`EpochCell::load`]; the answer
-//!    is then *for that epoch*, whatever the collector publishes next;
-//! 3. **cache** — a hit returns the epoch's cached bits;
+//! 2. **pin a residual** — one short ledger lock captures the triple
+//!    `(residual snapshot, raw epoch, ledger version)`; the answer is
+//!    then *for that pair of pins*, whatever is published or admitted
+//!    next;
+//! 3. **cache** — a hit returns the `(epoch, version)` pair's cached
+//!    bits;
 //! 4. **single-flight** — a miss joins an identical in-flight solve on
-//!    the same snapshot if one exists, else enqueues its own;
+//!    the same residual snapshot if one exists, else enqueues its own;
 //! 5. **batch-solve** — workers drain the bounded queue up to
 //!    `batch_size` jobs at a time, scarcest-first (tightest candidate
 //!    pool first, larger requests first), solve each against the job's
-//!    own pinned snapshot, and publish answer + footprint to the cache.
+//!    own pinned residual, and publish answer + footprint to the cache.
 //!
 //! With `workers == 0` the service solves inline on the calling thread —
 //! same cache, same accounting, fully deterministic (the configuration
 //! the parity proptests drive).
 //!
-//! Every answer is bit-identical to a fresh [`nodesel_core::select`] on
-//! the same epoch: hits by the footprint soundness contract, merged and
-//! batched solves because they run the very same solver against the very
-//! same pinned snapshot.
+//! # The placement lifecycle
+//!
+//! `get` answers and forgets: nothing is reserved, and K concurrent
+//! callers with the same spec receive the same nodes. The lifecycle path
+//! makes the service multi-job aware:
+//!
+//! * [`PlacementService::admit`] solves on the **residual** network (raw
+//!   measurements plus every admitted claim), records the placement in
+//!   the ledger with a [`ResourceDemand`]-derived claim, and bumps the
+//!   ledger version;
+//! * [`PlacementService::release`] un-charges the claim;
+//! * [`PlacementService::supervise`] runs the failure-aware
+//!   [`Supervisor`] for one admitted job against the residual network
+//!   *excluding the job's own claim* (so its reservation cannot repel
+//!   its re-placement) and, when re-selection is advised, moves the
+//!   ledger entry atomically — one version bump swaps old claim for new,
+//!   so no interleaved admission can observe the job double-counted or
+//!   vanished.
+//!
+//! Ledger changes invalidate cached answers by the same
+//! footprint-intersection machinery as measurement deltas: the changed
+//! claim's touched entities are intersected with every entry's recorded
+//! footprint (see [`SelectionCache::advance_ledger`]).
+//!
+//! With an **empty ledger** the residual snapshot *is* the raw snapshot
+//! (the same `Arc`, pointer-identical), so every answer is bit-identical
+//! to the oblivious path — proptest-guarded in `tests/cache_parity.rs`.
+//!
+//! # Locking
+//!
+//! Lock order is `last_published → ledger → cache → queue`; any path
+//! taking several takes them in that order. Mutex poisoning is
+//! deliberately escalated ([`lock`]): a thread that panicked while
+//! mutating shared state has voided the bit-identical answer contract,
+//! and no caller input can reach those panics — caller-reachable
+//! failures on the lifecycle path are typed [`ServiceError`]s instead.
 
 use crate::cache::SelectionCache;
 use crate::epoch::EpochCell;
+use crate::error::ServiceError;
+use crate::ledger::{JobId, PlacementLedger, ResourceDemand};
 use crate::stats::{ServiceStats, StatsInner};
-use nodesel_core::SelectionRequest;
-use nodesel_core::{selector_for, CanonicalRequest, SelectError, Selection, SelectionFootprint};
-use nodesel_topology::{NetDelta, NetSnapshot};
+use nodesel_core::migration::OwnUsage;
+use nodesel_core::{
+    selector_for, CanonicalRequest, SelectError, Selection, SelectionFootprint, SelectionRequest,
+    Supervisor, SupervisorCheck, SupervisorPolicy, SupervisorVerdict,
+};
+use nodesel_topology::{NetDelta, NetMetrics, NetSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Tuning knobs for a [`PlacementService`].
@@ -49,6 +90,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Selection-cache entry bound (LRU beyond it; `0` disables caching).
     pub cache_capacity: usize,
+    /// Re-selection policy applied by [`PlacementService::supervise`]
+    /// (hysteresis, backoff, staleness cap).
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +102,7 @@ impl Default for ServiceConfig {
             batch_size: 32,
             queue_capacity: 1024,
             cache_capacity: 65536,
+            supervisor: SupervisorPolicy::default(),
         }
     }
 }
@@ -75,23 +120,61 @@ impl ServiceConfig {
 /// A service answer: the result plus the epoch it is valid for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
-    /// Epoch of the snapshot the answer was solved (or cached) against.
+    /// Epoch of the raw snapshot the answer was solved (or cached)
+    /// against — through the residual view of the ledger version current
+    /// at pin time.
     pub epoch: u64,
-    /// The selection, bit-identical to a fresh solve on that epoch.
+    /// The selection, bit-identical to a fresh solve on that epoch's
+    /// residual network.
     pub result: Result<Selection, SelectError>,
+}
+
+/// A successful admission: the job's ledger handle plus the placement it
+/// received.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// Handle for `release`/`supervise`.
+    pub job: JobId,
+    /// Raw-snapshot epoch the placement was solved against.
+    pub epoch: u64,
+    /// The granted placement.
+    pub selection: Selection,
+}
+
+/// Acquires `m`, escalating poisoning to a panic.
+///
+/// Every mutex in this crate guards state whose consistency the
+/// bit-identical answer contract depends on (the cache map, the ledger
+/// aggregates, the queue). A poisoned lock means a thread panicked
+/// mid-mutation; recovering would let the service keep answering from
+/// state it cannot vouch for, so the panic is propagated. This is an
+/// invariant assert, not a caller-reachable error: no request or
+/// lifecycle input can poison these locks (caller-reachable failures are
+/// typed [`ServiceError`]s before any lock is taken).
+fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(_) => panic!("{what} lock poisoned by a panicked thread"),
+    }
 }
 
 /// One in-flight solve; merged requests block on `cv` until `done`.
 struct Job {
+    /// The pinned residual snapshot the solve runs against.
     snap: Arc<NetSnapshot>,
+    /// Raw-snapshot epoch of the pin (the `Placement::epoch` to report).
+    epoch: u64,
+    /// Ledger version of the pin (cache-key half).
+    version: u64,
     canon: CanonicalRequest,
     done: Mutex<Option<Result<Selection, SelectError>>>,
     cv: Condvar,
 }
 
-/// Jobs are keyed by the identity of their pinned snapshot (the `Arc`'s
-/// address — kept alive by the job itself) plus the canonical request:
-/// merging is only sound onto a solve against the *same* snapshot.
+/// Jobs are keyed by the identity of their pinned residual snapshot (the
+/// `Arc`'s address — kept alive by the job itself) plus the canonical
+/// request: merging is only sound onto a solve against the *same*
+/// snapshot bits, and the `Arc` identity pins exactly that.
 type JobKey = (usize, CanonicalRequest);
 
 fn job_key(snap: &Arc<NetSnapshot>, canon: &CanonicalRequest) -> JobKey {
@@ -104,9 +187,34 @@ struct QueueState {
     inflight: HashMap<JobKey, Arc<Job>>,
 }
 
+/// The ledger with the residual snapshot derived from it.
+///
+/// `residual` is the raw snapshot with every admitted claim applied —
+/// or, when the ledger is invisible (no claims, or only zero-magnitude
+/// ones), **the raw `Arc` itself**: pointer identity is the cheap proof
+/// that an empty ledger changes no answer bits, and it lets single-flight
+/// merging keep working across the oblivious and admitted paths.
+struct LedgerCell {
+    ledger: PlacementLedger,
+    raw: Arc<NetSnapshot>,
+    residual: Arc<NetSnapshot>,
+}
+
+impl LedgerCell {
+    /// Re-derives `residual` from `raw` and the current claims.
+    fn refresh_residual(&mut self) {
+        self.residual = if self.ledger.state().is_invisible() {
+            Arc::clone(&self.raw)
+        } else {
+            Arc::new(self.raw.apply(&self.ledger.state().to_delta(&self.raw)))
+        };
+    }
+}
+
 struct Shared {
     cell: EpochCell,
     cache: Mutex<SelectionCache>,
+    ledger: Mutex<LedgerCell>,
     state: Mutex<QueueState>,
     /// Signals workers that the queue is non-empty (or shutdown).
     work_cv: Condvar,
@@ -119,12 +227,29 @@ struct Shared {
     config: ServiceConfig,
 }
 
+impl Shared {
+    /// Pins the answering context: `(residual snapshot, raw epoch,
+    /// ledger version)`, captured atomically under one short ledger
+    /// lock. Everything downstream (cache key, solve input, reported
+    /// epoch) derives from this triple.
+    fn pin(&self) -> (Arc<NetSnapshot>, u64, u64) {
+        let cell = lock(&self.ledger, "ledger");
+        (
+            Arc::clone(&cell.residual),
+            cell.raw.epoch(),
+            cell.ledger.version(),
+        )
+    }
+}
+
 /// A concurrent placement server over a published snapshot stream.
 ///
 /// Created with [`PlacementService::new`]; the collector side feeds it
 /// via [`PlacementService::publish`] (or [`PlacementService::ingest`]),
 /// request threads call [`PlacementService::get`] freely from any number
-/// of threads. Dropping the service joins its workers.
+/// of threads, and job owners drive [`PlacementService::admit`] /
+/// [`PlacementService::release`] / [`PlacementService::supervise`].
+/// Dropping the service joins its workers.
 pub struct PlacementService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -136,6 +261,11 @@ impl PlacementService {
         let shared = Arc::new(Shared {
             cell: EpochCell::new(Arc::clone(&initial)),
             cache: Mutex::new(SelectionCache::new(initial.epoch(), config.cache_capacity)),
+            ledger: Mutex::new(LedgerCell {
+                ledger: PlacementLedger::new(),
+                raw: Arc::clone(&initial),
+                residual: Arc::clone(&initial),
+            }),
             state: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -160,28 +290,40 @@ impl PlacementService {
     /// change since the previously published snapshot; entries whose
     /// footprint it misses survive with stale bits. `None` (or a
     /// structure change, detected here) flushes the cache wholesale.
+    /// The residual snapshot is re-derived against the new epoch; a
+    /// structural change additionally re-derives every ledger claim
+    /// along the new structure's routes ([`PlacementLedger`] rebind).
     /// The collector never blocks on readers: the snapshot swap is
-    /// lock-free, the cache sweep contends only with request threads'
-    /// cache accesses.
+    /// lock-free, the bookkeeping contends only with request threads'
+    /// short ledger/cache accesses.
     pub fn publish(&self, snap: Arc<NetSnapshot>, delta: Option<&NetDelta>) {
         let shared = &self.shared;
         let structure_changed = {
-            let mut last = shared
-                .last_published
-                .lock()
-                .expect("last-published lock poisoned");
+            let mut last = lock(&shared.last_published, "last-published");
             let changed = !snap.same_structure(&last);
             *last = Arc::clone(&snap);
             changed
         };
         let epoch = snap.epoch();
-        shared.cell.store(snap);
+        shared.cell.store(Arc::clone(&snap));
         let delta = if structure_changed { None } else { delta };
-        shared
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .advance(epoch, delta);
+        let mut cell = lock(&shared.ledger, "ledger");
+        cell.raw = snap;
+        if structure_changed && !cell.ledger.is_empty() {
+            let LedgerCell { ledger, raw, .. } = &mut *cell;
+            ledger.rebind(raw.structure());
+        }
+        cell.refresh_residual();
+        let ledger_version = cell.ledger.version();
+        let mut cache = lock(&shared.cache, "cache");
+        cache.advance(epoch, delta);
+        if cache.ledger_version() != ledger_version {
+            // A structural rebind bumped the version; the flush above
+            // already emptied the map, so this only moves the pin.
+            cache.advance_ledger(ledger_version, Some(&NetDelta::default()));
+        }
+        drop(cache);
+        drop(cell);
         StatsInner::bump(&shared.stats.epochs_published);
     }
 
@@ -192,13 +334,7 @@ impl PlacementService {
     pub fn ingest(&self, snap: NetSnapshot) -> u64 {
         let snap = Arc::new(snap);
         let epoch = snap.epoch();
-        let last = Arc::clone(
-            &self
-                .shared
-                .last_published
-                .lock()
-                .expect("last-published lock poisoned"),
-        );
+        let last = Arc::clone(&lock(&self.shared.last_published, "last-published"));
         if snap.same_structure(&last) {
             let delta = snap.diff(&last);
             self.publish(snap, Some(&delta));
@@ -208,9 +344,16 @@ impl PlacementService {
         epoch
     }
 
-    /// The currently published snapshot (lock-free).
+    /// The currently published raw snapshot (lock-free).
     pub fn snapshot(&self) -> Arc<NetSnapshot> {
         self.shared.cell.load()
+    }
+
+    /// The current residual snapshot: the raw snapshot with every
+    /// admitted claim applied. With an empty ledger this is the raw
+    /// snapshot itself (the same `Arc`).
+    pub fn residual_snapshot(&self) -> Arc<NetSnapshot> {
+        self.shared.pin().0
     }
 
     /// The currently published epoch (lock-free).
@@ -218,11 +361,24 @@ impl PlacementService {
         self.shared.cell.load().epoch()
     }
 
-    /// Answers `request` against the currently published epoch.
+    /// The current ledger version (bumped per admit/release/move).
+    pub fn ledger_version(&self) -> u64 {
+        lock(&self.shared.ledger, "ledger").ledger.version()
+    }
+
+    /// Jobs currently admitted.
+    pub fn active_jobs(&self) -> usize {
+        lock(&self.shared.ledger, "ledger").ledger.len()
+    }
+
+    /// Answers `request` against the currently published epoch's
+    /// residual network (without admitting anything).
     ///
     /// The returned placement's `result` is bit-identical to a fresh
-    /// [`nodesel_core::select`] on the snapshot of `placement.epoch` —
-    /// whether it came from the cache, an in-flight merge, or a solve.
+    /// [`nodesel_core::select`] on the residual snapshot of
+    /// `placement.epoch` at the pinned ledger version — whether it came
+    /// from the cache, an in-flight merge, or a solve. With an empty
+    /// ledger that is exactly the raw snapshot of `placement.epoch`.
     pub fn get(&self, request: &SelectionRequest) -> Placement {
         self.get_canonical(&CanonicalRequest::new(request))
     }
@@ -231,22 +387,17 @@ impl PlacementService {
     pub fn get_canonical(&self, canon: &CanonicalRequest) -> Placement {
         let shared = &self.shared;
         StatsInner::bump(&shared.stats.requests);
-        let snap = shared.cell.load();
-        let epoch = snap.epoch();
-        if let Some(result) = shared
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .lookup(epoch, canon)
-        {
+        let (snap, epoch, version) = shared.pin();
+        if let Some(result) = lock(&shared.cache, "cache").lookup(epoch, version, canon) {
             StatsInner::bump(&shared.stats.cache_hits);
             return Placement { epoch, result };
         }
         if shared.config.workers == 0 {
             let (result, footprint) = solve(&snap, canon);
             shared.stats.record_solve(epoch);
-            shared.cache.lock().expect("cache lock poisoned").insert(
+            lock(&shared.cache, "cache").insert(
                 epoch,
+                version,
                 canon.clone(),
                 result.clone(),
                 footprint,
@@ -255,7 +406,7 @@ impl PlacementService {
         }
         let key = job_key(&snap, canon);
         let job = {
-            let mut state = shared.state.lock().expect("queue lock poisoned");
+            let mut state = lock(&shared.state, "queue");
             loop {
                 if let Some(job) = state.inflight.get(&key) {
                     StatsInner::bump(&shared.stats.single_flight_merges);
@@ -264,6 +415,8 @@ impl PlacementService {
                 if state.queue.len() < shared.config.queue_capacity {
                     let job = Arc::new(Job {
                         snap: Arc::clone(&snap),
+                        epoch,
+                        version,
                         canon: canon.clone(),
                         done: Mutex::new(None),
                         cv: Condvar::new(),
@@ -275,24 +428,175 @@ impl PlacementService {
                 }
                 // Queue full: wait for workers to drain, then re-check
                 // (an identical job may have appeared meanwhile).
-                state = shared.space_cv.wait(state).expect("queue lock poisoned");
+                state = shared
+                    .space_cv
+                    .wait(state)
+                    .unwrap_or_else(|_| panic!("queue lock poisoned by a panicked thread"));
             }
         };
-        let mut done = job.done.lock().expect("job lock poisoned");
+        let mut done = lock(&job.done, "job");
         while done.is_none() {
-            done = job.cv.wait(done).expect("job lock poisoned");
+            done = job
+                .cv
+                .wait(done)
+                .unwrap_or_else(|_| panic!("job lock poisoned by a panicked thread"));
         }
         Placement {
             epoch,
-            result: done.clone().expect("job completed"),
+            // Invariant, not caller-reachable: the wait above only exits
+            // once a worker stored the result.
+            result: done
+                .clone()
+                .expect("in-flight job completed without a result"),
         }
+    }
+
+    /// Admits `request` with the demand it implies
+    /// ([`ResourceDemand::from_request`]): solves on the residual
+    /// network, records the placement and its claim in the ledger, and
+    /// returns the job handle. A selection failure admits nothing.
+    pub fn admit(&self, request: &SelectionRequest) -> Result<Admission, ServiceError> {
+        self.admit_with(request, ResourceDemand::from_request(request))
+    }
+
+    /// [`PlacementService::admit`] with an explicit declared demand.
+    ///
+    /// Admissions are serialized on the ledger lock *including their
+    /// solve*: each admission must see every previously admitted claim,
+    /// or two racing jobs would pick the same free capacity — the exact
+    /// failure mode the ledger exists to close. The cache still
+    /// short-circuits repeat specs at the same `(epoch, version)` pin.
+    pub fn admit_with(
+        &self,
+        request: &SelectionRequest,
+        demand: ResourceDemand,
+    ) -> Result<Admission, ServiceError> {
+        demand.validate()?;
+        let shared = &self.shared;
+        StatsInner::bump(&shared.stats.requests);
+        let canon = CanonicalRequest::new(request);
+        let mut cell = lock(&shared.ledger, "ledger");
+        let epoch = cell.raw.epoch();
+        let version = cell.ledger.version();
+        let cached = lock(&shared.cache, "cache").lookup(epoch, version, &canon);
+        let result = match cached {
+            Some(result) => {
+                StatsInner::bump(&shared.stats.cache_hits);
+                result
+            }
+            None => {
+                let (result, footprint) = solve(&cell.residual, &canon);
+                shared.stats.record_solve(epoch);
+                lock(&shared.cache, "cache").insert(
+                    epoch,
+                    version,
+                    canon,
+                    result.clone(),
+                    footprint,
+                );
+                result
+            }
+        };
+        let selection = result.map_err(ServiceError::Select)?;
+        let LedgerCell { ledger, raw, .. } = &mut *cell;
+        let (job, claim) = ledger.admit(
+            request.clone(),
+            demand,
+            selection.nodes.clone(),
+            raw.structure(),
+        );
+        cell.refresh_residual();
+        lock(&shared.cache, "cache")
+            .advance_ledger(cell.ledger.version(), Some(&claim.touched_delta()));
+        drop(cell);
+        StatsInner::bump(&shared.stats.admits);
+        Ok(Admission {
+            job,
+            epoch,
+            selection,
+        })
+    }
+
+    /// Releases an admitted job, un-charging its claim from the residual
+    /// network.
+    pub fn release(&self, job: JobId) -> Result<(), ServiceError> {
+        let shared = &self.shared;
+        let mut cell = lock(&shared.ledger, "ledger");
+        let claim = cell.ledger.release(job)?;
+        cell.refresh_residual();
+        lock(&shared.cache, "cache")
+            .advance_ledger(cell.ledger.version(), Some(&claim.touched_delta()));
+        drop(cell);
+        StatsInner::bump(&shared.stats.releases);
+        Ok(())
+    }
+
+    /// One supervision epoch for an admitted job: runs the failure-aware
+    /// [`Supervisor`] (policy from [`ServiceConfig::supervisor`]) against
+    /// the residual network **excluding the job's own claim** — the
+    /// job's reservation must not repel its own re-placement — and, when
+    /// re-selection is advised, moves the ledger entry to the advised
+    /// nodes atomically: one version bump swaps the old claim for the
+    /// new, so concurrent admissions never see the job double-counted or
+    /// missing. `now` is the caller's clock in seconds, monotone across
+    /// calls for this job.
+    ///
+    /// Selection errors (e.g. too few live nodes) leave the ledger
+    /// unchanged; the supervisor stays primed and a later epoch may
+    /// recover.
+    pub fn supervise(&self, job: JobId, now: f64) -> Result<SupervisorCheck, ServiceError> {
+        let shared = &self.shared;
+        let mut cell = lock(&shared.ledger, "ledger");
+        let raw = Arc::clone(&cell.raw);
+        let delta = cell.ledger.residual_delta_excluding(&raw, job);
+        // Materialized residual-without-self; bit-identical to the view
+        // (see `nodesel_topology::residual`). An invisible remainder
+        // reuses the raw snapshot unchanged.
+        let excl = if delta.is_empty() {
+            Arc::clone(&raw)
+        } else {
+            Arc::new(raw.apply(&delta))
+        };
+        let policy = shared.config.supervisor;
+        let entry = cell.ledger.entry_mut(job)?;
+        let own = OwnUsage::one_process_per_node(&entry.nodes);
+        let current = entry.nodes.clone();
+        let supervisor = entry
+            .supervisor
+            .get_or_insert_with(|| Supervisor::new(entry.request.clone(), policy));
+        let check = supervisor.check(now, &excl, &current, &own)?;
+        if matches!(check.verdict, SupervisorVerdict::Reselect { .. }) {
+            let next = check.advice.best.nodes.clone();
+            let LedgerCell { ledger, raw, .. } = &mut *cell;
+            let (old_claim, new_claim) = ledger.move_job(job, next, raw.structure())?;
+            cell.refresh_residual();
+            // Cached answers may depend on either the vacated or the
+            // newly occupied entities: invalidate against the union.
+            let mut touched = old_claim.touched_delta();
+            let new_touched = new_claim.touched_delta();
+            touched.nodes.extend(new_touched.nodes);
+            touched.links.extend(new_touched.links);
+            lock(&shared.cache, "cache").advance_ledger(cell.ledger.version(), Some(&touched));
+            StatsInner::bump(&shared.stats.ledger_moves);
+        }
+        Ok(check)
+    }
+
+    /// The nodes an admitted job currently occupies.
+    pub fn job_nodes(&self, job: JobId) -> Result<Vec<nodesel_topology::NodeId>, ServiceError> {
+        let cell = lock(&self.shared.ledger, "ledger");
+        cell.ledger.nodes(job).map(|n| n.to_vec())
     }
 
     /// A point-in-time view of the service's counters.
     pub fn stats(&self) -> ServiceStats {
         use std::sync::atomic::Ordering::Relaxed;
         let shared = &self.shared;
-        let cache = shared.cache.lock().expect("cache lock poisoned");
+        let cell = lock(&shared.ledger, "ledger");
+        let active_jobs = cell.ledger.len() as u64;
+        let ledger_version = cell.ledger.version();
+        drop(cell);
+        let cache = lock(&shared.cache, "cache");
         let counters = cache.counters;
         drop(cache);
         ServiceStats {
@@ -306,11 +610,13 @@ impl PlacementService {
             carried_forward: counters.carried_forward,
             stale_inserts: counters.stale_inserts,
             flushes: counters.flushes,
-            solves_per_epoch: shared
-                .stats
-                .per_epoch
-                .lock()
-                .expect("stats lock poisoned")
+            ledger_evictions: counters.ledger_evictions,
+            admits: shared.stats.admits.load(Relaxed),
+            releases: shared.stats.releases.load(Relaxed),
+            ledger_moves: shared.stats.ledger_moves.load(Relaxed),
+            active_jobs,
+            ledger_version,
+            solves_per_epoch: lock(&shared.stats.per_epoch, "stats")
                 .iter()
                 .copied()
                 .collect(),
@@ -319,7 +625,7 @@ impl PlacementService {
 
     /// Resident cache entries (test and observability hook).
     pub fn cached_entries(&self) -> usize {
-        self.shared.cache.lock().expect("cache lock poisoned").len()
+        lock(&self.shared.cache, "cache").len()
     }
 }
 
@@ -372,9 +678,12 @@ fn scarcity_key(
 fn worker_loop(shared: &Shared) {
     loop {
         let mut batch: Vec<Arc<Job>> = {
-            let mut state = shared.state.lock().expect("queue lock poisoned");
+            let mut state = lock(&shared.state, "queue");
             while state.queue.is_empty() && !shared.shutdown.load(SeqCst) {
-                state = shared.work_cv.wait(state).expect("queue lock poisoned");
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(|_| panic!("queue lock poisoned by a panicked thread"));
             }
             if state.queue.is_empty() {
                 return; // shutdown with nothing left to solve
@@ -387,21 +696,18 @@ fn worker_loop(shared: &Shared) {
         batch.sort_by_key(|a| scarcity_key(&a.canon));
         for job in batch {
             let (result, footprint) = solve(&job.snap, &job.canon);
-            let epoch = job.snap.epoch();
-            shared.stats.record_solve(epoch);
-            shared.cache.lock().expect("cache lock poisoned").insert(
-                epoch,
+            shared.stats.record_solve(job.epoch);
+            lock(&shared.cache, "cache").insert(
+                job.epoch,
+                job.version,
                 job.canon.clone(),
                 result.clone(),
                 footprint,
             );
-            shared
-                .state
-                .lock()
-                .expect("queue lock poisoned")
+            lock(&shared.state, "queue")
                 .inflight
                 .remove(&job_key(&job.snap, &job.canon));
-            *job.done.lock().expect("job lock poisoned") = Some(result);
+            *lock(&job.done, "job") = Some(result);
             job.cv.notify_all();
         }
     }
@@ -577,5 +883,126 @@ mod tests {
         let k = |r: &SelectionRequest| scarcity_key(&CanonicalRequest::new(r));
         assert!(k(&tight) < k(&loose));
         assert!(k(&big) < k(&loose));
+    }
+
+    #[test]
+    fn admitted_jobs_shift_later_placements() {
+        let (svc, _) = service(0);
+        let mut request = SelectionRequest::balanced(2);
+        request.reference_bandwidth = Some(20.0 * MBPS);
+        // Oblivious gets answer the same nodes every time.
+        let oblivious = svc.get(&request).result.unwrap();
+        assert_eq!(svc.get(&request).result.unwrap(), oblivious);
+        // Admission charges the nodes; the next admission must avoid the
+        // now-loaded ones (8 idle leaves, 2 claimed => 6 free remain
+        // strictly better on effective CPU).
+        let first = svc.admit(&request).unwrap();
+        assert_eq!(first.selection, oblivious);
+        assert_eq!(svc.active_jobs(), 1);
+        let second = svc.admit(&request).unwrap();
+        for n in &second.selection.nodes {
+            assert!(
+                !first.selection.nodes.contains(n),
+                "second admission re-used a claimed node"
+            );
+        }
+        assert_eq!(svc.active_jobs(), 2);
+        let stats = svc.stats();
+        assert_eq!(stats.admits, 2);
+        assert_eq!(stats.active_jobs, 2);
+        assert!(stats.ledger_version >= 2);
+    }
+
+    #[test]
+    fn release_restores_oblivious_answers() {
+        let (svc, _) = service(0);
+        let request = SelectionRequest::balanced(2);
+        let before = svc.get(&request);
+        let admission = svc.admit(&request).unwrap();
+        // With the claim charged, the same spec answers differently.
+        let during = svc.get(&request);
+        assert_ne!(before.result, during.result);
+        svc.release(admission.job).unwrap();
+        // Residual is the raw snapshot again: identical Arc, identical bits.
+        assert!(Arc::ptr_eq(&svc.residual_snapshot(), &svc.snapshot()));
+        let after = svc.get(&request);
+        assert_eq!(before.result, after.result);
+        assert_eq!(svc.active_jobs(), 0);
+        assert_eq!(svc.stats().releases, 1);
+        // Double release is a typed error, not a panic.
+        assert_eq!(
+            svc.release(admission.job),
+            Err(ServiceError::UnknownJob(admission.job))
+        );
+    }
+
+    #[test]
+    fn admit_rejects_invalid_demand_and_failed_selection() {
+        let (svc, _) = service(0);
+        let request = SelectionRequest::balanced(2);
+        let bad = ResourceDemand {
+            cpu_load: f64::NAN,
+            pair_bandwidth: 0.0,
+        };
+        assert!(matches!(
+            svc.admit_with(&request, bad),
+            Err(ServiceError::InvalidDemand {
+                field: "cpu_load",
+                ..
+            })
+        ));
+        // An unsatisfiable selection admits nothing.
+        let huge = SelectionRequest::balanced(100);
+        assert!(matches!(
+            svc.admit(&huge),
+            Err(ServiceError::Select(SelectError::NotEnoughNodes { .. }))
+        ));
+        assert_eq!(svc.active_jobs(), 0);
+        assert_eq!(svc.stats().admits, 0);
+    }
+
+    #[test]
+    fn supervise_moves_job_off_dead_node_without_double_count() {
+        let (svc, ids) = service(0);
+        let request = SelectionRequest::balanced(2);
+        let admission = svc.admit(&request).unwrap();
+        let placed = admission.selection.nodes.clone();
+        let healthy = svc.supervise(admission.job, 0.0).unwrap();
+        assert_eq!(healthy.verdict, SupervisorVerdict::Healthy);
+        // Kill one placed node.
+        let dead = placed[0];
+        let delta = NetDelta {
+            avail_nodes: vec![(dead, false)],
+            ..NetDelta::default()
+        };
+        let down = svc.snapshot().apply(&delta);
+        svc.publish(Arc::new(down), Some(&delta));
+        let check = svc.supervise(admission.job, 1.0).unwrap();
+        assert_eq!(check.verdict, SupervisorVerdict::Reselect { failure: true });
+        let moved = svc.job_nodes(admission.job).unwrap();
+        assert!(!moved.contains(&dead));
+        assert_eq!(svc.stats().ledger_moves, 1);
+        // Exactly one job's claim in the ledger: the moved-to nodes are
+        // charged, the vacated one is not (no double-count).
+        let residual = svc.residual_snapshot();
+        let raw = svc.snapshot();
+        for &n in &moved {
+            assert!(residual.load_avg(n) > raw.load_avg(n));
+        }
+        for &n in placed.iter().filter(|n| !moved.contains(n)) {
+            assert_eq!(residual.load_avg(n).to_bits(), raw.load_avg(n).to_bits());
+        }
+        let _ = ids;
+    }
+
+    #[test]
+    fn supervising_unknown_job_is_a_typed_error() {
+        let (svc, _) = service(0);
+        let admission = svc.admit(&SelectionRequest::balanced(2)).unwrap();
+        svc.release(admission.job).unwrap();
+        assert!(matches!(
+            svc.supervise(admission.job, 0.0),
+            Err(ServiceError::UnknownJob(_))
+        ));
     }
 }

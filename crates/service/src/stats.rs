@@ -22,6 +22,9 @@ pub struct CacheCounters {
     pub stale_inserts: u64,
     /// Wholesale flushes (structural change or untracked epoch jump).
     pub flushes: u64,
+    /// Entries evicted because a ledger change (admit/release/move)
+    /// touched their footprint.
+    pub ledger_evictions: u64,
 }
 
 /// Monotonic service counters, updated lock-free on the request path.
@@ -32,6 +35,9 @@ pub(crate) struct StatsInner {
     pub single_flight_merges: AtomicU64,
     pub solves: AtomicU64,
     pub epochs_published: AtomicU64,
+    pub admits: AtomicU64,
+    pub releases: AtomicU64,
+    pub ledger_moves: AtomicU64,
     /// `(epoch, solves attributed to it)` for the most recent epochs.
     pub per_epoch: Mutex<VecDeque<(u64, u64)>>,
 }
@@ -85,6 +91,18 @@ pub struct ServiceStats {
     pub stale_inserts: u64,
     /// Wholesale cache flushes.
     pub flushes: u64,
+    /// Cache entries evicted by ledger changes (admit/release/move).
+    pub ledger_evictions: u64,
+    /// Jobs admitted through the placement lifecycle.
+    pub admits: u64,
+    /// Jobs released.
+    pub releases: u64,
+    /// Supervised re-selections that moved a ledger entry.
+    pub ledger_moves: u64,
+    /// Jobs currently admitted (ledger residency).
+    pub active_jobs: u64,
+    /// Current ledger version (bumped per admit/release/move).
+    pub ledger_version: u64,
     /// `(epoch, solves)` for the most recent epochs, oldest first.
     pub solves_per_epoch: Vec<(u64, u64)>,
 }

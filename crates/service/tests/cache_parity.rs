@@ -229,8 +229,93 @@ proptest! {
             batch_size: batch,
             queue_capacity: 4,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         };
         drive(seed, topo, &ids, steps, config);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Empty-ledger invisibility: a service whose ledger has seen
+    /// admissions but is empty again answers bit-identically to a twin
+    /// that never admitted anything, across seeds, request shapes, and
+    /// churn. The residual snapshot must collapse back to the raw
+    /// snapshot pointer-identically, not just value-equal.
+    #[test]
+    fn emptied_ledger_answers_match_never_admitted_twin(
+        seed in 0u64..100_000,
+        computes in 3usize..10,
+        networks in 0usize..5,
+        steps in 1usize..4,
+        jobs in 1usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xad317);
+        let first = NetSnapshot::capture(Arc::new(topo));
+        let svc = PlacementService::new(Arc::new(first.clone()), ServiceConfig::default());
+        let twin = PlacementService::new(Arc::new(first.clone()), ServiceConfig::default());
+        let mut current = first;
+        for _ in 0..steps {
+            // Admit a few random jobs (failed selections admit nothing),
+            // then release every one.
+            let mut admitted = Vec::new();
+            for _ in 0..jobs {
+                let mut request = random_request(&mut rng, &ids);
+                request.reference_bandwidth = Some(20.0 * MBPS);
+                if let Ok(admission) = svc.admit(&request) {
+                    admitted.push(admission.job);
+                }
+            }
+            for job in admitted {
+                svc.release(job).unwrap();
+            }
+            prop_assert!(
+                Arc::ptr_eq(&svc.residual_snapshot(), &svc.snapshot()),
+                "emptied ledger must hand back the raw snapshot Arc"
+            );
+            for _ in 0..6 {
+                let request = random_request(&mut rng, &ids);
+                let ours = svc.get(&request);
+                let theirs = twin.get(&request);
+                prop_assert_eq!(ours.epoch, theirs.epoch);
+                prop_assert_eq!(ours.result, theirs.result);
+            }
+            let delta = random_delta(&mut rng, current.structure_arc());
+            let next = current.apply(&delta);
+            svc.publish(Arc::new(next.clone()), Some(&delta));
+            twin.publish(Arc::new(next.clone()), Some(&delta));
+            current = next;
+        }
+    }
+
+    /// With live admissions, every `get` answer matches a fresh solve on
+    /// the service's own residual snapshot — contention awareness is the
+    /// residual network and nothing else.
+    #[test]
+    fn admitted_state_answers_match_residual_solve(
+        seed in 0u64..100_000,
+        computes in 4usize..10,
+        networks in 0usize..5,
+        jobs in 1usize..4,
+    ) {
+        let (topo, ids) = random_topology(seed, computes, networks);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a11);
+        let first = NetSnapshot::capture(Arc::new(topo));
+        let svc = PlacementService::new(Arc::new(first), ServiceConfig::default());
+        for _ in 0..jobs {
+            let mut request = random_request(&mut rng, &ids);
+            request.reference_bandwidth = Some(20.0 * MBPS);
+            let _ = svc.admit(&request);
+        }
+        let residual = svc.residual_snapshot();
+        for _ in 0..8 {
+            let request = random_request(&mut rng, &ids);
+            let placement = svc.get(&request);
+            let fresh = selector_for(request.objective).select(&residual, &request);
+            prop_assert_eq!(placement.result, fresh);
+        }
     }
 }
 
@@ -248,6 +333,7 @@ fn concurrent_bursts_stay_bit_identical() {
             batch_size: 2,
             queue_capacity: 4,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         },
     );
     let mut rng = StdRng::seed_from_u64(0xbeef);

@@ -224,6 +224,39 @@ pub fn randomize_conditions<R: Rng>(
     }
 }
 
+/// A federation of `k` subnets: each subnet is a two-router backbone
+/// (`s{s}-r0 — s{s}-r1` at 100 Mbps) with eight hosts attached
+/// alternately to the two routers. With `trunk_latency` the subnets are
+/// chained router-to-router into one connected federation whose
+/// inter-subnet trunks run at 50 Mbps with that latency — the shape
+/// where cross-subnet placements contend on a scarce shared link.
+/// Without it the subnets stay disconnected (`k` components). Returns
+/// the topology and each subnet's host list.
+pub fn federation(k: usize, trunk_latency: Option<f64>) -> (Topology, Vec<Vec<NodeId>>) {
+    let mut topo = Topology::new();
+    let mut subnets = Vec::new();
+    let mut routers = Vec::new();
+    for s in 0..k {
+        let r0 = topo.add_network_node(format!("s{s}-r0"));
+        let r1 = topo.add_network_node(format!("s{s}-r1"));
+        topo.add_link(r0, r1, 100.0 * MBPS);
+        let mut hosts = Vec::new();
+        for h in 0..8 {
+            let n = topo.add_compute_node(format!("s{s}-h{h}"), 1.0);
+            topo.add_link(n, if h % 2 == 0 { r0 } else { r1 }, 100.0 * MBPS);
+            hosts.push(n);
+        }
+        routers.push((r0, r1));
+        subnets.push(hosts);
+    }
+    if let Some(lat) = trunk_latency {
+        for w in routers.windows(2) {
+            topo.add_link_full(w[0].1, w[1].0, 50.0 * MBPS, 50.0 * MBPS, lat);
+        }
+    }
+    (topo, subnets)
+}
+
 /// Default capacity used by examples: 100 Mbps Ethernet.
 pub const DEFAULT_CAPACITY: f64 = 100.0 * MBPS;
 

@@ -60,6 +60,7 @@ mod link;
 pub mod maxmin;
 pub mod metrics;
 mod node;
+pub mod residual;
 pub mod route;
 pub mod route_approx;
 pub mod shard;
@@ -74,6 +75,7 @@ pub use hierarchy::Hierarchy;
 pub use ids::{EdgeId, NodeId};
 pub use link::{Direction, Link};
 pub use node::{Node, NodeKind};
+pub use residual::{LedgerState, ResidualView, ResourceClaim};
 pub use route::{Path, RouteScratch, RouteTable, Routes};
 pub use route_approx::{fan_out, RouteSketch};
 pub use shard::ShardPlan;
