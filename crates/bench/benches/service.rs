@@ -137,6 +137,8 @@ fn stats_json(stats: &Option<ServiceStats>) -> serde_json::Value {
             "cache_hits": s.cache_hits,
             "single_flight_merges": s.single_flight_merges,
             "solves": s.solves,
+            "shed": s.shed,
+            "refused": s.refused,
             "carried_forward": s.carried_forward,
             "delta_evictions": s.delta_evictions,
             "capacity_evictions": s.capacity_evictions,
@@ -331,6 +333,19 @@ fn main() {
         cache.digest, batch.digest,
         "batched answers drifted from inline-cache answers"
     );
+    // This bench runs the infallible blocking path under the default
+    // (disabled) degrade policy: the accounting identity must balance
+    // with the overload buckets empty — a tripwire that the chaos
+    // hardening stays invisible until it is asked for.
+    for (label, mode) in [("cache", &cache), ("cache_batch", &batch)] {
+        let s = mode.stats.as_ref().expect("service modes carry counters");
+        assert!(s.balanced(), "{label} counters no longer balance");
+        assert_eq!(
+            (s.shed, s.refused),
+            (0, 0),
+            "{label} shed or refused on the blocking path"
+        );
+    }
 
     eprintln!("\n=== Placement service throughput (n = {}, {} distinct specs, churn every {} requests) ===",
         axes.n, distinct.len(), axes.churn_every);

@@ -153,6 +153,16 @@ impl CanonicalRequest {
     pub fn required_len(&self) -> usize {
         self.required.len()
     }
+
+    /// True when the answer depends on bandwidth annotations: a
+    /// communication-aware objective (communication or balanced), or a
+    /// bandwidth floor constraint on an otherwise compute-only request.
+    /// Degraded-mode services use this to decide which requests stale
+    /// utilization data can still honestly serve — CPU-only questions
+    /// survive a silent network, bandwidth questions do not.
+    pub fn bandwidth_sensitive(&self) -> bool {
+        !matches!(self.objective, CanonObjective::Compute) || self.min_bandwidth.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +256,16 @@ mod tests {
         let mut rbneg = rb.clone();
         rbneg.reference_bandwidth = Some(-0.0);
         assert_ne!(CanonicalRequest::new(&rb), CanonicalRequest::new(&rbneg));
+    }
+
+    #[test]
+    fn bandwidth_sensitivity_tracks_objective_and_floor() {
+        assert!(!CanonicalRequest::new(&SelectionRequest::compute(2)).bandwidth_sensitive());
+        assert!(CanonicalRequest::new(&SelectionRequest::communication(2)).bandwidth_sensitive());
+        assert!(CanonicalRequest::new(&SelectionRequest::balanced(2)).bandwidth_sensitive());
+        let mut floored = SelectionRequest::compute(2);
+        floored.constraints.min_bandwidth = Some(1.0);
+        assert!(CanonicalRequest::new(&floored).bandwidth_sensitive());
     }
 
     #[test]

@@ -144,6 +144,12 @@ pub enum SelectError {
     /// Enough nodes exist, but no connected component satisfies all
     /// constraints simultaneously.
     Unsatisfiable,
+    /// The measurement data behind the request is too old to answer a
+    /// bandwidth-sensitive question honestly. Produced by service layers
+    /// running a degraded-mode policy (see `nodesel-service`); [`select`]
+    /// itself never returns it — a snapshot in hand is always answerable,
+    /// only a *service* knows how long ago its snapshot was current.
+    DataTooStale,
 }
 
 impl core::fmt::Display for SelectError {
@@ -165,6 +171,12 @@ impl core::fmt::Display for SelectError {
             ),
             SelectError::Unsatisfiable => {
                 write!(f, "no connected node set satisfies the constraints")
+            }
+            SelectError::DataTooStale => {
+                write!(
+                    f,
+                    "measurement data too stale for a bandwidth-sensitive selection"
+                )
             }
         }
     }

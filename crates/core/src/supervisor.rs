@@ -109,6 +109,10 @@ pub struct Supervisor {
     backoff_until: f64,
     /// Width of the most recently opened window.
     backoff: f64,
+    /// Largest `now` ever seen by [`Supervisor::check`]: the clamp that
+    /// keeps a stale caller clock from rewinding (and thereby resetting)
+    /// an open backoff window.
+    last_now: f64,
     reselections: u64,
     failure_reselections: u64,
 }
@@ -140,6 +144,7 @@ impl Supervisor {
             policy,
             backoff_until: 0.0,
             backoff: 0.0,
+            last_now: f64::NEG_INFINITY,
             reselections: 0,
             failure_reselections: 0,
         }
@@ -164,7 +169,11 @@ impl Supervisor {
     /// One supervision epoch: classifies the health of `current` on
     /// `snapshot`, refreshes the best placement (incrementally, through
     /// the embedded advisor), and applies the policy. `now` is the
-    /// caller's clock in seconds — it must not go backwards across calls.
+    /// caller's clock in seconds; a `now` earlier than any previously
+    /// seen one (or a non-finite one) is **clamped** to the latest seen —
+    /// time never moves backwards inside the supervisor, so a stale
+    /// clock can neither rewind an open backoff window nor trick
+    /// [`Supervisor::check`] into resetting a widened one back to base.
     ///
     /// Errors from the underlying selection (e.g. too few live nodes to
     /// host the application) are returned as-is; the supervisor stays
@@ -176,6 +185,13 @@ impl Supervisor {
         current: &[NodeId],
         own: &OwnUsage,
     ) -> Result<SupervisorCheck, SelectError> {
+        // Monotone clamp (NaN-safe: `f64::max` ignores a NaN operand, so
+        // a NaN `now` degrades to "no time passed"). Without this, a
+        // caller handing an older timestamp would make `now <
+        // backoff_until` comparisons lie and `note_reselection` reset a
+        // widened window to its base width.
+        let now = now.max(self.last_now);
+        self.last_now = now;
         let cap = self.policy.max_staleness;
         let failed: Vec<NodeId> = current
             .iter()
@@ -426,6 +442,50 @@ mod tests {
         sup.check(100.0, &kill(ids[0], &snap), &placed, &own)
             .unwrap();
         assert!((sup.backoff_until() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_clock_cannot_rewind_or_reset_backoff() {
+        let (snap, ids) = snap_star(5);
+        let placed = [ids[0], ids[1]];
+        let own = OwnUsage::one_process_per_node(&placed);
+        let mut sup = Supervisor::new(SelectionRequest::balanced(2), policy());
+        sup.check(0.0, &snap, &placed, &own).unwrap();
+        let kill = |n: NodeId, base: &NetSnapshot| {
+            base.apply(&NetDelta {
+                avail_nodes: vec![(n, false)],
+                ..NetDelta::default()
+            })
+        };
+        // Two failures inside the window widen it: 10 → 20 (until 22).
+        sup.check(1.0, &kill(ids[0], &snap), &placed, &own).unwrap();
+        sup.check(2.0, &kill(ids[1], &snap), &placed, &own).unwrap();
+        assert!((sup.backoff_until() - 22.0).abs() < 1e-9);
+        // A stale clock (t=0, before the window) is clamped to the last
+        // seen t=2: the failure still lands *inside* the window, so the
+        // window keeps widening (20 → 40) instead of resetting to base —
+        // which is what an unclamped `now=0` outside-the-window branch
+        // would have done after the window closed.
+        sup.check(0.0, &kill(ids[0], &snap), &placed, &own).unwrap();
+        assert!(
+            (sup.backoff_until() - 42.0).abs() < 1e-9,
+            "stale clock reset the backoff: until = {}",
+            sup.backoff_until()
+        );
+        // Quality moves consulted with a rewound clock stay held with the
+        // remaining time measured from the clamped (latest) instant.
+        let heavy = snap.apply(&NetDelta {
+            nodes: vec![(ids[0], 4.0), (ids[1], 4.0)],
+            ..NetDelta::default()
+        });
+        let check = sup.check(1.0, &heavy, &placed, &own).unwrap();
+        let SupervisorVerdict::Hold { backoff_remaining } = check.verdict else {
+            panic!("expected Hold, got {:?}", check.verdict);
+        };
+        assert!((backoff_remaining - 40.0).abs() < 1e-9);
+        // Time resumes from the clamp, not from the stale reading.
+        let check = sup.check(50.0, &heavy, &placed, &own).unwrap();
+        assert!(matches!(check.verdict, SupervisorVerdict::Reselect { .. }));
     }
 
     #[test]

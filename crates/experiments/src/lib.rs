@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod contention;
 pub mod driver;
 pub mod fault_study;
@@ -34,6 +35,10 @@ pub mod service_churn;
 pub mod table1;
 pub mod tomography;
 
+pub use chaos::{
+    render_chaos_table, run_chaos, run_soak, ChaosConfig, ChaosOutcome, ChaosPhase, PhaseCounts,
+    ReconcileTotals, RepairSummary, SoakReport, CHAOS_PHASES,
+};
 pub use contention::{
     render_contention_table, run_contention, run_contention_study, ContentionConfig,
     ContentionOutcome, ContentionRegime, ContentionTestbed,

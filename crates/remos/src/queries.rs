@@ -3,7 +3,7 @@
 use crate::collector::{install, install_scoped, CollectorConfig, Samples};
 use crate::estimator::Estimator;
 use nodesel_simnet::{DriverId, Sim, SimTime};
-use nodesel_topology::{Direction, NetSnapshot, NodeId, Topology, TopologyError};
+use nodesel_topology::{Direction, NetMetrics, NetSnapshot, NodeId, Topology, TopologyError};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -141,6 +141,19 @@ impl Remos {
     /// Time of the most recent sample, if any.
     pub fn last_sample_time(&self, sim: &Sim) -> Option<SimTime> {
         self.samples(sim).last_sample
+    }
+
+    /// The collector's published confidence: the minimum
+    /// staleness-confidence across the available entities of the
+    /// snapshot it currently publishes
+    /// ([`NetMetrics::min_confidence`]). `1.0` while every reachable
+    /// entity samples cleanly; decays geometrically as losses accumulate.
+    /// A placement service consuming the snapshot stream feeds this
+    /// scalar to its degraded-mode policy ("how much should I trust what
+    /// I am serving"). Free: reads the published snapshot, counts no
+    /// query.
+    pub fn confidence(&self, sim: &Sim) -> f64 {
+        self.samples(sim).snap.min_confidence()
     }
 
     /// The collector-maintained logical topology as a versioned

@@ -108,6 +108,9 @@ impl EpochCell {
     /// Publishes `snap` as the new current snapshot. Waits only for
     /// stragglers still pinning the slot retired one epoch ago.
     pub fn store(&self, snap: Arc<NetSnapshot>) {
+        // Invariant, not caller-reachable: a poisoned writer mutex means
+        // a publisher panicked mid-store; the two-slot protocol's safety
+        // argument is void, so escalate (see crate locking notes).
         let _writer = self.writer.lock().expect("epoch writer lock poisoned");
         let inactive = 1 - self.active.load(SeqCst);
         let slot = &self.slots[inactive];

@@ -1,13 +1,20 @@
-//! Typed errors for the placement lifecycle.
+//! Typed errors for the placement lifecycle and the overload path.
 //!
 //! The answer-only path (`get`) is infallible by design — a selection
 //! that cannot be satisfied is itself an answer
 //! ([`nodesel_core::SelectError`] travels *inside* the
-//! [`crate::Placement`]). The lifecycle path (`admit` / `release` /
-//! `supervise`) is different: the caller hands the service state it must
-//! validate (a demand, a job handle), so failures there are typed and
-//! returned, never panicked. Lock poisoning remains a panic throughout
-//! the crate — see [`crate::service`]'s locking notes.
+//! [`crate::Placement`]). The deadline-aware path
+//! ([`crate::PlacementService::get_with`]) adds two ways to *not*
+//! answer, both typed: [`ServiceError::Shed`] (the bounded queue or the
+//! solve gate was full and the request declined to block) and
+//! [`ServiceError::DeadlineExceeded`] (the request's deadline passed
+//! before a worker reached it). The lifecycle path (`admit` / `release`
+//! / `supervise`) validates caller-held state (a demand, a job handle),
+//! so failures there are typed and returned, never panicked; under the
+//! degraded-mode policy an admission of a bandwidth-sensitive job past
+//! the hard staleness bound is refused with
+//! [`ServiceError::DegradedRefusal`]. Lock poisoning remains a panic
+//! throughout the crate — see [`crate::service`]'s locking notes.
 
 use crate::ledger::JobId;
 use nodesel_core::SelectError;
@@ -28,6 +35,34 @@ pub enum ServiceError {
     },
     /// The underlying selection failed; the ledger was not changed.
     Select(SelectError),
+    /// The service shed the request instead of queueing or solving it:
+    /// the bounded request queue (or the in-flight solve gate) was full
+    /// and the request declined to block
+    /// ([`crate::GetOptions::block_when_full`] was `false`). No answer
+    /// was produced and nothing was cached; the caller may retry.
+    Shed {
+        /// Jobs sitting in the bounded queue at the moment of shedding
+        /// (0 when the solve gate, not the queue, was the full resource).
+        queued: usize,
+    },
+    /// The request's deadline passed before an answer was produced:
+    /// either it was already expired on arrival, or every waiter's
+    /// deadline had passed by the time a worker dequeued the job
+    /// (workers skip dead work instead of solving it).
+    DeadlineExceeded {
+        /// The request's absolute deadline, service-clock seconds.
+        deadline: f64,
+        /// The service clock when the request was abandoned.
+        now: f64,
+    },
+    /// The degraded-mode policy refused the operation: the collector has
+    /// not been heard from for longer than the hard staleness bound and
+    /// the request is bandwidth-sensitive, so any answer would be a
+    /// fabrication. CPU-only requests are still served (flagged stale).
+    DegradedRefusal {
+        /// Seconds since the service last heard from the collector.
+        age: f64,
+    },
 }
 
 impl core::fmt::Display for ServiceError {
@@ -46,6 +81,22 @@ impl core::fmt::Display for ServiceError {
                 )
             }
             ServiceError::Select(e) => write!(f, "selection failed: {e}"),
+            ServiceError::Shed { queued } => {
+                write!(f, "request shed: service at capacity ({queued} queued)")
+            }
+            ServiceError::DeadlineExceeded { deadline, now } => {
+                write!(
+                    f,
+                    "deadline {deadline:.3}s passed before an answer (now {now:.3}s)"
+                )
+            }
+            ServiceError::DegradedRefusal { age } => {
+                write!(
+                    f,
+                    "refused: measurements {age:.1}s old exceed the hard staleness \
+                     bound for a bandwidth-sensitive request"
+                )
+            }
         }
     }
 }

@@ -121,6 +121,12 @@ impl PlacementLedger {
         &self.state
     }
 
+    /// Handles of every admitted job, ascending by admission order — the
+    /// sweep order of [`crate::PlacementService::reconcile`].
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().map(|&id| JobId(id)).collect()
+    }
+
     /// Records an admitted placement: derives the claim from `nodes` and
     /// `demand` on `structure`, charges it, and bumps the version.
     /// Returns the job handle and the charged claim (for cache
@@ -156,6 +162,9 @@ impl PlacementLedger {
         if self.jobs.remove(&job.0).is_none() {
             return Err(ServiceError::UnknownJob(job));
         }
+        // `unwrap_or_default` is accounting, not an assert: a rebind may
+        // have dropped this job's claim to empty (vanished nodes), and
+        // releasing an empty claim un-charges nothing, correctly.
         let claim = self.state.remove(job.0).unwrap_or_default();
         self.version += 1;
         Ok(claim)
@@ -198,6 +207,9 @@ impl PlacementLedger {
             entry.demand.pair_bandwidth,
         );
         entry.nodes = nodes;
+        // `unwrap_or_default` is accounting, not an assert: a rebind may
+        // have dropped this job's claim to empty (vanished nodes), and
+        // an empty old claim un-charges nothing, correctly.
         let old_claim = self.state.claim(job.0).cloned().unwrap_or_default();
         // One insert replaces the old claim under the same id; the
         // aggregate recompute inside is the atomic swap.

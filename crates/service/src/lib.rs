@@ -26,6 +26,15 @@
 //!   requests, scarcest-first batched solving on a worker pool, the
 //!   admit/release/supervise placement lifecycle, and honest
 //!   [`ServiceStats`].
+//! * **Chaos hardening** — per-request deadlines and load shedding
+//!   ([`GetOptions`], typed [`ServiceError::Shed`] /
+//!   [`ServiceError::DeadlineExceeded`]), degraded-mode serving under a
+//!   [`DegradePolicy`] (answers flagged [`PlacementQuality::Stale`] past
+//!   the soft staleness bound, bandwidth-sensitive work refused past the
+//!   hard bound — never a silent lie), and
+//!   [`PlacementService::reconcile`] — a whole-ledger sweep that
+//!   releases claims on vanished entities and re-selects failed
+//!   placements with per-job backoff ([`ReconcileReport`]).
 //!
 //! The load-bearing invariant, proptest-guarded in
 //! `tests/cache_parity.rs`: **every answer is bit-identical to a fresh
@@ -49,5 +58,8 @@ pub use epoch::EpochCell;
 pub use error::ServiceError;
 pub use ledger::{JobId, PlacementLedger, ResourceDemand};
 pub use nodesel_core::CanonicalRequest;
-pub use service::{Admission, Placement, PlacementService, ServiceConfig};
+pub use service::{
+    Admission, DegradePolicy, GetOptions, Placement, PlacementQuality, PlacementService,
+    ReconcileReport, ServiceConfig,
+};
 pub use stats::{CacheCounters, ServiceStats};

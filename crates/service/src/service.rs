@@ -24,6 +24,43 @@
 //! same cache, same accounting, fully deterministic (the configuration
 //! the parity proptests drive).
 //!
+//! # Overload and degraded operation
+//!
+//! The service carries a **monotone clock** (a lock-free f64 watermark,
+//! advanced by every time-bearing call — [`PlacementService::get_with`]
+//! with [`GetOptions::now`], [`PlacementService::publish_at`],
+//! [`PlacementService::heartbeat`], [`PlacementService::reconcile`]).
+//! Against it:
+//!
+//! * **Deadlines & shedding** — [`PlacementService::get_with`] accepts an
+//!   optional absolute deadline. An already-expired request is shed at
+//!   the door ([`ServiceError::DeadlineExceeded`]); a full queue or a
+//!   saturated solve gate sheds instead of blocking when
+//!   [`GetOptions::block_when_full`] is off ([`ServiceError::Shed`]);
+//!   workers re-check deadlines at dequeue and skip jobs every merged
+//!   waiter has abandoned. A counting gate
+//!   ([`ServiceConfig::max_inflight_solves`]) bounds concurrently
+//!   executing solves. Everything lands in [`ServiceStats`]:
+//!   `requests == cache_hits + merges + solves + shed + refused`.
+//! * **Degraded serving** — the service tracks when it last *heard from*
+//!   the collector (any publication or [`PlacementService::heartbeat`])
+//!   and the published snapshot's confidence
+//!   ([`nodesel_topology::NetMetrics::min_confidence`]). Under a
+//!   [`DegradePolicy`], answers past the soft staleness bound are served
+//!   but flagged ([`PlacementQuality::Stale`]); past the hard bound,
+//!   bandwidth-sensitive requests are refused
+//!   ([`PlacementQuality::Refused`], carrying
+//!   [`SelectError::DataTooStale`]) while CPU-only requests are still
+//!   served — degradation is always *flagged*, never a silent lie. The
+//!   flag never changes the answer's bits: a `Stale` answer is still
+//!   bit-identical to a fresh solve on its pinned `(epoch, version)`.
+//! * **Reconciliation** — [`PlacementService::reconcile`] sweeps the
+//!   whole ledger against the latest snapshot's availability flags:
+//!   claims on vanished entities are released, failed placements are
+//!   re-selected through the per-job [`Supervisor`] (failures move
+//!   immediately, quality moves respect hysteresis and exponential
+//!   backoff), one ledger version bump per repaired job.
+//!
 //! # The placement lifecycle
 //!
 //! `get` answers and forgets: nothing is reserved, and K concurrent
@@ -55,11 +92,16 @@
 //! # Locking
 //!
 //! Lock order is `last_published → ledger → cache → queue`; any path
-//! taking several takes them in that order. Mutex poisoning is
-//! deliberately escalated ([`lock`]): a thread that panicked while
+//! taking several takes them in that order. The solve gate's mutex and
+//! each job's `deadline`/`done` mutexes are leaves (held only
+//! momentarily, never while acquiring another lock — job mutexes are
+//! taken *inside* the queue lock, which is the one nesting the order
+//! permits). The service clock is a lock-free atomic. Mutex poisoning
+//! is deliberately escalated ([`lock`]): a thread that panicked while
 //! mutating shared state has voided the bit-identical answer contract,
 //! and no caller input can reach those panics — caller-reachable
-//! failures on the lifecycle path are typed [`ServiceError`]s instead.
+//! failures on the lifecycle and overload paths are typed
+//! [`ServiceError`]s instead.
 
 use crate::cache::SelectionCache;
 use crate::epoch::EpochCell;
@@ -73,7 +115,7 @@ use nodesel_core::{
 };
 use nodesel_topology::{NetDelta, NetMetrics, NetSnapshot};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -93,6 +135,16 @@ pub struct ServiceConfig {
     /// Re-selection policy applied by [`PlacementService::supervise`]
     /// (hysteresis, backoff, staleness cap).
     pub supervisor: SupervisorPolicy,
+    /// Bound on concurrently *executing* solves across the inline path
+    /// and the worker pool (a counting admission gate). `0` disables the
+    /// gate. When the gate is saturated, a request with
+    /// [`GetOptions::block_when_full`] off is shed; workers always wait
+    /// their turn.
+    pub max_inflight_solves: usize,
+    /// Degraded-mode serving policy (staleness and confidence bounds).
+    /// The default disables every bound: all answers are
+    /// [`PlacementQuality::Fresh`] and nothing is refused.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +155,8 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             cache_capacity: 65536,
             supervisor: SupervisorPolicy::default(),
+            max_inflight_solves: 0,
+            degrade: DegradePolicy::default(),
         }
     }
 }
@@ -117,13 +171,254 @@ impl ServiceConfig {
     }
 }
 
-/// A service answer: the result plus the epoch it is valid for.
+/// Staleness and confidence bounds for degraded-mode serving.
+///
+/// `age` below is the **data age**: seconds of service-clock time since
+/// the collector was last heard from — any publication
+/// ([`PlacementService::publish_at`] / [`PlacementService::ingest_at`])
+/// or [`PlacementService::heartbeat`]. A quiet-but-alive network (no new
+/// epoch to publish, heartbeats flowing) therefore stays `Fresh`; only a
+/// collector that has gone silent ages the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradePolicy {
+    /// Data age beyond which answers are still served but flagged
+    /// [`PlacementQuality::Stale`].
+    pub soft_staleness: f64,
+    /// Data age beyond which bandwidth-sensitive requests are refused
+    /// ([`PlacementQuality::Refused`]); CPU-only requests are still
+    /// served, flagged `Stale`.
+    pub hard_staleness: f64,
+    /// Published-snapshot confidence floor
+    /// ([`nodesel_topology::NetMetrics::min_confidence`]); below it
+    /// answers are flagged `Stale`.
+    pub min_confidence: f64,
+}
+
+impl Default for DegradePolicy {
+    /// Every bound disabled: infinite staleness tolerance, zero
+    /// confidence floor — all answers `Fresh`, nothing refused.
+    fn default() -> Self {
+        DegradePolicy {
+            soft_staleness: f64::INFINITY,
+            hard_staleness: f64::INFINITY,
+            min_confidence: 0.0,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Classifies an answer produced at data age `age` with published
+    /// confidence `confidence`, for a request of the given bandwidth
+    /// sensitivity. Public so external harnesses (the chaos study, the
+    /// parity proptests) can recompute the expected quality from their
+    /// own tracked age/confidence and hold the service to it.
+    pub fn classify(
+        &self,
+        age: f64,
+        confidence: f64,
+        bandwidth_sensitive: bool,
+    ) -> PlacementQuality {
+        if age > self.hard_staleness && bandwidth_sensitive {
+            PlacementQuality::Refused { age }
+        } else if age > self.soft_staleness || confidence < self.min_confidence {
+            PlacementQuality::Stale { age }
+        } else {
+            PlacementQuality::Fresh
+        }
+    }
+}
+
+/// How trustworthy a service answer is, per the [`DegradePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementQuality {
+    /// Within every bound: the measurements behind the answer are
+    /// current by the service's own policy.
+    Fresh,
+    /// Served, but the data behind it is past the soft staleness bound
+    /// or below the confidence floor. The bits are still exactly a fresh
+    /// solve on the pinned `(epoch, version)` — the flag marks the *pin*
+    /// as aged, never the answer as approximate.
+    Stale {
+        /// Seconds since the service last heard from the collector.
+        age: f64,
+    },
+    /// Refused: the data is past the hard staleness bound and the
+    /// request is bandwidth-sensitive. The placement's `result` carries
+    /// [`SelectError::DataTooStale`]; no selection was attempted.
+    Refused {
+        /// Seconds since the service last heard from the collector.
+        age: f64,
+    },
+}
+
+impl PlacementQuality {
+    /// `true` unless the answer was refused outright.
+    pub fn served(&self) -> bool {
+        !matches!(self, PlacementQuality::Refused { .. })
+    }
+
+    /// `true` for [`PlacementQuality::Fresh`].
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, PlacementQuality::Fresh)
+    }
+}
+
+/// Per-request options for [`PlacementService::get_with`].
+///
+/// The default (`None` clock, no deadline, shed when full) is the
+/// *load-shedding* configuration; [`PlacementService::get`] uses the
+/// blocking no-deadline configuration, which cannot fail.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GetOptions {
+    /// The caller's clock in service-clock seconds; advances the
+    /// service's monotone clock. `None` reads the clock without
+    /// advancing it.
+    pub now: Option<f64>,
+    /// Absolute deadline on the service clock. A request whose deadline
+    /// has passed (`deadline <= now`) is shed — at submission, or at
+    /// dequeue when every merged waiter's deadline has passed.
+    pub deadline: Option<f64>,
+    /// When the bounded queue or the solve gate is full: `true` blocks
+    /// until space frees up (the classic behavior), `false` sheds with
+    /// [`ServiceError::Shed`].
+    pub block_when_full: bool,
+}
+
+impl GetOptions {
+    /// Blocking, no deadline — the infallible configuration
+    /// [`PlacementService::get`] uses.
+    fn blocking() -> Self {
+        GetOptions {
+            block_when_full: true,
+            ..GetOptions::default()
+        }
+    }
+}
+
+/// What one [`PlacementService::reconcile`] sweep did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReconcileReport {
+    /// Jobs examined (ledger residency at sweep start).
+    pub examined: usize,
+    /// Jobs found healthy (no move advised).
+    pub healthy: usize,
+    /// Jobs with a pending quality move held back by hysteresis or
+    /// backoff.
+    pub held: usize,
+    /// Jobs moved to a new placement (one ledger version bump each).
+    pub repaired: Vec<JobId>,
+    /// Jobs released because their placement referenced entities absent
+    /// from the current structure.
+    pub released: Vec<JobId>,
+    /// Jobs whose advised re-selection failed; the ledger entry is
+    /// unchanged and a later sweep may recover it.
+    pub deferred: Vec<(JobId, SelectError)>,
+}
+
+/// A lock-free monotone service clock: an `f64` watermark stored as
+/// bits.
+///
+/// For non-negative finite `f64` values the IEEE-754 bit patterns order
+/// exactly like the values, so `fetch_max` on the bits is `fetch_max` on
+/// the instants. Non-finite or negative instants are ignored, so the
+/// clock never runs backwards and never turns NaN — the service-side
+/// twin of the [`Supervisor`]'s per-job monotone clamp.
+struct Clock(AtomicU64);
+
+impl Clock {
+    fn new() -> Self {
+        Clock(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// The current watermark.
+    fn now(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+
+    /// Advances the watermark to `to` if later; returns the clamped
+    /// (possibly unchanged) current time.
+    fn advance(&self, to: f64) -> f64 {
+        if to.is_finite() && to > 0.0 {
+            let prev = f64::from_bits(self.0.fetch_max(to.to_bits(), Relaxed));
+            prev.max(to)
+        } else {
+            self.now()
+        }
+    }
+}
+
+/// A counting gate bounding concurrently *executing* solves across the
+/// inline path and the worker pool ([`ServiceConfig::max_inflight_solves`];
+/// `0` disables it). Its mutex is a leaf: never held across a solve or
+/// while acquiring any other lock.
+struct Gate {
+    free: Mutex<usize>,
+    cv: Condvar,
+    enabled: bool,
+}
+
+impl Gate {
+    fn new(max: usize) -> Self {
+        Gate {
+            free: Mutex::new(max),
+            cv: Condvar::new(),
+            enabled: max > 0,
+        }
+    }
+
+    /// Takes a slot without blocking; `false` when saturated.
+    fn try_acquire(&self) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let mut free = lock(&self.free, "gate");
+        if *free > 0 {
+            *free -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes a slot, blocking until one frees up.
+    fn acquire(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut free = lock(&self.free, "gate");
+        while *free == 0 {
+            free = self
+                .cv
+                .wait(free)
+                .unwrap_or_else(|_| panic!("gate lock poisoned by a panicked thread"));
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        if !self.enabled {
+            return;
+        }
+        *lock(&self.free, "gate") += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// A service answer: the result plus the pins it is valid for and its
+/// degraded-mode classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Epoch of the raw snapshot the answer was solved (or cached)
     /// against — through the residual view of the ledger version current
     /// at pin time.
     pub epoch: u64,
+    /// Ledger version of the pin (the other half of the cache key the
+    /// answer is bit-reproducible against).
+    pub ledger_version: u64,
+    /// Degraded-mode classification (always [`PlacementQuality::Fresh`]
+    /// under the default [`DegradePolicy`]). A `Refused` quality carries
+    /// `Err(`[`SelectError::DataTooStale`]`)` in `result`.
+    pub quality: PlacementQuality,
     /// The selection, bit-identical to a fresh solve on that epoch's
     /// residual network.
     pub result: Result<Selection, SelectError>,
@@ -137,6 +432,10 @@ pub struct Admission {
     pub job: JobId,
     /// Raw-snapshot epoch the placement was solved against.
     pub epoch: u64,
+    /// Degraded-mode classification of the data the admission was
+    /// decided on (never `Refused` — a refused admission is the typed
+    /// error [`ServiceError::DegradedRefusal`] instead).
+    pub quality: PlacementQuality,
     /// The granted placement.
     pub selection: Selection,
 }
@@ -158,6 +457,19 @@ fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> MutexGuard<'a, T> {
     }
 }
 
+/// How an in-flight job ended.
+#[derive(Debug, Clone)]
+enum JobOutcome {
+    /// A worker solved it: the answer to publish to every merged waiter.
+    Solved(Result<Selection, SelectError>),
+    /// Every merged waiter's deadline had passed at dequeue; the worker
+    /// skipped the solve.
+    Expired {
+        /// The service clock when the job was abandoned.
+        now: f64,
+    },
+}
+
 /// One in-flight solve; merged requests block on `cv` until `done`.
 struct Job {
     /// The pinned residual snapshot the solve runs against.
@@ -167,7 +479,12 @@ struct Job {
     /// Ledger version of the pin (cache-key half).
     version: u64,
     canon: CanonicalRequest,
-    done: Mutex<Option<Result<Selection, SelectError>>>,
+    /// Latest deadline across every merged waiter; `None` (some waiter
+    /// has no deadline) dominates. A leaf mutex taken *inside* the queue
+    /// lock — both the merge relaxation and the worker's dequeue expiry
+    /// check hold the queue lock, so neither can race the other.
+    deadline: Mutex<Option<f64>>,
+    done: Mutex<Option<JobOutcome>>,
     cv: Condvar,
 }
 
@@ -198,6 +515,12 @@ struct LedgerCell {
     ledger: PlacementLedger,
     raw: Arc<NetSnapshot>,
     residual: Arc<NetSnapshot>,
+    /// Service-clock instant the collector was last heard from (any
+    /// publication or heartbeat).
+    last_heard: f64,
+    /// `raw`'s [`NetMetrics::min_confidence`] at publication time
+    /// (computed outside the lock).
+    confidence: f64,
 }
 
 impl LedgerCell {
@@ -224,21 +547,34 @@ struct Shared {
     shutdown: AtomicBool,
     /// Baseline for [`PlacementService::ingest`] diffs.
     last_published: Mutex<Arc<NetSnapshot>>,
+    /// The monotone service clock (lock-free watermark).
+    clock: Clock,
+    /// The in-flight solve gate.
+    gate: Gate,
     config: ServiceConfig,
 }
 
+/// The answering context, captured atomically under one short ledger
+/// lock. Everything downstream (cache key, solve input, reported epoch,
+/// degraded-mode classification) derives from it.
+struct Pin {
+    snap: Arc<NetSnapshot>,
+    epoch: u64,
+    version: u64,
+    last_heard: f64,
+    confidence: f64,
+}
+
 impl Shared {
-    /// Pins the answering context: `(residual snapshot, raw epoch,
-    /// ledger version)`, captured atomically under one short ledger
-    /// lock. Everything downstream (cache key, solve input, reported
-    /// epoch) derives from this triple.
-    fn pin(&self) -> (Arc<NetSnapshot>, u64, u64) {
+    fn pin(&self) -> Pin {
         let cell = lock(&self.ledger, "ledger");
-        (
-            Arc::clone(&cell.residual),
-            cell.raw.epoch(),
-            cell.ledger.version(),
-        )
+        Pin {
+            snap: Arc::clone(&cell.residual),
+            epoch: cell.raw.epoch(),
+            version: cell.ledger.version(),
+            last_heard: cell.last_heard,
+            confidence: cell.confidence,
+        }
     }
 }
 
@@ -265,6 +601,8 @@ impl PlacementService {
                 ledger: PlacementLedger::new(),
                 raw: Arc::clone(&initial),
                 residual: Arc::clone(&initial),
+                last_heard: 0.0,
+                confidence: initial.min_confidence(),
             }),
             state: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
@@ -272,6 +610,8 @@ impl PlacementService {
             stats: StatsInner::default(),
             shutdown: AtomicBool::new(false),
             last_published: Mutex::new(initial),
+            clock: Clock::new(),
+            gate: Gate::new(config.max_inflight_solves),
             config: config.clone(),
         });
         let workers = (0..config.workers)
@@ -280,6 +620,8 @@ impl PlacementService {
                 std::thread::Builder::new()
                     .name(format!("nodesel-service-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // Invariant, not caller-reachable: spawn fails only
+                    // on OS thread exhaustion, before any request runs.
                     .expect("spawn service worker")
             })
             .collect();
@@ -297,7 +639,24 @@ impl PlacementService {
     /// lock-free, the bookkeeping contends only with request threads'
     /// short ledger/cache accesses.
     pub fn publish(&self, snap: Arc<NetSnapshot>, delta: Option<&NetDelta>) {
+        let now = self.shared.clock.now();
+        self.publish_inner(snap, delta, now);
+    }
+
+    /// [`PlacementService::publish`] with the collector's clock attached:
+    /// advances the monotone service clock to `now` and resets the data
+    /// age the [`DegradePolicy`] measures. The chaos-facing publication
+    /// entry point.
+    pub fn publish_at(&self, snap: Arc<NetSnapshot>, delta: Option<&NetDelta>, now: f64) {
+        let now = self.shared.clock.advance(now);
+        self.publish_inner(snap, delta, now);
+    }
+
+    fn publish_inner(&self, snap: Arc<NetSnapshot>, delta: Option<&NetDelta>, heard_at: f64) {
         let shared = &self.shared;
+        // Confidence is a full scan of the snapshot's entities — do it
+        // before taking any lock.
+        let confidence = snap.min_confidence();
         let structure_changed = {
             let mut last = lock(&shared.last_published, "last-published");
             let changed = !snap.same_structure(&last);
@@ -309,6 +668,8 @@ impl PlacementService {
         let delta = if structure_changed { None } else { delta };
         let mut cell = lock(&shared.ledger, "ledger");
         cell.raw = snap;
+        cell.last_heard = heard_at;
+        cell.confidence = confidence;
         if structure_changed && !cell.ledger.is_empty() {
             let LedgerCell { ledger, raw, .. } = &mut *cell;
             ledger.rebind(raw.structure());
@@ -332,16 +693,50 @@ impl PlacementService {
     /// The convenience hook for a collector pump that only has
     /// snapshots in hand. Returns the published epoch.
     pub fn ingest(&self, snap: NetSnapshot) -> u64 {
+        let now = self.shared.clock.now();
+        self.ingest_inner(snap, now)
+    }
+
+    /// [`PlacementService::ingest`] with the collector's clock attached
+    /// (see [`PlacementService::publish_at`]).
+    pub fn ingest_at(&self, snap: NetSnapshot, now: f64) -> u64 {
+        let now = self.shared.clock.advance(now);
+        self.ingest_inner(snap, now)
+    }
+
+    fn ingest_inner(&self, snap: NetSnapshot, heard_at: f64) -> u64 {
         let snap = Arc::new(snap);
         let epoch = snap.epoch();
         let last = Arc::clone(&lock(&self.shared.last_published, "last-published"));
         if snap.same_structure(&last) {
             let delta = snap.diff(&last);
-            self.publish(snap, Some(&delta));
+            self.publish_inner(snap, Some(&delta), heard_at);
         } else {
-            self.publish(snap, None);
+            self.publish_inner(snap, None, heard_at);
         }
         epoch
+    }
+
+    /// Marks the collector alive at `now` without publishing anything:
+    /// advances the service clock and resets the data age. A collector
+    /// whose network is simply quiet (no changed epoch to publish) calls
+    /// this each period so calm is not mistaken for death.
+    pub fn heartbeat(&self, now: f64) {
+        let now = self.shared.clock.advance(now);
+        lock(&self.shared.ledger, "ledger").last_heard = now;
+    }
+
+    /// The monotone service clock: the largest instant any time-bearing
+    /// call has presented (0.0 until the first).
+    pub fn now(&self) -> f64 {
+        self.shared.clock.now()
+    }
+
+    /// Seconds of service-clock time since the collector was last heard
+    /// from — the age the [`DegradePolicy`] classifies against.
+    pub fn data_age(&self) -> f64 {
+        let last_heard = lock(&self.shared.ledger, "ledger").last_heard;
+        (self.shared.clock.now() - last_heard).max(0.0)
     }
 
     /// The currently published raw snapshot (lock-free).
@@ -353,7 +748,7 @@ impl PlacementService {
     /// admitted claim applied. With an empty ledger this is the raw
     /// snapshot itself (the same `Arc`).
     pub fn residual_snapshot(&self) -> Arc<NetSnapshot> {
-        self.shared.pin().0
+        self.shared.pin().snap
     }
 
     /// The currently published epoch (lock-free).
@@ -385,15 +780,98 @@ impl PlacementService {
 
     /// [`PlacementService::get`] for a pre-canonicalized request.
     pub fn get_canonical(&self, canon: &CanonicalRequest) -> Placement {
+        match self.get_canonical_with(canon, &GetOptions::blocking()) {
+            Ok(placement) => placement,
+            // Invariant, not caller-reachable: a blocking request with
+            // no deadline can be neither shed nor expired.
+            Err(e) => unreachable!("blocking no-deadline request failed: {e}"),
+        }
+    }
+
+    /// [`PlacementService::get`] with overload options: an optional
+    /// deadline, shed-instead-of-block behavior, and the caller's clock.
+    ///
+    /// `Err` means the service declined to answer —
+    /// [`ServiceError::Shed`] (queue or solve gate full,
+    /// [`GetOptions::block_when_full`] off) or
+    /// [`ServiceError::DeadlineExceeded`] (expired at submission or at
+    /// dequeue). A degraded-mode *refusal* is not an `Err`: it is an
+    /// answer — `Ok` with [`PlacementQuality::Refused`] and
+    /// [`SelectError::DataTooStale`] inside — because the service did
+    /// respond, honestly.
+    pub fn get_with(
+        &self,
+        request: &SelectionRequest,
+        opts: &GetOptions,
+    ) -> Result<Placement, ServiceError> {
+        self.get_canonical_with(&CanonicalRequest::new(request), opts)
+    }
+
+    /// [`PlacementService::get_with`] for a pre-canonicalized request.
+    pub fn get_canonical_with(
+        &self,
+        canon: &CanonicalRequest,
+        opts: &GetOptions,
+    ) -> Result<Placement, ServiceError> {
         let shared = &self.shared;
+        let now = match opts.now {
+            Some(t) => shared.clock.advance(t),
+            None => shared.clock.now(),
+        };
         StatsInner::bump(&shared.stats.requests);
-        let (snap, epoch, version) = shared.pin();
+        if let Some(deadline) = opts.deadline {
+            if deadline <= now {
+                StatsInner::bump(&shared.stats.shed);
+                return Err(ServiceError::DeadlineExceeded { deadline, now });
+            }
+        }
+        let pin = shared.pin();
+        let quality = shared.config.degrade.classify(
+            (now - pin.last_heard).max(0.0),
+            pin.confidence,
+            canon.bandwidth_sensitive(),
+        );
+        if let PlacementQuality::Refused { .. } = quality {
+            StatsInner::bump(&shared.stats.refused);
+            return Ok(Placement {
+                epoch: pin.epoch,
+                ledger_version: pin.version,
+                quality,
+                result: Err(SelectError::DataTooStale),
+            });
+        }
+        let degraded = !quality.is_fresh();
+        let Pin {
+            snap,
+            epoch,
+            version,
+            ..
+        } = pin;
         if let Some(result) = lock(&shared.cache, "cache").lookup(epoch, version, canon) {
             StatsInner::bump(&shared.stats.cache_hits);
-            return Placement { epoch, result };
+            if degraded {
+                StatsInner::bump(&shared.stats.degraded_answers);
+            }
+            return Ok(Placement {
+                epoch,
+                ledger_version: version,
+                quality,
+                result,
+            });
         }
         if shared.config.workers == 0 {
+            // Inline solves share the executing-solve budget with the
+            // pool: saturated gate sheds (or blocks) like a full queue.
+            if !shared.gate.try_acquire() {
+                if opts.block_when_full {
+                    shared.gate.acquire();
+                } else {
+                    StatsInner::bump(&shared.stats.shed);
+                    return Err(ServiceError::Shed { queued: 0 });
+                }
+            }
             let (result, footprint) = solve(&snap, canon);
+            shared.gate.release();
             shared.stats.record_solve(epoch);
             lock(&shared.cache, "cache").insert(
                 epoch,
@@ -402,7 +880,15 @@ impl PlacementService {
                 result.clone(),
                 footprint,
             );
-            return Placement { epoch, result };
+            if degraded {
+                StatsInner::bump(&shared.stats.degraded_answers);
+            }
+            return Ok(Placement {
+                epoch,
+                ledger_version: version,
+                quality,
+                result,
+            });
         }
         let key = job_key(&snap, canon);
         let job = {
@@ -410,7 +896,18 @@ impl PlacementService {
             loop {
                 if let Some(job) = state.inflight.get(&key) {
                     StatsInner::bump(&shared.stats.single_flight_merges);
-                    break Arc::clone(job);
+                    let job = Arc::clone(job);
+                    // Relax the shared deadline to the latest waiter's
+                    // (`None` dominates). Under the queue lock, so the
+                    // worker's dequeue expiry check cannot race this
+                    // merge and shed an in-deadline request.
+                    let mut deadline = lock(&job.deadline, "job deadline");
+                    *deadline = match (*deadline, opts.deadline) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                    drop(deadline);
+                    break job;
                 }
                 if state.queue.len() < shared.config.queue_capacity {
                     let job = Arc::new(Job {
@@ -418,6 +915,7 @@ impl PlacementService {
                         epoch,
                         version,
                         canon: canon.clone(),
+                        deadline: Mutex::new(opts.deadline),
                         done: Mutex::new(None),
                         cv: Condvar::new(),
                     });
@@ -425,6 +923,12 @@ impl PlacementService {
                     state.queue.push_back(Arc::clone(&job));
                     shared.work_cv.notify_one();
                     break job;
+                }
+                if !opts.block_when_full {
+                    let queued = state.queue.len();
+                    drop(state);
+                    StatsInner::bump(&shared.stats.shed);
+                    return Err(ServiceError::Shed { queued });
                 }
                 // Queue full: wait for workers to drain, then re-check
                 // (an identical job may have appeared meanwhile).
@@ -441,13 +945,33 @@ impl PlacementService {
                 .wait(done)
                 .unwrap_or_else(|_| panic!("job lock poisoned by a panicked thread"));
         }
-        Placement {
-            epoch,
-            // Invariant, not caller-reachable: the wait above only exits
-            // once a worker stored the result.
-            result: done
-                .clone()
-                .expect("in-flight job completed without a result"),
+        // Invariant, not caller-reachable: the wait above only exits
+        // once a worker stored the outcome.
+        let outcome = done
+            .clone()
+            .expect("in-flight job completed without an outcome");
+        drop(done);
+        match outcome {
+            JobOutcome::Solved(result) => {
+                if degraded {
+                    StatsInner::bump(&shared.stats.degraded_answers);
+                }
+                Ok(Placement {
+                    epoch,
+                    ledger_version: version,
+                    quality,
+                    result,
+                })
+            }
+            JobOutcome::Expired { now } => {
+                // The worker only expires a job whose *every* waiter has
+                // a passed deadline; a no-deadline waiter keeps the
+                // shared deadline `None`, which never expires.
+                let deadline = opts
+                    .deadline
+                    .expect("expired job had a waiter without a deadline");
+                Err(ServiceError::DeadlineExceeded { deadline, now })
+            }
         }
     }
 
@@ -475,7 +999,21 @@ impl PlacementService {
         let shared = &self.shared;
         StatsInner::bump(&shared.stats.requests);
         let canon = CanonicalRequest::new(request);
+        let now = shared.clock.now();
         let mut cell = lock(&shared.ledger, "ledger");
+        let quality = shared.config.degrade.classify(
+            (now - cell.last_heard).max(0.0),
+            cell.confidence,
+            canon.bandwidth_sensitive(),
+        );
+        if let PlacementQuality::Refused { age } = quality {
+            // Admissions reserve real capacity: granting one on data the
+            // policy calls untrustworthy would be a silent lie, so the
+            // fallible path refuses with a typed error.
+            drop(cell);
+            StatsInner::bump(&shared.stats.refused);
+            return Err(ServiceError::DegradedRefusal { age });
+        }
         let epoch = cell.raw.epoch();
         let version = cell.ledger.version();
         let cached = lock(&shared.cache, "cache").lookup(epoch, version, &canon);
@@ -510,9 +1048,13 @@ impl PlacementService {
             .advance_ledger(cell.ledger.version(), Some(&claim.touched_delta()));
         drop(cell);
         StatsInner::bump(&shared.stats.admits);
+        if !quality.is_fresh() {
+            StatsInner::bump(&shared.stats.degraded_answers);
+        }
         Ok(Admission {
             job,
             epoch,
+            quality,
             selection,
         })
     }
@@ -582,6 +1124,74 @@ impl PlacementService {
         Ok(check)
     }
 
+    /// One reconciliation sweep: walks **every** admitted job against
+    /// the latest snapshot, repairing what chaos broke.
+    ///
+    /// Per job, in admission order:
+    ///
+    /// 1. **vanished** — a placement referencing a node absent from the
+    ///    current structure (a shrinking structural publication) cannot
+    ///    be supervised or charged; the claim is released and the job
+    ///    reported in [`ReconcileReport::released`];
+    /// 2. **supervise** — otherwise the job runs one supervision epoch
+    ///    through the existing [`PlacementService::supervise`] machinery:
+    ///    placements on dead/stale entities re-select immediately, mere
+    ///    quality moves respect hysteresis and per-job exponential
+    ///    backoff, and each executed move is one atomic ledger version
+    ///    bump ([`ReconcileReport::repaired`]);
+    /// 3. **deferred** — a job whose advised re-selection fails (e.g.
+    ///    too few live nodes) keeps its entry unchanged and is reported
+    ///    in [`ReconcileReport::deferred`]; a later sweep may recover it.
+    ///
+    /// Atomicity is **per job**, not per sweep: concurrent admissions
+    /// and releases interleave safely between steps (a job released
+    /// mid-sweep is skipped). `now` advances the monotone service clock.
+    pub fn reconcile(&self, now: f64) -> ReconcileReport {
+        let shared = &self.shared;
+        let now = shared.clock.advance(now);
+        let mut report = ReconcileReport::default();
+        let jobs = lock(&shared.ledger, "ledger").ledger.job_ids();
+        report.examined = jobs.len();
+        for job in jobs {
+            // The vanished check must precede supervise: supervising a
+            // placement on an out-of-range node would index past the
+            // structure's metric arrays.
+            let vanished = {
+                let cell = lock(&shared.ledger, "ledger");
+                let node_count = cell.raw.structure().node_count();
+                match cell.ledger.nodes(job) {
+                    Ok(nodes) => nodes.iter().any(|n| n.index() >= node_count),
+                    Err(_) => continue, // released since the sweep began
+                }
+            };
+            if vanished {
+                if self.release(job).is_ok() {
+                    StatsInner::bump(&shared.stats.reconcile_releases);
+                    report.released.push(job);
+                }
+                continue;
+            }
+            match self.supervise(job, now) {
+                Ok(check) => match check.verdict {
+                    SupervisorVerdict::Healthy => report.healthy += 1,
+                    SupervisorVerdict::Hold { .. } => report.held += 1,
+                    SupervisorVerdict::Reselect { .. } => {
+                        StatsInner::bump(&shared.stats.reconcile_repairs);
+                        report.repaired.push(job);
+                    }
+                },
+                // Released between the vanished check and here.
+                Err(ServiceError::UnknownJob(_)) => {}
+                Err(ServiceError::Select(e)) => report.deferred.push((job, e)),
+                // Invariant, not caller-reachable: supervise returns
+                // only UnknownJob or Select errors.
+                Err(e) => unreachable!("supervise returned {e}"),
+            }
+        }
+        StatsInner::bump(&shared.stats.reconciles);
+        report
+    }
+
     /// The nodes an admitted job currently occupies.
     pub fn job_nodes(&self, job: JobId) -> Result<Vec<nodesel_topology::NodeId>, ServiceError> {
         let cell = lock(&self.shared.ledger, "ledger");
@@ -604,6 +1214,9 @@ impl PlacementService {
             cache_hits: shared.stats.cache_hits.load(Relaxed),
             single_flight_merges: shared.stats.single_flight_merges.load(Relaxed),
             solves: shared.stats.solves.load(Relaxed),
+            shed: shared.stats.shed.load(Relaxed),
+            refused: shared.stats.refused.load(Relaxed),
+            degraded_answers: shared.stats.degraded_answers.load(Relaxed),
             epochs_published: shared.stats.epochs_published.load(Relaxed),
             delta_evictions: counters.delta_evictions,
             capacity_evictions: counters.capacity_evictions,
@@ -614,6 +1227,9 @@ impl PlacementService {
             admits: shared.stats.admits.load(Relaxed),
             releases: shared.stats.releases.load(Relaxed),
             ledger_moves: shared.stats.ledger_moves.load(Relaxed),
+            reconciles: shared.stats.reconciles.load(Relaxed),
+            reconcile_repairs: shared.stats.reconcile_repairs.load(Relaxed),
+            reconcile_releases: shared.stats.reconcile_releases.load(Relaxed),
             active_jobs,
             ledger_version,
             solves_per_epoch: lock(&shared.stats.per_epoch, "stats")
@@ -695,7 +1311,33 @@ fn worker_loop(shared: &Shared) {
         };
         batch.sort_by_key(|a| scarcity_key(&a.canon));
         for job in batch {
+            // Dead-work check, under the queue lock so no waiter can
+            // merge (relaxing the deadline) between the decision and the
+            // inflight removal: once removed, late arrivals enqueue a
+            // fresh job instead of joining a corpse.
+            let expired_at = {
+                let mut state = lock(&shared.state, "queue");
+                let deadline = *lock(&job.deadline, "job deadline");
+                let now = shared.clock.now();
+                match deadline {
+                    Some(d) if d <= now => {
+                        state.inflight.remove(&job_key(&job.snap, &job.canon));
+                        Some(now)
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(now) = expired_at {
+                // One shed on behalf of the enqueuing request; merged
+                // waiters were already counted in the merge bucket.
+                StatsInner::bump(&shared.stats.shed);
+                *lock(&job.done, "job") = Some(JobOutcome::Expired { now });
+                job.cv.notify_all();
+                continue;
+            }
+            shared.gate.acquire();
             let (result, footprint) = solve(&job.snap, &job.canon);
+            shared.gate.release();
             shared.stats.record_solve(job.epoch);
             lock(&shared.cache, "cache").insert(
                 job.epoch,
@@ -707,7 +1349,7 @@ fn worker_loop(shared: &Shared) {
             lock(&shared.state, "queue")
                 .inflight
                 .remove(&job_key(&job.snap, &job.canon));
-            *lock(&job.done, "job") = Some(result);
+            *lock(&job.done, "job") = Some(JobOutcome::Solved(result));
             job.cv.notify_all();
         }
     }
@@ -1004,5 +1646,305 @@ mod tests {
             svc.supervise(admission.job, 0.0),
             Err(ServiceError::UnknownJob(_))
         ));
+    }
+
+    #[test]
+    fn service_clock_is_monotone_and_nan_proof() {
+        let (svc, _) = service(0);
+        assert_eq!(svc.now(), 0.0);
+        svc.heartbeat(5.0);
+        assert_eq!(svc.now(), 5.0);
+        svc.heartbeat(3.0); // rewind: clamped, never runs backwards
+        assert_eq!(svc.now(), 5.0);
+        svc.heartbeat(f64::NAN);
+        assert_eq!(svc.now(), 5.0);
+        svc.heartbeat(-1.0);
+        assert_eq!(svc.now(), 5.0);
+        assert_eq!(svc.data_age(), 0.0);
+    }
+
+    #[test]
+    fn gate_counts_slots() {
+        let bounded = Gate::new(1);
+        assert!(bounded.try_acquire());
+        assert!(!bounded.try_acquire());
+        bounded.release();
+        assert!(bounded.try_acquire());
+        let unbounded = Gate::new(0);
+        assert!(unbounded.try_acquire());
+        assert!(unbounded.try_acquire());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_the_door() {
+        let (svc, _) = service(0);
+        let request = SelectionRequest::balanced(3);
+        let err = svc
+            .get_with(
+                &request,
+                &GetOptions {
+                    now: Some(10.0),
+                    deadline: Some(10.0),
+                    block_when_full: false,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::DeadlineExceeded {
+                deadline: 10.0,
+                now: 10.0
+            }
+        );
+        // An in-deadline request answers normally.
+        let ok = svc
+            .get_with(
+                &request,
+                &GetOptions {
+                    now: Some(10.0),
+                    deadline: Some(11.0),
+                    block_when_full: false,
+                },
+            )
+            .unwrap();
+        assert!(ok.result.is_ok());
+        assert_eq!(ok.quality, PlacementQuality::Fresh);
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 2);
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn nonblocking_request_sheds_on_a_full_queue() {
+        let (topo, _) = star(8, 100.0 * MBPS);
+        let snap = Arc::new(NetSnapshot::capture(Arc::new(topo)));
+        // capacity 0: nothing can ever enqueue, so a non-blocking
+        // request must shed deterministically.
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let svc = PlacementService::new(snap, config);
+        let err = svc
+            .get_with(&SelectionRequest::balanced(3), &GetOptions::default())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Shed { queued: 0 });
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 1);
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn worker_skips_dead_requests_at_dequeue() {
+        let (svc, _) = service(0); // no pool: we drive worker_loop by hand
+        let shared = Arc::clone(&svc.shared);
+        shared.clock.advance(10.0);
+        let canon = CanonicalRequest::new(&SelectionRequest::balanced(3));
+        let pin = shared.pin();
+        let job = Arc::new(Job {
+            snap: Arc::clone(&pin.snap),
+            epoch: pin.epoch,
+            version: pin.version,
+            canon: canon.clone(),
+            deadline: Mutex::new(Some(5.0)), // already past: clock is at 10
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut state = lock(&shared.state, "queue");
+            state
+                .inflight
+                .insert(job_key(&job.snap, &job.canon), Arc::clone(&job));
+            state.queue.push_back(Arc::clone(&job));
+        }
+        shared.shutdown.store(true, SeqCst);
+        worker_loop(&shared); // drains the queue, then exits on shutdown
+        let done = lock(&job.done, "job").clone().unwrap();
+        assert!(matches!(done, JobOutcome::Expired { now } if now == 10.0));
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.solves, 0);
+        assert!(
+            lock(&shared.state, "queue").inflight.is_empty(),
+            "expired job must leave the single-flight table"
+        );
+    }
+
+    #[test]
+    fn degrade_policy_flags_and_refuses_honestly() {
+        let (topo, _) = star(8, 100.0 * MBPS);
+        let snap = Arc::new(NetSnapshot::capture(Arc::new(topo)));
+        let config = ServiceConfig {
+            degrade: DegradePolicy {
+                soft_staleness: 10.0,
+                hard_staleness: 30.0,
+                min_confidence: 0.0,
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = PlacementService::new(snap, config);
+        let bw = SelectionRequest::balanced(3); // bandwidth-sensitive
+        let cpu = SelectionRequest::compute(3); // CPU-only
+        let at = |t: f64| GetOptions {
+            now: Some(t),
+            deadline: None,
+            block_when_full: true,
+        };
+        // Heard at 0.0 (construction); within bounds: Fresh.
+        let fresh = svc.get_with(&bw, &at(5.0)).unwrap();
+        assert_eq!(fresh.quality, PlacementQuality::Fresh);
+        // Past the soft bound: served, flagged, bits unchanged.
+        let stale = svc.get_with(&bw, &at(20.0)).unwrap();
+        assert_eq!(stale.quality, PlacementQuality::Stale { age: 20.0 });
+        assert_eq!(stale.result, fresh.result);
+        // Past the hard bound: bandwidth-sensitive refused with the
+        // typed staleness error; CPU-only still served, flagged.
+        let refused = svc.get_with(&bw, &at(40.0)).unwrap();
+        assert_eq!(refused.quality, PlacementQuality::Refused { age: 40.0 });
+        assert_eq!(refused.result, Err(SelectError::DataTooStale));
+        let served = svc.get_with(&cpu, &at(40.0)).unwrap();
+        assert_eq!(served.quality, PlacementQuality::Stale { age: 40.0 });
+        assert!(served.result.is_ok());
+        // Admissions refuse with a typed error instead of an answer.
+        assert_eq!(
+            svc.admit(&bw).unwrap_err(),
+            ServiceError::DegradedRefusal { age: 40.0 }
+        );
+        let cpu_admit = svc.admit(&cpu).unwrap();
+        assert_eq!(cpu_admit.quality, PlacementQuality::Stale { age: 40.0 });
+        svc.release(cpu_admit.job).unwrap();
+        // A heartbeat proves the collector alive: quiet != dead.
+        svc.heartbeat(41.0);
+        assert_eq!(svc.data_age(), 0.0);
+        assert_eq!(
+            svc.get_with(&bw, &at(41.0)).unwrap().quality,
+            PlacementQuality::Fresh
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.refused, 2); // one get, one admit
+        assert!(stats.degraded_answers >= 3);
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn low_confidence_flags_answers_stale_at_age_zero() {
+        let (topo, ids) = star(8, 100.0 * MBPS);
+        let snap = Arc::new(NetSnapshot::capture(Arc::new(topo)));
+        let config = ServiceConfig {
+            degrade: DegradePolicy {
+                soft_staleness: f64::INFINITY,
+                hard_staleness: f64::INFINITY,
+                min_confidence: 0.9,
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = PlacementService::new(snap, config);
+        let request = SelectionRequest::balanced(3);
+        let at = |t: f64| GetOptions {
+            now: Some(t),
+            deadline: None,
+            block_when_full: true,
+        };
+        assert_eq!(
+            svc.get_with(&request, &at(1.0)).unwrap().quality,
+            PlacementQuality::Fresh
+        );
+        // Three missed samples on one node: published confidence drops to
+        // 0.8^3 = 0.512 < 0.9 — answers flag Stale even at data age 0.
+        let delta = NetDelta {
+            stale_nodes: vec![(ids[1], 3)],
+            ..NetDelta::default()
+        };
+        let aged = svc.snapshot().apply(&delta);
+        svc.publish_at(Arc::new(aged), Some(&delta), 1.0);
+        let flagged = svc.get_with(&request, &at(1.0)).unwrap();
+        assert_eq!(flagged.quality, PlacementQuality::Stale { age: 0.0 });
+        assert!(flagged.result.is_ok());
+        assert!(svc.stats().balanced());
+    }
+
+    #[test]
+    fn reconcile_repairs_failed_jobs_and_releases_vanished_ones() {
+        let (svc, _) = service(0);
+        let request = SelectionRequest::balanced(2);
+        let a = svc.admit(&request).unwrap();
+        let b = svc.admit(&request).unwrap();
+        let calm = svc.reconcile(0.0);
+        assert_eq!(calm.examined, 2);
+        assert_eq!(calm.healthy, 2);
+        assert!(calm.repaired.is_empty() && calm.released.is_empty());
+        // Kill one of job a's nodes: the next sweep must repair it.
+        let dead = a.selection.nodes[0];
+        let delta = NetDelta {
+            avail_nodes: vec![(dead, false)],
+            ..NetDelta::default()
+        };
+        let down = svc.snapshot().apply(&delta);
+        svc.publish_at(Arc::new(down), Some(&delta), 1.0);
+        let repair = svc.reconcile(1.0);
+        assert_eq!(repair.repaired, vec![a.job]);
+        assert!(!svc.job_nodes(a.job).unwrap().contains(&dead));
+        let stats = svc.stats();
+        assert_eq!(stats.reconciles, 2);
+        assert_eq!(stats.reconcile_repairs, 1);
+        // Shrink the structure: claims on vanished nodes must be
+        // released, surviving jobs must reference only live indices.
+        let (small, _) = star(2, 100.0 * MBPS);
+        svc.publish_at(Arc::new(NetSnapshot::capture(Arc::new(small))), None, 2.0);
+        let sweep = svc.reconcile(2.0);
+        let node_count = svc.snapshot().structure().node_count();
+        for job in [a.job, b.job] {
+            match svc.job_nodes(job) {
+                Ok(nodes) => assert!(nodes.iter().all(|n| n.index() < node_count)),
+                Err(ServiceError::UnknownJob(_)) => assert!(sweep.released.contains(&job)),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(
+            sweep.released.len() as u64,
+            svc.stats().reconcile_releases,
+            "every reconcile release is counted"
+        );
+        assert!(svc.stats().balanced());
+    }
+
+    #[test]
+    fn pooled_overload_mix_stays_balanced() {
+        let (topo, _) = star(8, 100.0 * MBPS);
+        let snap = Arc::new(NetSnapshot::capture(Arc::new(topo)));
+        let config = ServiceConfig {
+            workers: 2,
+            queue_capacity: 2,
+            max_inflight_solves: 1,
+            ..ServiceConfig::default()
+        };
+        let svc = Arc::new(PlacementService::new(snap, config));
+        std::thread::scope(|scope| {
+            for i in 0..16usize {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    let request = SelectionRequest::balanced(2 + (i % 4));
+                    let opts = GetOptions {
+                        now: Some(i as f64),
+                        deadline: if i % 3 == 0 {
+                            Some(i as f64 + 0.5)
+                        } else {
+                            None
+                        },
+                        block_when_full: i % 2 == 0,
+                    };
+                    match svc.get_with(&request, &opts) {
+                        Ok(placement) => assert!(placement.result.is_ok()),
+                        Err(ServiceError::Shed { .. })
+                        | Err(ServiceError::DeadlineExceeded { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                });
+            }
+        });
+        // Quiesced: every request must be in exactly one bucket.
+        assert!(svc.stats().balanced(), "{:?}", svc.stats());
     }
 }

@@ -34,10 +34,16 @@ pub(crate) struct StatsInner {
     pub cache_hits: AtomicU64,
     pub single_flight_merges: AtomicU64,
     pub solves: AtomicU64,
+    pub shed: AtomicU64,
+    pub refused: AtomicU64,
+    pub degraded_answers: AtomicU64,
     pub epochs_published: AtomicU64,
     pub admits: AtomicU64,
     pub releases: AtomicU64,
     pub ledger_moves: AtomicU64,
+    pub reconciles: AtomicU64,
+    pub reconcile_repairs: AtomicU64,
+    pub reconcile_releases: AtomicU64,
     /// `(epoch, solves attributed to it)` for the most recent epochs.
     pub per_epoch: Mutex<VecDeque<(u64, u64)>>,
 }
@@ -50,6 +56,8 @@ impl StatsInner {
     /// Attributes one solve to `epoch` in the bounded history.
     pub fn record_solve(&self, epoch: u64) {
         self.solves.fetch_add(1, Relaxed);
+        // Invariant, not caller-reachable: poisoning means a thread
+        // panicked mid-accounting — escalate (see crate locking notes).
         let mut per_epoch = self.per_epoch.lock().expect("stats lock poisoned");
         match per_epoch.iter_mut().find(|(e, _)| *e == epoch) {
             Some((_, n)) => *n += 1,
@@ -66,9 +74,13 @@ impl StatsInner {
 /// A point-in-time snapshot of the service's counters.
 ///
 /// Invariant (exact once the service is idle): `requests` =
-/// `cache_hits` + `single_flight_merges` + `solves`. Every request is
-/// answered by exactly one of a cache hit, a merge into another
-/// request's in-flight solve, or a solve of its own.
+/// `cache_hits` + `single_flight_merges` + `solves` + `shed` +
+/// `refused` (checkable via [`ServiceStats::balanced`]). Every request
+/// ends in exactly one bucket: answered from the cache, merged into
+/// another request's in-flight solve, solved on its own, shed
+/// (queue/gate overflow or deadline expiry — a merged waiter whose
+/// shared solve is shed stays in the merge bucket), or refused by the
+/// degraded-mode policy.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
     /// Requests answered.
@@ -79,6 +91,18 @@ pub struct ServiceStats {
     pub single_flight_merges: u64,
     /// Fresh solves executed.
     pub solves: u64,
+    /// Requests shed without an answer: queue or solve-gate overflow
+    /// (`ServiceError::Shed`), deadline already expired on arrival, or a
+    /// queued job skipped at dequeue because every waiter's deadline had
+    /// passed (`ServiceError::DeadlineExceeded`).
+    pub shed: u64,
+    /// Requests refused by the degraded-mode policy (bandwidth-sensitive
+    /// work past the hard staleness bound).
+    pub refused: u64,
+    /// Answers served but flagged `Stale` by the degraded-mode policy
+    /// (these also count in their hit/merge/solve bucket — the flag is
+    /// orthogonal to how the answer was produced).
+    pub degraded_answers: u64,
     /// Epochs published to the service.
     pub epochs_published: u64,
     /// Cache entries evicted by delta invalidation (incl. flushes).
@@ -99,12 +123,32 @@ pub struct ServiceStats {
     pub releases: u64,
     /// Supervised re-selections that moved a ledger entry.
     pub ledger_moves: u64,
+    /// Reconciliation sweeps completed.
+    pub reconciles: u64,
+    /// Jobs moved to a new placement by a reconciliation sweep (subset
+    /// of `ledger_moves`).
+    pub reconcile_repairs: u64,
+    /// Jobs released by a reconciliation sweep because their placement
+    /// referenced entities absent from the current structure (subset of
+    /// `releases`).
+    pub reconcile_releases: u64,
     /// Jobs currently admitted (ledger residency).
     pub active_jobs: u64,
     /// Current ledger version (bumped per admit/release/move).
     pub ledger_version: u64,
     /// `(epoch, solves)` for the most recent epochs, oldest first.
     pub solves_per_epoch: Vec<(u64, u64)>,
+}
+
+impl ServiceStats {
+    /// The request-accounting identity: `requests == cache_hits +
+    /// single_flight_merges + solves + shed + refused`. Exact whenever
+    /// the service is idle (no request mid-flight); the chaos study and
+    /// the parity proptests assert it after every quiesced step.
+    pub fn balanced(&self) -> bool {
+        self.requests
+            == self.cache_hits + self.single_flight_merges + self.solves + self.shed + self.refused
+    }
 }
 
 #[cfg(test)]

@@ -16,11 +16,16 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use nodesel_core::{selector_for, Constraints, GreedyPolicy, Objective, SelectionRequest, Weights};
-use nodesel_service::{PlacementService, ServiceConfig};
+use nodesel_core::{
+    selector_for, Constraints, GreedyPolicy, Objective, SelectError, SelectionRequest, Weights,
+};
+use nodesel_service::{
+    DegradePolicy, GetOptions, JobId, PlacementQuality, PlacementService, ServiceConfig,
+    ServiceError,
+};
 use nodesel_topology::builders::random_tree;
 use nodesel_topology::units::MBPS;
-use nodesel_topology::{Direction, NetDelta, NetSnapshot, NodeId, Topology};
+use nodesel_topology::{Direction, NetDelta, NetMetrics, NetSnapshot, NodeId, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -368,4 +373,163 @@ fn concurrent_bursts_stay_bit_identical() {
         stats.cache_hits + stats.single_flight_merges + stats.solves
     );
     assert_eq!(stats.requests, 24);
+}
+
+/// Soft/hard staleness bounds the chaos proptest runs under (tight
+/// enough that random silences cross both).
+const CHAOS_DEGRADE: DegradePolicy = DegradePolicy {
+    soft_staleness: 30.0,
+    hard_staleness: 90.0,
+    min_confidence: 0.5,
+};
+
+/// One chaos script: an inline (deterministic) service under a
+/// fault-bearing delta stream interleaved with requests (some with
+/// already-dead deadlines), admissions, releases, heartbeats, silences,
+/// and reconciliation sweeps. The driver keeps its own model of the
+/// collector's liveness (`last_heard`, published confidence) and asserts,
+/// for every single answer:
+///
+/// * **no silent lies** — the answer's [`PlacementQuality`] equals the
+///   classification the driver computes from its own model (a `Fresh`
+///   flag on aged data, or a missing `Stale` flag, fails here);
+/// * **degradation never changes bits** — every served answer (fresh or
+///   stale) is bit-identical to a fresh solve on the residual snapshot
+///   pinned at call time;
+/// * **refusals are typed** — past the hard bound a bandwidth-sensitive
+///   answer carries [`SelectError::DataTooStale`], never fabricated
+///   nodes;
+/// * **reconciliation repairs** — after each sweep no surviving claim
+///   references a dead node, except jobs the sweep explicitly deferred
+///   (re-selection failed) — and the stats identity balances throughout.
+fn chaos_drive(seed: u64, computes: usize, networks: usize, steps: usize) {
+    let (topo, ids) = random_topology(seed, computes, networks);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a05);
+    let first = NetSnapshot::capture(Arc::new(topo));
+    let svc = PlacementService::new(
+        Arc::new(first.clone()),
+        ServiceConfig {
+            degrade: CHAOS_DEGRADE,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut current = first;
+    let mut now = 0.0f64;
+    let mut last_heard = 0.0f64;
+    let mut confidence = current.min_confidence();
+    let mut admitted: Vec<JobId> = Vec::new();
+    for _ in 0..steps {
+        now += rng.random_range(1.0..40.0);
+        // The collector this tick: publish faults, heartbeat, or silence.
+        match rng.random_range(0..4) {
+            0 => {} // silent: the data ages
+            1 => {
+                svc.heartbeat(now);
+                last_heard = now;
+            }
+            _ => {
+                let mut delta = random_delta(&mut rng, current.structure_arc());
+                let computes_now: Vec<NodeId> = current.structure_arc().compute_nodes().collect();
+                for _ in 0..rng.random_range(0..3) {
+                    let n = computes_now[rng.random_range(0..computes_now.len())];
+                    delta.avail_nodes.push((n, rng.random_range(0..2) == 0));
+                }
+                let next = current.apply(&delta);
+                svc.publish_at(Arc::new(next.clone()), Some(&delta), now);
+                last_heard = now;
+                confidence = next.min_confidence();
+                current = next;
+            }
+        }
+        let age = (now - last_heard).max(0.0);
+        for _ in 0..4 {
+            let request = random_request(&mut rng, &ids);
+            let deadline = match rng.random_range(0..3) {
+                0 => Some(now + 5.0),
+                1 => Some(now - 1.0), // dead on arrival: must shed
+                _ => None,
+            };
+            let opts = GetOptions {
+                now: Some(now),
+                deadline,
+                block_when_full: false,
+            };
+            let residual = svc.residual_snapshot();
+            let answer = svc.get_with(&request, &opts);
+            if let Some(d) = deadline.filter(|d| *d <= now) {
+                assert_eq!(
+                    answer.unwrap_err(),
+                    ServiceError::DeadlineExceeded { deadline: d, now }
+                );
+                continue;
+            }
+            let placement = answer.expect("inline in-deadline request cannot fail");
+            let bandwidth_sensitive = !matches!(request.objective, Objective::Compute)
+                || request.constraints.min_bandwidth.is_some();
+            if age > CHAOS_DEGRADE.hard_staleness && bandwidth_sensitive {
+                assert_eq!(placement.quality, PlacementQuality::Refused { age });
+                assert_eq!(placement.result, Err(SelectError::DataTooStale));
+                continue;
+            }
+            let expected = if age > CHAOS_DEGRADE.soft_staleness
+                || confidence < CHAOS_DEGRADE.min_confidence
+            {
+                PlacementQuality::Stale { age }
+            } else {
+                PlacementQuality::Fresh
+            };
+            assert_eq!(placement.quality, expected, "silent-stale answer");
+            let fresh = selector_for(request.objective).select(&residual, &request);
+            assert_eq!(
+                placement.result, fresh,
+                "served answer drifted from a fresh solve on its pin"
+            );
+        }
+        // Admission / release churn.
+        if rng.random_range(0..2) == 0 {
+            let mut request = random_request(&mut rng, &ids);
+            request.reference_bandwidth = Some(20.0 * MBPS);
+            match svc.admit(&request) {
+                Ok(admission) => admitted.push(admission.job),
+                Err(ServiceError::Select(_)) | Err(ServiceError::DegradedRefusal { .. }) => {}
+                Err(e) => panic!("unexpected admit error: {e}"),
+            }
+        }
+        if !admitted.is_empty() && rng.random_range(0..3) == 0 {
+            let job = admitted.swap_remove(rng.random_range(0..admitted.len()));
+            svc.release(job).unwrap();
+        }
+        if rng.random_range(0..2) == 0 {
+            let report = svc.reconcile(now);
+            assert_eq!(report.examined, admitted.len());
+            let snap = svc.snapshot();
+            for &job in &admitted {
+                let nodes = svc.job_nodes(job).expect("no structural shrink here");
+                let all_up = nodes.iter().all(|&n| snap.node_available(n));
+                let deferred = report.deferred.iter().any(|(j, _)| *j == job);
+                assert!(
+                    all_up || deferred,
+                    "claim holds a dead node after reconcile without a deferral"
+                );
+            }
+        }
+        let stats = svc.stats();
+        assert!(stats.balanced(), "stats identity violated: {stats:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos-flavored parity: random fault plans × request / admit /
+    /// release / reconcile interleavings under live staleness bounds.
+    #[test]
+    fn chaos_interleavings_stay_honest_and_balanced(
+        seed in 0u64..100_000,
+        computes in 3usize..10,
+        networks in 0usize..5,
+        steps in 2usize..8,
+    ) {
+        chaos_drive(seed, computes, networks, steps);
+    }
 }

@@ -154,6 +154,33 @@ pub trait NetMetrics {
             self.bw(e) / maxbw
         }
     }
+
+    /// The lowest annotation confidence across the network's *available*
+    /// entities: the min of [`NetMetrics::node_confidence`] over
+    /// available compute nodes and [`NetMetrics::link_confidence`] over
+    /// available links. Entities reported down are excluded — their
+    /// metrics are already zeroed, and one crashed host should not mark
+    /// the rest of the snapshot untrustworthy. `1.0` when everything
+    /// reachable is fresh (the empty min is `1.0` too: a network with
+    /// nothing available has nothing to distrust).
+    ///
+    /// This is the scalar a degraded-mode consumer wants: "how stale is
+    /// the most-stale measurement I might be basing an answer on".
+    fn min_confidence(&self) -> f64 {
+        let topo = self.structure();
+        let mut min = 1.0f64;
+        for n in topo.compute_nodes() {
+            if self.node_available(n) {
+                min = min.min(self.node_confidence(n));
+            }
+        }
+        for e in topo.edge_ids() {
+            if self.link_available(e) {
+                min = min.min(self.link_confidence(e));
+            }
+        }
+        min
+    }
 }
 
 impl NetMetrics for Topology {
@@ -704,6 +731,40 @@ mod tests {
             last_cpu = cpu;
             last_bw = bw;
         }
+    }
+
+    #[test]
+    fn min_confidence_tracks_staleness_and_skips_down_entities() {
+        let (topo, ids) = loaded_star();
+        let snap = NetSnapshot::capture(Arc::clone(&topo));
+        assert_eq!(snap.min_confidence().to_bits(), 1.0f64.to_bits());
+        // One stale node drags the whole-snapshot confidence down to its
+        // own confidence.
+        let stale = snap.apply(&NetDelta {
+            stale_nodes: vec![(ids[0], 3)],
+            ..NetDelta::default()
+        });
+        assert_eq!(
+            stale.min_confidence().to_bits(),
+            staleness_confidence(3).to_bits()
+        );
+        // Marking the stale node down removes it from the min: the rest
+        // of the network is fresh again.
+        let down = stale.apply(&NetDelta {
+            avail_nodes: vec![(ids[0], false)],
+            ..NetDelta::default()
+        });
+        assert_eq!(down.min_confidence().to_bits(), 1.0f64.to_bits());
+        // A stale link counts exactly like a stale node.
+        let e = topo.edge_ids().next().unwrap();
+        let stale_link = snap.apply(&NetDelta {
+            stale_links: vec![(e, 2)],
+            ..NetDelta::default()
+        });
+        assert_eq!(
+            stale_link.min_confidence().to_bits(),
+            staleness_confidence(2).to_bits()
+        );
     }
 
     #[test]
